@@ -1,0 +1,71 @@
+//===- bench/BenchSupport.cpp - Shared experiment runners -----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+GpdRun regmon::bench::runGpd(const workloads::Workload &W, Cycles Period,
+                             std::uint64_t Seed) {
+  sim::Engine Engine(W.Prog, W.Script, Seed);
+  sampling::Sampler Sampler(Engine, {Period, 2032});
+  gpd::CentroidPhaseDetector Detector;
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Detector.observeInterval(Buffer);
+  });
+  return GpdRun{Detector.phaseChanges(), Detector.stableFraction(),
+                Detector.intervals()};
+}
+
+MonitorRun::MonitorRun(workloads::Workload Workload, Cycles Period,
+                       core::RegionMonitorConfig Config, std::uint64_t Seed)
+    : W(std::make_unique<workloads::Workload>(std::move(Workload))),
+      Map(std::make_unique<sim::ProgramCodeMap>(W->Prog)),
+      Monitor(std::make_unique<core::RegionMonitor>(*Map, Config)),
+      Gpd(std::make_unique<gpd::CentroidPhaseDetector>()) {
+  sim::Engine Engine(W->Prog, W->Script, Seed);
+  sampling::Sampler Sampler(Engine, {Period, 2032});
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor->observeInterval(Buffer);
+    Gpd->observeInterval(Buffer);
+  });
+}
+
+std::vector<core::RegionId> MonitorRun::regionsBySamples() const {
+  std::vector<core::RegionId> Ids = Monitor->activeRegionIds();
+  std::stable_sort(Ids.begin(), Ids.end(),
+                   [&](core::RegionId A, core::RegionId B) {
+                     return Monitor->stats(A).TotalSamples >
+                            Monitor->stats(B).TotalSamples;
+                   });
+  return Ids;
+}
+
+SampleStream regmon::bench::recordStream(const workloads::Workload &W,
+                                         Cycles Period, std::uint64_t Seed) {
+  sim::Engine Engine(W.Prog, W.Script, Seed);
+  sampling::Sampler Sampler(Engine, {Period, 2032});
+  SampleStream Stream;
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Stream.Intervals.emplace_back(Buffer.begin(), Buffer.end());
+  });
+  Stream.ProgramCycles = Engine.cycles();
+  return Stream;
+}
+
+double regmon::bench::timeSeconds(const std::function<void()> &Fn) {
+  const auto Start = std::chrono::steady_clock::now();
+  Fn();
+  const auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}

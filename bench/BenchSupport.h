@@ -1,0 +1,90 @@
+//===- bench/BenchSupport.h - Shared experiment runners ---------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the figure-reproduction benches: run a workload
+/// under the sampling front-end once and expose detector/monitor results,
+/// or record the raw sample stream for cost measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_BENCH_BENCHSUPPORT_H
+#define REGMON_BENCH_BENCHSUPPORT_H
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "sim/ProgramCodeMap.h"
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace regmon::bench {
+
+/// The paper's three Figs. 3/4/13/14 sampling periods (cycles/interrupt).
+inline constexpr Cycles SweepPeriods[] = {45'000, 450'000, 900'000};
+/// The paper's Fig. 17 sampling periods.
+inline constexpr Cycles RtoPeriods[] = {100'000, 800'000, 1'500'000};
+/// Default seed for all figure reproductions.
+inline constexpr std::uint64_t BenchSeed = 1;
+
+/// Result of one global-phase-detection run.
+struct GpdRun {
+  std::uint64_t PhaseChanges = 0;
+  double StableFraction = 0;
+  std::uint64_t Intervals = 0;
+};
+
+/// Runs \p W under the centroid detector at \p Period.
+GpdRun runGpd(const workloads::Workload &W, Cycles Period,
+              std::uint64_t Seed = BenchSeed);
+
+/// One full region-monitoring run; owns the workload and the monitor so
+/// results can be inspected after the run.
+class MonitorRun {
+public:
+  /// Runs \p W under a RegionMonitor (and, in parallel, a GPD detector for
+  /// overlays) at \p Period.
+  MonitorRun(workloads::Workload W, Cycles Period,
+             core::RegionMonitorConfig Config = {},
+             std::uint64_t Seed = BenchSeed);
+
+  const workloads::Workload &workload() const { return *W; }
+  const core::RegionMonitor &monitor() const { return *Monitor; }
+  const gpd::CentroidPhaseDetector &gpdDetector() const { return *Gpd; }
+
+  /// Returns active region ids ordered by descending total samples -- the
+  /// paper's "r1, r2, ..." numbering of regions selected by the optimizer.
+  std::vector<core::RegionId> regionsBySamples() const;
+
+private:
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<sim::ProgramCodeMap> Map;
+  std::unique_ptr<core::RegionMonitor> Monitor;
+  std::unique_ptr<gpd::CentroidPhaseDetector> Gpd;
+};
+
+/// A pre-recorded sample stream (one vector per interval), used to time
+/// detector implementations on identical inputs.
+struct SampleStream {
+  std::vector<std::vector<Sample>> Intervals;
+  /// Total simulated cycles of the recorded run (for overhead ratios).
+  Cycles ProgramCycles = 0;
+};
+
+/// Records the full sample stream of \p W at \p Period.
+SampleStream recordStream(const workloads::Workload &W, Cycles Period,
+                          std::uint64_t Seed = BenchSeed);
+
+/// Returns the wall-clock seconds consumed by \p Fn (monotonic clock).
+double timeSeconds(const std::function<void()> &Fn);
+
+} // namespace regmon::bench
+
+#endif // REGMON_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,109 @@
+//===- bench/RegionChart.cpp - Shared region-chart rendering --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RegionChart.h"
+
+#include "support/AsciiChart.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+namespace {
+
+/// Mean samples/interval of region \p Id within interval bucket
+/// [\p Lo, \p Hi).
+double bucketMean(const core::RegionMonitor &M, core::RegionId Id,
+                  std::size_t Lo, std::size_t Hi) {
+  const core::Region &R = M.regions()[Id];
+  std::span<const std::uint32_t> Line = M.sampleTimeline(Id);
+  double Acc = 0;
+  std::size_t N = 0;
+  for (std::size_t I = Lo; I < std::max(Hi, Lo + 1); ++I) {
+    if (I < R.FormedAtInterval || I - R.FormedAtInterval >= Line.size())
+      continue;
+    Acc += Line[I - R.FormedAtInterval];
+    ++N;
+  }
+  return N ? Acc / static_cast<double>(N) : 0.0;
+}
+
+} // namespace
+
+std::string regmon::bench::renderRegionChart(const MonitorRun &Run,
+                                             std::size_t Columns) {
+  const core::RegionMonitor &M = Run.monitor();
+  const std::size_t Intervals = M.intervals();
+  const std::size_t Cols = std::min(Columns, Intervals);
+  if (Cols == 0)
+    return "(no intervals)\n";
+  const auto Bucket = [&](std::size_t Col) {
+    return Col * Intervals / Cols;
+  };
+
+  StackedChart Chart(14);
+  for (core::RegionId Id : Run.regionsBySamples()) {
+    std::vector<double> Cells(Cols, 0);
+    for (std::size_t Col = 0; Col < Cols; ++Col)
+      Cells[Col] = bucketMean(M, Id, Bucket(Col), Bucket(Col + 1));
+    Chart.addSeries(M.regions()[Id].Name, std::move(Cells));
+  }
+
+  std::span<const gpd::GlobalPhaseState> Timeline =
+      Run.gpdDetector().timeline();
+  std::vector<bool> Unstable(Cols, false);
+  for (std::size_t Col = 0; Col < Cols; ++Col)
+    for (std::size_t I = Bucket(Col);
+         I < std::max(Bucket(Col + 1), Bucket(Col) + 1) &&
+         I < Timeline.size();
+         ++I)
+      if (Timeline[I] != gpd::GlobalPhaseState::Stable)
+        Unstable[Col] = true;
+  Chart.setOverlay("GPD phase unstable", std::move(Unstable));
+  return Chart.render();
+}
+
+std::string regmon::bench::renderRegionSeries(const MonitorRun &Run,
+                                              std::size_t Buckets) {
+  const core::RegionMonitor &M = Run.monitor();
+  const std::size_t Intervals = M.intervals();
+  const std::size_t Rows = std::min(Buckets, Intervals);
+  if (Rows == 0)
+    return "(no intervals)\n";
+  const auto Bucket = [&](std::size_t Row) {
+    return Row * Intervals / Rows;
+  };
+  const std::vector<core::RegionId> Ids = Run.regionsBySamples();
+
+  TextTable Table;
+  std::vector<std::string> Header = {"intervals"};
+  for (core::RegionId Id : Ids)
+    Header.push_back(M.regions()[Id].Name);
+  Header.push_back("GPD unstable%");
+  Table.header(std::move(Header));
+
+  std::span<const gpd::GlobalPhaseState> Timeline =
+      Run.gpdDetector().timeline();
+  for (std::size_t Row = 0; Row < Rows; ++Row) {
+    const std::size_t Lo = Bucket(Row),
+                      Hi = std::max(Bucket(Row + 1), Lo + 1);
+    std::vector<std::string> Cells = {TextTable::count(Lo) + "-" +
+                                      TextTable::count(Hi)};
+    for (core::RegionId Id : Ids)
+      Cells.push_back(TextTable::num(bucketMean(M, Id, Lo, Hi), 0));
+    std::size_t UnstableCount = 0;
+    for (std::size_t I = Lo; I < Hi && I < Timeline.size(); ++I)
+      if (Timeline[I] != gpd::GlobalPhaseState::Stable)
+        ++UnstableCount;
+    Cells.push_back(TextTable::percent(
+        static_cast<double>(UnstableCount) /
+        static_cast<double>(Hi - Lo), 0));
+    Table.row(std::move(Cells));
+  }
+  return Table.render();
+}

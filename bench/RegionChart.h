@@ -1,0 +1,35 @@
+//===- bench/RegionChart.h - Shared region-chart rendering -----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper's "region chart" (per-region samples per interval,
+/// stacked, with the GPD phase line on top) from a completed MonitorRun.
+/// Shared by the Fig. 2 / Fig. 5 / Fig. 9 benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_BENCH_REGIONCHART_H
+#define REGMON_BENCH_REGIONCHART_H
+
+#include "BenchSupport.h"
+
+#include <string>
+
+namespace regmon::bench {
+
+/// Renders the stacked region chart of \p Run, downsampled to at most
+/// \p Columns terminal columns, GPD unstable overlay included.
+std::string renderRegionChart(const MonitorRun &Run,
+                              std::size_t Columns = 100);
+
+/// Prints one row per interval bucket: interval range, per-region sample
+/// counts, and the GPD state -- the numeric series behind the chart.
+std::string renderRegionSeries(const MonitorRun &Run,
+                               std::size_t Buckets = 24);
+
+} // namespace regmon::bench
+
+#endif // REGMON_BENCH_REGIONCHART_H

@@ -1,0 +1,58 @@
+//===- bench_ablation_pruning.cpp - Cold-region pruning -------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation for the paper's cost-reduction idea (section 3.2.3): "region
+// pruning, where we can remove infrequently executing and relatively cold
+// regions from the region monitor". Runs the many-region workloads with
+// pruning on and off and reports monitoring cost and peak region count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "sim/ProgramCodeMap.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+int main() {
+  std::printf("[ablation] Cold-region pruning @ 45K\n\n");
+  TextTable Table;
+  Table.header({"benchmark", "pruning", "monitor ms", "active regions",
+                "regions ever", "pruned", "triggers"});
+
+  for (const char *Name : {"176.gcc", "186.crafty", "254.gap", "181.mcf"}) {
+    for (const bool Prune : {false, true}) {
+      const workloads::Workload W = workloads::make(Name);
+      const SampleStream Stream = recordStream(W, 45'000);
+
+      sim::ProgramCodeMap Map(W.Prog);
+      core::RegionMonitorConfig Config;
+      Config.PruneColdRegions = Prune;
+      Config.PruneAfterIdleIntervals = 32;
+      core::RegionMonitor Monitor(Map, Config);
+      std::uint64_t Pruned = 0;
+      Monitor.setEventHandler([&](const core::RegionEvent &E) {
+        if (E.K == core::RegionEvent::Kind::Pruned)
+          ++Pruned;
+      });
+      const double Sec = timeSeconds([&] {
+        for (const auto &Interval : Stream.Intervals)
+          Monitor.observeInterval(Interval);
+      });
+      Table.row({Name, Prune ? "on" : "off", TextTable::num(Sec * 1e3, 2),
+                 TextTable::count(Monitor.activeRegionIds().size()),
+                 TextTable::count(Monitor.regions().size()),
+                 TextTable::count(Pruned),
+                 TextTable::count(Monitor.formationTriggers())});
+    }
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}

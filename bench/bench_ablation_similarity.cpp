@@ -1,0 +1,96 @@
+//===- bench_ablation_similarity.cpp - Cheaper similarity metrics ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation for the paper's section 5 future work: "investigate cheaper
+// means of measuring similarity as the Pearson's metric involves time
+// consuming calculations". Runs local phase detection with Pearson,
+// cosine, and histogram-overlap similarity on three representative
+// workloads and reports detection quality (per-region phase changes,
+// stable time) plus the per-comparison cost of each metric.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "core/Similarity.h"
+#include "support/Rng.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+namespace {
+
+/// Mean nanoseconds per compare on a Bins-sized random histogram pair.
+double nsPerCompare(const core::SimilarityMetric &Metric,
+                    std::size_t Bins) {
+  Rng Random(7);
+  std::vector<std::uint32_t> A(Bins), B(Bins);
+  for (std::size_t I = 0; I < Bins; ++I) {
+    A[I] = static_cast<std::uint32_t>(Random.nextBelow(50));
+    B[I] = static_cast<std::uint32_t>(Random.nextBelow(50));
+  }
+  constexpr int Reps = 20'000;
+  double Sink = 0;
+  const double Sec = timeSeconds([&] {
+    for (int I = 0; I < Reps; ++I)
+      Sink += Metric.compare(A, B);
+  });
+  // Keep the compiler from eliding the loop.
+  if (Sink == 0.123456)
+    std::printf("!");
+  return Sec / Reps * 1e9;
+}
+
+} // namespace
+
+int main() {
+  std::printf("[ablation] Similarity metrics for local phase detection "
+              "@ 45K\n\n");
+
+  std::printf("per-comparison cost:\n");
+  TextTable CostTable;
+  CostTable.header({"metric", "ns @64 bins", "ns @1024 bins"});
+  for (const core::SimilarityKind Kind :
+       {core::SimilarityKind::Pearson, core::SimilarityKind::Cosine,
+        core::SimilarityKind::Overlap}) {
+    const auto Metric = core::makeSimilarity(Kind);
+    CostTable.row({Metric->name(),
+                   TextTable::num(nsPerCompare(*Metric, 64), 1),
+                   TextTable::num(nsPerCompare(*Metric, 1024), 1)});
+  }
+  std::printf("%s\n", CostTable.render().c_str());
+
+  std::printf("detection behaviour (total local changes / mean %% locally "
+              "stable across regions):\n");
+  TextTable Table;
+  Table.header({"benchmark", "pearson", "cosine", "overlap"});
+  for (const char *Name : {"181.mcf", "254.gap", "188.ammp"}) {
+    std::vector<std::string> Row = {Name};
+    for (const core::SimilarityKind Kind :
+         {core::SimilarityKind::Pearson, core::SimilarityKind::Cosine,
+          core::SimilarityKind::Overlap}) {
+      core::RegionMonitorConfig Config;
+      Config.Similarity = Kind;
+      MonitorRun Run(workloads::make(Name), 45'000, Config);
+      std::uint64_t Changes = 0;
+      double StableAcc = 0;
+      std::size_t N = 0;
+      for (core::RegionId Id : Run.monitor().activeRegionIds()) {
+        Changes += Run.monitor().stats(Id).PhaseChanges;
+        StableAcc += Run.monitor().stats(Id).stableFraction();
+        ++N;
+      }
+      Row.push_back(TextTable::count(Changes) + " / " +
+                    TextTable::percent(N ? StableAcc / N : 0, 0));
+    }
+    Table.row(std::move(Row));
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}

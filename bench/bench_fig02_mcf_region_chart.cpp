@@ -1,0 +1,38 @@
+//===- bench_fig02_mcf_region_chart.cpp - Paper Fig. 2 --------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 2: "Relation between regions and phase changes for 181.mcf" --
+// per-region cycle samples per interval (stacked) with the global phase
+// line. Expected shape: one region dominates early and fades as another
+// grows; the periodic tail keeps the global detector unstable for long
+// stretches even though the region mix is merely toggling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "RegionChart.h"
+
+#include <cstdio>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+int main() {
+  std::printf("[Fig. 2] Region chart for 181.mcf @ 45K cycles/interrupt\n\n");
+  core::RegionMonitorConfig Config;
+  Config.RecordTimelines = true;
+  MonitorRun Run(workloads::make("181.mcf"), 45'000, Config);
+
+  std::printf("%s\n", renderRegionChart(Run).c_str());
+  std::printf("%s\n", renderRegionSeries(Run).c_str());
+  std::printf("GPD: %llu phase changes, %.1f%% of %llu intervals stable\n",
+              static_cast<unsigned long long>(
+                  Run.gpdDetector().phaseChanges()),
+              Run.gpdDetector().stableFraction() * 100.0,
+              static_cast<unsigned long long>(
+                  Run.gpdDetector().intervals()));
+  return 0;
+}

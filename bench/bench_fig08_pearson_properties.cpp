@@ -1,0 +1,63 @@
+//===- bench_fig08_pearson_properties.cpp - Paper Fig. 8 ------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 8: the two properties that make Pearson's r the right similarity
+// metric for per-region histograms. Comparing against the original 10-bin
+// distribution:
+//
+//  * shifting the bottleneck by ONE instruction -> r near 0 (the paper
+//    reports -0.056): a real behaviour change is caught immediately;
+//  * scaling every bin by a constant (more samples, same shape) ->
+//    r near 1 (the paper reports 0.998): sampling-rate variation does NOT
+//    fake a phase change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Similarity.h"
+#include "support/TextTable.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+using namespace regmon;
+
+int main() {
+  std::printf("[Fig. 8] Pearson r under bottleneck shift vs uniform "
+              "scaling (10-instruction region)\n\n");
+
+  // The paper's example shape: one dominant bottleneck instruction plus a
+  // secondary hot instruction over a low background.
+  const std::vector<std::uint32_t> Original = {10, 12, 9,  350, 11,
+                                               14, 95, 10, 13,  11};
+
+  // Bottleneck shifts right by one instruction slot.
+  std::vector<std::uint32_t> Shifted(Original.size());
+  for (std::size_t I = 0; I < Original.size(); ++I)
+    Shifted[(I + 1) % Original.size()] = Original[I];
+
+  // Same behaviour, ~30% more samples, small per-bin jitter.
+  std::vector<std::uint32_t> Scaled(Original.size());
+  for (std::size_t I = 0; I < Original.size(); ++I)
+    Scaled[I] = static_cast<std::uint32_t>(Original[I] * 13 / 10) +
+                static_cast<std::uint32_t>(I % 3);
+
+  const core::PearsonSimilarity Pearson;
+  TextTable Table;
+  Table.header({"comparison", "r", "phase change at rt=0.8?"});
+  const double RSelf = Pearson.compare(Original, Original);
+  const double RShift = Pearson.compare(Original, Shifted);
+  const double RScale = Pearson.compare(Original, Scaled);
+  Table.row({"original vs original", TextTable::num(RSelf, 3),
+             RSelf < 0.8 ? "YES" : "no"});
+  Table.row({"shift bottleneck by 1 instr", TextTable::num(RShift, 3),
+             RShift < 0.8 ? "YES" : "no"});
+  Table.row({"more samples, same shape", TextTable::num(RScale, 3),
+             RScale < 0.8 ? "YES" : "no"});
+  std::printf("%s", Table.render().c_str());
+  std::printf("\npaper reference: shift -> r = -0.056, scaled -> r = 0.998\n");
+  return 0;
+}

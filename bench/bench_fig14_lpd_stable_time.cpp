@@ -1,0 +1,64 @@
+//===- bench_fig14_lpd_stable_time.cpp - Paper Fig. 14 --------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 14: "Percentage of time spent in stable phase for selected
+// benchmarks" under LOCAL phase detection. Expected shape: high stable
+// percentages for nearly every region at every sampling period -- local
+// detection minimizes the dependency on the sampling period and exposes
+// far more optimization opportunity than Fig. 4's global numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+int main() {
+  std::printf("[Fig. 14] Per-region %% of lifetime locally stable vs "
+              "sampling period\n\n");
+  TextTable Table;
+  Table.header({"benchmark", "region", "45K", "450K", "900K"});
+
+  for (const std::string &Name : workloads::fig13Names()) {
+    std::map<std::string, std::array<double, 3>> Fractions;
+    std::vector<std::string> Order;
+    for (std::size_t P = 0; P < 3; ++P) {
+      MonitorRun Run(workloads::make(Name), SweepPeriods[P]);
+      for (core::RegionId Id : Run.regionsBySamples()) {
+        const std::string &RName = Run.monitor().regions()[Id].Name;
+        auto [It, Inserted] = Fractions.try_emplace(RName);
+        if (Inserted)
+          It->second = {};
+        It->second[P] = Run.monitor().stats(Id).stableFraction();
+        if (P == 0)
+          Order.push_back(RName);
+      }
+    }
+    for (const auto &[RName, Row] : Fractions)
+      if (std::find(Order.begin(), Order.end(), RName) == Order.end())
+        Order.push_back(RName);
+
+    std::size_t Rank = 1;
+    for (const std::string &RName : Order) {
+      const auto &Row = Fractions[RName];
+      Table.row({Rank == 1 ? Name : "",
+                 "r" + std::to_string(Rank) + " " + RName,
+                 TextTable::percent(Row[0]), TextTable::percent(Row[1]),
+                 TextTable::percent(Row[2])});
+      ++Rank;
+    }
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}

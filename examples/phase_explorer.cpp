@@ -1,0 +1,155 @@
+//===- examples/phase_explorer.cpp - Inspect any workload's phases --------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs one workload under both detectors and prints everything the paper's
+// region charts show: the per-region sample timeline (stacked ASCII chart),
+// the GPD phase overlay, UCR statistics, and per-region LPD summaries.
+//
+//   $ ./phase_explorer                      # list workloads
+//   $ ./phase_explorer 181.mcf              # default 45K cycles/interrupt
+//   $ ./phase_explorer 187.facerec 450000   # explicit sampling period
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "support/AsciiChart.h"
+#include "support/Statistics.h"
+#include "support/TextTable.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::printf("usage: %s <workload> [period_cycles]\n\nworkloads:\n",
+                Argv[0]);
+    for (const std::string &Name : workloads::allNames())
+      std::printf("  %s\n", Name.c_str());
+    return 1;
+  }
+  const std::string Name = Argv[1];
+  if (!workloads::exists(Name)) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Name.c_str());
+    return 1;
+  }
+  const Cycles Period =
+      Argc > 2 ? static_cast<Cycles>(std::strtoull(Argv[2], nullptr, 10))
+               : 45'000;
+
+  workloads::Workload W = workloads::make(Name);
+  sim::Engine Engine(W.Prog, W.Script, /*Seed=*/1);
+  sampling::Sampler Sampler(Engine, {Period, 2032});
+  sim::ProgramCodeMap Map(W.Prog);
+
+  core::RegionMonitorConfig MonitorCfg;
+  MonitorCfg.RecordTimelines = true;
+  core::RegionMonitor Monitor(Map, MonitorCfg);
+  gpd::CentroidPhaseDetector Global;
+
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor.observeInterval(Buffer);
+    Global.observeInterval(Buffer);
+  });
+
+  const auto Intervals = Monitor.intervals();
+  std::printf("%s @ %llu cycles/interrupt: %llu intervals\n\n",
+              Name.c_str(), static_cast<unsigned long long>(Period),
+              static_cast<unsigned long long>(Intervals));
+
+  // --- Global phase detection summary -----------------------------------
+  std::printf("GPD (centroid): %llu phase changes, %.1f%% stable\n",
+              static_cast<unsigned long long>(Global.phaseChanges()),
+              Global.stableFraction() * 100.0);
+
+  // --- UCR ----------------------------------------------------------------
+  std::vector<double> Ucr(Monitor.ucrHistory().begin(),
+                          Monitor.ucrHistory().end());
+  std::printf("UCR: median %.1f%%, formation triggers %llu\n\n",
+              median(Ucr) * 100.0,
+              static_cast<unsigned long long>(Monitor.formationTriggers()));
+
+  // --- Region chart (Figs. 2/5/9 style) ----------------------------------
+  // Downsample timelines to <= 96 columns for terminal display.
+  const std::vector<core::RegionId> Ids = Monitor.activeRegionIds();
+  const std::size_t Columns = std::min<std::size_t>(96, Intervals);
+  if (Columns > 0 && !Ids.empty()) {
+    StackedChart Chart(14);
+    auto Bucket = [&](std::size_t Col) {
+      return Col * Intervals / Columns;
+    };
+    for (core::RegionId Id : Ids) {
+      const core::Region &R = Monitor.regions()[Id];
+      std::span<const std::uint32_t> Line = Monitor.sampleTimeline(Id);
+      const std::uint64_t Offset = R.FormedAtInterval;
+      std::vector<double> Cells(Columns, 0);
+      for (std::size_t Col = 0; Col < Columns; ++Col) {
+        const std::size_t Lo = Bucket(Col), Hi = Bucket(Col + 1);
+        double Acc = 0;
+        std::size_t N = 0;
+        for (std::size_t I = Lo; I < std::max(Hi, Lo + 1); ++I) {
+          if (I < Offset || I - Offset >= Line.size())
+            continue;
+          Acc += Line[I - Offset];
+          ++N;
+        }
+        Cells[Col] = N ? Acc / static_cast<double>(N) : 0;
+      }
+      Chart.addSeries(R.Name, std::move(Cells));
+    }
+    std::vector<bool> UnstableFlags(Columns, false);
+    std::span<const gpd::GlobalPhaseState> Timeline = Global.timeline();
+    for (std::size_t Col = 0; Col < Columns; ++Col) {
+      const std::size_t Lo = Bucket(Col), Hi = Bucket(Col + 1);
+      for (std::size_t I = Lo; I < std::max(Hi, Lo + 1) &&
+                               I < Timeline.size();
+           ++I)
+        if (Timeline[I] != gpd::GlobalPhaseState::Stable)
+          UnstableFlags[Col] = true;
+    }
+    Chart.setOverlay("GPD phase unstable", std::move(UnstableFlags));
+    std::printf("region chart (samples per interval, stacked):\n%s\n",
+                Chart.render().c_str());
+  }
+
+  // --- Per-region LPD summary (Figs. 13/14 style) -------------------------
+  TextTable Table;
+  Table.header({"region", "formed@", "samples", "local changes",
+                "% stable", "last r"});
+  for (core::RegionId Id : Ids) {
+    const core::Region &R = Monitor.regions()[Id];
+    const core::RegionStats &S = Monitor.stats(Id);
+    Table.row({R.Name, TextTable::count(R.FormedAtInterval),
+               TextTable::count(S.TotalSamples),
+               TextTable::count(S.PhaseChanges),
+               TextTable::percent(S.stableFraction()),
+               TextTable::num(Monitor.detector(Id).lastR(), 3)});
+  }
+  std::printf("%s", Table.render().c_str());
+
+  // --- Pearson r timelines (Figs. 10/11 style) ----------------------------
+  std::printf("\nPearson r over time (sparklines, scale -0.2..1):\n");
+  for (core::RegionId Id : Ids) {
+    const core::Region &R = Monitor.regions()[Id];
+    std::span<const double> RLine = Monitor.rTimeline(Id);
+    std::vector<double> Cells;
+    const std::size_t Cols = std::min<std::size_t>(72, RLine.size());
+    for (std::size_t Col = 0; Col < Cols; ++Col)
+      Cells.push_back(RLine[Col * RLine.size() / Cols]);
+    std::printf("  %-14s |%s|\n", R.Name.c_str(),
+                sparkline(Cells, -0.2, 1.0).c_str());
+  }
+  return 0;
+}

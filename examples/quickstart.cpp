@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - Minimal region-monitoring walkthrough ----===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The five-minute tour: build a tiny two-loop program whose bottleneck
+// shifts halfway through, sample it, and watch the region monitor (a) form
+// regions from unmonitored samples and (b) flag the *local* phase change
+// that global phase detection cannot attribute to a region.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace regmon;
+
+int main() {
+  // A ready-made toy: one loop whose hot instruction moves one slot to the
+  // right halfway through the run (the paper's Fig. 8 scenario).
+  workloads::Workload W = workloads::make("synthetic.bottleneck");
+
+  sim::Engine Engine(W.Prog, W.Script, /*Seed=*/42);
+  sampling::Sampler Sampler(Engine, {.PeriodCycles = 45'000,
+                                     .BufferSize = 2032});
+
+  // The paper's system: region monitoring with per-region phase detection.
+  sim::ProgramCodeMap Map(W.Prog);
+  core::RegionMonitorConfig MonitorCfg;
+  MonitorCfg.RecordTimelines = true;
+  core::RegionMonitor Monitor(Map, MonitorCfg);
+
+  // The baseline it replaces: one global centroid detector.
+  gpd::CentroidPhaseDetector Global;
+
+  Monitor.setEventHandler([&](const core::RegionEvent &E) {
+    const core::Region &R = Monitor.regions()[E.Id];
+    const char *What = "";
+    switch (E.K) {
+    case core::RegionEvent::Kind::Formed:
+      What = "formed";
+      break;
+    case core::RegionEvent::Kind::BecameStable:
+      What = "became locally STABLE";
+      break;
+    case core::RegionEvent::Kind::BecameUnstable:
+      What = "became locally UNSTABLE (local phase change!)";
+      break;
+    case core::RegionEvent::Kind::Pruned:
+      What = "pruned";
+      break;
+    case core::RegionEvent::Kind::MissPhaseChange:
+      What = "changed miss behaviour";
+      break;
+    }
+    std::printf("  interval %4llu: region %s %s\n",
+                static_cast<unsigned long long>(E.Interval),
+                R.Name.c_str(), What);
+  });
+
+  std::printf("sampling %s every 45K cycles...\n", W.Prog.name().c_str());
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor.observeInterval(Buffer);
+    Global.observeInterval(Buffer);
+  });
+
+  std::printf("\n--- results after %llu intervals ---\n",
+              static_cast<unsigned long long>(Monitor.intervals()));
+  std::printf("global (centroid) detector: %llu phase changes, "
+              "%.0f%% of time stable\n",
+              static_cast<unsigned long long>(Global.phaseChanges()),
+              Global.stableFraction() * 100.0);
+  for (core::RegionId Id : Monitor.activeRegionIds()) {
+    const core::Region &R = Monitor.regions()[Id];
+    const core::RegionStats &S = Monitor.stats(Id);
+    std::printf("region %-12s: %llu local phase changes, "
+                "%.0f%% of lifetime locally stable, last r = %.3f\n",
+                R.Name.c_str(),
+                static_cast<unsigned long long>(S.PhaseChanges),
+                S.stableFraction() * 100.0, Monitor.detector(Id).lastR());
+  }
+  std::printf("\nThe bottleneck shift is invisible to the working-set view "
+              "(same loop is hot)\nbut the region's Pearson r collapses at "
+              "the shift: that is local phase detection.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+//===- core/CodeMap.cpp - Region-formation code oracle --------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CodeMap.h"
+
+using namespace regmon::core;
+
+// Out-of-line virtual method anchor.
+CodeMap::~CodeMap() = default;

@@ -1,0 +1,52 @@
+//===- core/CodeMap.h - Region-formation code oracle ------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface region formation uses to turn a hot program counter into a
+/// candidate region. In the real system this is the region-building
+/// machinery of [13]: given a hot instruction, find the enclosing loop
+/// within the same procedure and emit its bounds. Some hot code defeats it
+/// -- e.g. a procedure called from a loop, where the cyclic path crosses
+/// procedure boundaries -- and those samples can never be claimed by any
+/// region (the paper's Figs. 6/7 unmonitored-code-region pathology).
+///
+/// Keeping this an abstract interface keeps the monitoring core independent
+/// of the execution substrate: a real deployment would implement CodeMap
+/// over binary analysis of the running process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_CORE_CODEMAP_H
+#define REGMON_CORE_CODEMAP_H
+
+#include "support/Types.h"
+
+#include <optional>
+#include <string>
+
+namespace regmon::core {
+
+/// A candidate region emitted by the code oracle.
+struct CodeRegionInfo {
+  Addr Start = 0; ///< Inclusive, instruction-aligned.
+  Addr End = 0;   ///< Exclusive, instruction-aligned.
+  std::string Name;
+};
+
+/// Abstract oracle from hot PCs to formable regions.
+class CodeMap {
+public:
+  virtual ~CodeMap();
+
+  /// Returns the innermost formable region containing \p Pc, or
+  /// std::nullopt when no region can be built around it (straight-line
+  /// code, or a cycle spanning procedure boundaries).
+  virtual std::optional<CodeRegionInfo> regionFor(Addr Pc) const = 0;
+};
+
+} // namespace regmon::core
+
+#endif // REGMON_CORE_CODEMAP_H

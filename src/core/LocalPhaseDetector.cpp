@@ -1,0 +1,93 @@
+//===- core/LocalPhaseDetector.cpp - Per-region phase detection -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LocalPhaseDetector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace regmon;
+using namespace regmon::core;
+
+const char *regmon::core::toString(LocalPhaseState S) {
+  switch (S) {
+  case LocalPhaseState::Unstable:
+    return "unstable";
+  case LocalPhaseState::LessUnstable:
+    return "less-unstable";
+  case LocalPhaseState::Stable:
+    return "stable";
+  }
+  return "?";
+}
+
+LocalPhaseDetector::LocalPhaseDetector(std::size_t InstrCount,
+                                       const SimilarityMetric &Metric,
+                                       LocalDetectorConfig Config)
+    : Metric(Metric), Config(Config), PrevHist(InstrCount, 0) {
+  assert(InstrCount > 0 && "region must contain instructions");
+  EffRt = Config.Rt;
+  if (Config.AdaptiveThreshold && InstrCount > Config.AdaptiveBaseInstrs) {
+    const double SizeRatio = static_cast<double>(InstrCount) /
+                             static_cast<double>(Config.AdaptiveBaseInstrs);
+    EffRt = std::clamp(Config.Rt - Config.AdaptiveSlope * std::log2(SizeRatio),
+                       Config.AdaptiveMinRt, Config.Rt);
+  }
+}
+
+LocalPhaseState
+LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
+  assert(CurrHist.size() == PrevHist.size() &&
+         "histogram does not match the region");
+  ++Observed;
+  const LocalPhaseState Before = State;
+
+  if (!PrevValid) {
+    // First non-empty interval: nothing to compare against yet.
+    std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    PrevValid = true;
+    LastWasChange = false;
+    return State;
+  }
+
+  LastR = Metric.compare(PrevHist, CurrHist);
+  const bool Similar = LastR >= EffRt;
+
+  switch (State) {
+  case LocalPhaseState::Unstable:
+    State = Similar ? LocalPhaseState::LessUnstable
+                    : LocalPhaseState::Unstable;
+    std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    break;
+
+  case LocalPhaseState::LessUnstable:
+    if (Similar) {
+      // Entering stable: the current set becomes the frozen reference --
+      // the latest confirmation of the behaviour we will hold others to.
+      State = LocalPhaseState::Stable;
+      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    } else {
+      State = LocalPhaseState::Unstable;
+      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    }
+    break;
+
+  case LocalPhaseState::Stable:
+    if (!Similar) {
+      State = LocalPhaseState::Unstable;
+      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    }
+    // else: stay stable, reference stays frozen.
+    break;
+  }
+
+  LastWasChange = (Before == LocalPhaseState::Stable) !=
+                  (State == LocalPhaseState::Stable);
+  if (LastWasChange)
+    ++PhaseChanges;
+  return State;
+}

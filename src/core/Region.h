@@ -1,0 +1,50 @@
+//===- core/Region.h - Monitored code regions -------------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monitored code region: the unit of optimization and of local phase
+/// detection. Regions are built by the region-formation pass around hot
+/// loops (paper section 3.1) and may nest or overlap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_CORE_REGION_H
+#define REGMON_CORE_REGION_H
+
+#include "support/Types.h"
+
+#include <cstdint>
+#include <string>
+
+namespace regmon::core {
+
+/// Identifies a region within one RegionMonitor. Ids are dense and are
+/// never reused, even after pruning.
+using RegionId = std::uint32_t;
+
+/// One monitored code region.
+struct Region {
+  RegionId Id = 0;
+  /// Display name; by convention the paper's "start-end" hex form
+  /// (e.g. "146f0-14770").
+  std::string Name;
+  /// Half-open, instruction-aligned code extent.
+  Addr Start = 0;
+  Addr End = 0;
+  /// Interval index at which the region was formed.
+  std::uint64_t FormedAtInterval = 0;
+
+  /// Number of instructions covered.
+  std::size_t instrCount() const {
+    return static_cast<std::size_t>((End - Start) / InstrBytes);
+  }
+  /// Returns true if \p Pc lies inside the region.
+  bool contains(Addr Pc) const { return Pc >= Start && Pc < End; }
+};
+
+} // namespace regmon::core
+
+#endif // REGMON_CORE_REGION_H

@@ -1,0 +1,305 @@
+//===- core/RegionMonitor.cpp - The region monitoring framework -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace regmon;
+using namespace regmon::core;
+
+RegionMonitor::RegionMonitor(const CodeMap &Map, RegionMonitorConfig Config)
+    : Map(Map), Config(Config),
+      Attrib(makeAttributor(Config.Attribution)),
+      Metric(makeSimilarity(Config.Similarity)) {
+  assert(Config.UcrTriggerFraction >= 0 && Config.UcrTriggerFraction <= 1 &&
+         "UCR trigger must be a fraction");
+  assert(Config.MaxRegions > 0 && "must allow at least one region");
+}
+
+void RegionMonitor::setEventHandler(EventHandler H) {
+  Handler = std::move(H);
+}
+
+void RegionMonitor::emit(RegionEvent::Kind K, RegionId Id) {
+  if (Handler)
+    Handler(RegionEvent{K, Id, Intervals});
+}
+
+bool RegionMonitor::isActive(RegionId Id) const {
+  assert(Id < Regions.size() && "unknown region");
+  return Active[Id];
+}
+
+std::vector<RegionId> RegionMonitor::activeRegionIds() const {
+  std::vector<RegionId> Out;
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    if (Active[Id])
+      Out.push_back(Id);
+  return Out;
+}
+
+const LocalPhaseDetector &RegionMonitor::detector(RegionId Id) const {
+  assert(Id < Detectors.size() && "unknown region");
+  return *Detectors[Id];
+}
+
+const RegionStats &RegionMonitor::stats(RegionId Id) const {
+  assert(Id < Stats.size() && "unknown region");
+  return Stats[Id];
+}
+
+std::uint64_t RegionMonitor::lastSampleCount(RegionId Id) const {
+  assert(Id < CurrHists.size() && "unknown region");
+  return CurrHists[Id].total();
+}
+
+double RegionMonitor::recentMissFraction(RegionId Id) const {
+  assert(Id < RecentMiss.size() && "unknown region");
+  return RecentMiss[Id].mean();
+}
+
+std::vector<RegionMonitor::DelinquentLoad>
+RegionMonitor::delinquentLoads(RegionId Id, std::size_t N) const {
+  assert(Id < CumulativeMisses.size() && "unknown region");
+  const std::vector<std::uint64_t> &Bins = CumulativeMisses[Id];
+  std::vector<DelinquentLoad> All;
+  for (std::size_t Bin = 0; Bin < Bins.size(); ++Bin)
+    if (Bins[Bin] > 0)
+      All.push_back(DelinquentLoad{
+          Regions[Id].Start + static_cast<Addr>(Bin) * InstrBytes,
+          Bins[Bin]});
+  std::stable_sort(All.begin(), All.end(),
+                   [](const DelinquentLoad &A, const DelinquentLoad &B) {
+                     return A.Misses > B.Misses;
+                   });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+const LocalPhaseDetector &RegionMonitor::missDetector(RegionId Id) const {
+  assert(Config.TrackMissPhases && "miss channel is not enabled");
+  assert(Id < MissDetectors.size() && "unknown region");
+  return *MissDetectors[Id];
+}
+
+double RegionMonitor::lastUcrFraction() const {
+  return UcrHistory.empty() ? 0.0 : UcrHistory.back();
+}
+
+std::span<const std::uint32_t>
+RegionMonitor::sampleTimeline(RegionId Id) const {
+  assert(Config.RecordTimelines && "timelines were not recorded");
+  assert(Id < SampleTimelines.size() && "unknown region");
+  return SampleTimelines[Id];
+}
+
+std::span<const double> RegionMonitor::rTimeline(RegionId Id) const {
+  assert(Config.RecordTimelines && "timelines were not recorded");
+  assert(Id < RTimelines.size() && "unknown region");
+  return RTimelines[Id];
+}
+
+std::span<const LocalPhaseState>
+RegionMonitor::stateTimeline(RegionId Id) const {
+  assert(Config.RecordTimelines && "timelines were not recorded");
+  assert(Id < StateTimelines.size() && "unknown region");
+  return StateTimelines[Id];
+}
+
+void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
+  assert(!Samples.empty() && "an interval carries a full sample buffer");
+
+  // Fresh histograms for this interval.
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    if (Active[Id]) {
+      CurrHists[Id].reset();
+      CurrMissHists[Id].reset();
+    }
+
+  // 1. Attribute every sample; unmatched samples belong to the UCR.
+  UcrScratch.clear();
+  for (const Sample &S : Samples) {
+    LookupScratch.clear();
+    Attrib->lookup(S.Pc, LookupScratch);
+    if (LookupScratch.empty()) {
+      UcrScratch.push_back(S.Pc);
+      continue;
+    }
+    for (RegionId Id : LookupScratch) {
+      CurrHists[Id].addSample(S.Pc);
+      if (S.DCacheMiss)
+        CurrMissHists[Id].addSample(S.Pc);
+    }
+  }
+  const double UcrFraction = static_cast<double>(UcrScratch.size()) /
+                             static_cast<double>(Samples.size());
+  UcrHistory.push_back(UcrFraction);
+
+  // 2. Working-set change? Build regions for the new hot code.
+  if (UcrFraction > Config.UcrTriggerFraction)
+    triggerFormation(UcrScratch);
+
+  // 3. Local phase detection, one region at a time. Regions formed in step
+  // 2 start analyzing with the *next* interval (their histograms for this
+  // one are empty).
+  for (RegionId Id = 0; Id < Regions.size(); ++Id) {
+    if (!Active[Id])
+      continue;
+    RegionStats &RS = Stats[Id];
+    ++RS.LifetimeIntervals;
+    const InstrHistogram &Curr = CurrHists[Id];
+    if (!Curr.empty()) {
+      ++RS.ActiveIntervals;
+      RS.TotalSamples += Curr.total();
+      Detectors[Id]->observe(Curr.bins());
+      LastSampledInterval[Id] = Intervals;
+      if (Detectors[Id]->lastObservationChangedPhase())
+        emit(Detectors[Id]->state() == LocalPhaseState::Stable
+                 ? RegionEvent::Kind::BecameStable
+                 : RegionEvent::Kind::BecameUnstable,
+             Id);
+
+      // Performance characteristics: DPI accounting and delinquent loads.
+      const InstrHistogram &Misses = CurrMissHists[Id];
+      RS.TotalMisses += Misses.total();
+      RecentMiss[Id].add(static_cast<double>(Misses.total()) /
+                         static_cast<double>(Curr.total()));
+      if (!Misses.empty()) {
+        std::span<const std::uint32_t> Bins = Misses.bins();
+        std::vector<std::uint64_t> &Cum = CumulativeMisses[Id];
+        for (std::size_t Bin = 0; Bin < Bins.size(); ++Bin)
+          Cum[Bin] += Bins[Bin];
+      }
+      if (Config.TrackMissPhases && !Misses.empty()) {
+        MissDetectors[Id]->observe(Misses.bins());
+        RS.MissPhaseChanges = MissDetectors[Id]->phaseChanges();
+        if (MissDetectors[Id]->lastObservationChangedPhase() &&
+            !Detectors[Id]->lastObservationChangedPhase())
+          emit(RegionEvent::Kind::MissPhaseChange, Id);
+      }
+    }
+    RS.PhaseChanges = Detectors[Id]->phaseChanges();
+    if (Detectors[Id]->state() == LocalPhaseState::Stable)
+      ++RS.StableIntervals;
+    if (Config.RecordTimelines) {
+      SampleTimelines[Id].push_back(
+          static_cast<std::uint32_t>(Curr.total()));
+      RTimelines[Id].push_back(Detectors[Id]->lastR());
+      StateTimelines[Id].push_back(Detectors[Id]->state());
+    }
+  }
+
+  // 4. Optional cost control: stop monitoring long-cold regions.
+  if (Config.PruneColdRegions)
+    pruneCold();
+
+  ++Intervals;
+}
+
+void RegionMonitor::triggerFormation(std::span<const Addr> UcrPcs) {
+  ++FormationTriggers;
+
+  // Group the unmonitored samples by the formable region (if any) that the
+  // code oracle proposes for them. std::map keys give deterministic order.
+  struct Candidate {
+    CodeRegionInfo Info;
+    std::size_t Count = 0;
+  };
+  std::map<std::pair<Addr, Addr>, Candidate> Candidates;
+  for (Addr Pc : UcrPcs) {
+    std::optional<CodeRegionInfo> Info = Map.regionFor(Pc);
+    if (!Info)
+      continue; // non-regionable code: stays in the UCR forever
+    auto [It, Inserted] =
+        Candidates.try_emplace({Info->Start, Info->End});
+    if (Inserted)
+      It->second.Info = std::move(*Info);
+    ++It->second.Count;
+  }
+
+  // Hottest candidates first.
+  std::vector<const Candidate *> Ranked;
+  Ranked.reserve(Candidates.size());
+  for (const auto &[Bounds, C] : Candidates)
+    Ranked.push_back(&C);
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const Candidate *A, const Candidate *B) {
+                     return A->Count > B->Count;
+                   });
+
+  std::size_t ActiveCount = 0;
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    ActiveCount += Active[Id] ? 1 : 0;
+
+  std::size_t FormedNow = 0;
+  for (const Candidate *C : Ranked) {
+    if (FormedNow >= Config.MaxNewRegionsPerTrigger ||
+        ActiveCount >= Config.MaxRegions)
+      break;
+    if (C->Count < Config.MinRegionSamples)
+      break; // ranked by count: all later candidates are colder
+
+    // Skip exact duplicates of an active region (its samples would have
+    // been attributed, but a just-formed region can race its first
+    // samples within this same interval).
+    const bool Duplicate = std::any_of(
+        Regions.begin(), Regions.end(), [&](const Region &R) {
+          return Active[R.Id] && R.Start == C->Info.Start &&
+                 R.End == C->Info.End;
+        });
+    if (Duplicate)
+      continue;
+
+    const auto Id = static_cast<RegionId>(Regions.size());
+    Region R;
+    R.Id = Id;
+    R.Name = C->Info.Name;
+    R.Start = C->Info.Start;
+    R.End = C->Info.End;
+    R.FormedAtInterval = Intervals;
+    Regions.push_back(std::move(R));
+    Active.push_back(true);
+    CurrHists.emplace_back(C->Info.Start, C->Info.End);
+    CurrMissHists.emplace_back(C->Info.Start, C->Info.End);
+    Detectors.push_back(std::make_unique<LocalPhaseDetector>(
+        Regions.back().instrCount(), *Metric, Config.Lpd));
+    MissDetectors.push_back(
+        Config.TrackMissPhases
+            ? std::make_unique<LocalPhaseDetector>(
+                  Regions.back().instrCount(), *Metric, Config.Lpd)
+            : nullptr);
+    Stats.emplace_back();
+    LastSampledInterval.push_back(Intervals);
+    CumulativeMisses.emplace_back(Regions.back().instrCount(), 0);
+    RecentMiss.emplace_back(Config.MissWindowIntervals);
+    if (Config.RecordTimelines) {
+      SampleTimelines.emplace_back();
+      RTimelines.emplace_back();
+      StateTimelines.emplace_back();
+    }
+    Attrib->insert(Id, Regions.back().Start, Regions.back().End);
+    ++ActiveCount;
+    ++FormedNow;
+    emit(RegionEvent::Kind::Formed, Id);
+  }
+}
+
+void RegionMonitor::pruneCold() {
+  for (RegionId Id = 0; Id < Regions.size(); ++Id) {
+    if (!Active[Id])
+      continue;
+    if (Intervals - LastSampledInterval[Id] <
+        Config.PruneAfterIdleIntervals)
+      continue;
+    Active[Id] = false;
+    Attrib->remove(Id, Regions[Id].Start, Regions[Id].End);
+    emit(RegionEvent::Kind::Pruned, Id);
+  }
+}

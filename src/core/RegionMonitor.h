@@ -1,0 +1,252 @@
+//===- core/RegionMonitor.h - The region monitoring framework --*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution assembled: **region monitoring** (section 3)
+/// decouples working-set change detection from phase detection.
+///
+/// On every buffer overflow the monitor:
+///
+///  1. attributes each sample to *every* monitored region containing it
+///     (regions may overlap); samples matching no region are charged to the
+///     **unmonitored code region (UCR)**;
+///  2. if the UCR fraction exceeds a threshold (30% in the paper's study),
+///     triggers **region formation**: hot unmonitored PCs are resolved
+///     through the CodeMap to enclosing loops, which become new monitored
+///     regions (working-set change handled);
+///  3. feeds each region's per-instruction histogram to that region's
+///     **local phase detector** (phase change handled, per region);
+///  4. optionally prunes regions that have been cold for a long time
+///     (a cost-reduction the paper lists as future work).
+///
+/// Deployment-facing events (region formed / became stable / became
+/// unstable / pruned) are delivered through a callback, which is how the
+/// runtime-optimizer layer patches and unpatches traces and implements
+/// self-monitoring of deployed optimizations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_CORE_REGIONMONITOR_H
+#define REGMON_CORE_REGIONMONITOR_H
+
+#include "core/Attribution.h"
+#include "core/CodeMap.h"
+#include "core/LocalPhaseDetector.h"
+#include "core/Region.h"
+#include "core/Similarity.h"
+#include "support/Histogram.h"
+#include "support/Statistics.h"
+#include "support/Types.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace regmon::core {
+
+/// Tunable parameters of the region monitor.
+struct RegionMonitorConfig {
+  /// UCR sample fraction above which region formation is triggered (the
+  /// paper's Fig. 6 threshold line sits at 30%).
+  double UcrTriggerFraction = 0.30;
+  /// Minimum UCR samples a candidate loop needs in the triggering interval
+  /// before it is worth forming a region around.
+  std::size_t MinRegionSamples = 16;
+  /// Cap on regions formed by a single trigger.
+  std::size_t MaxNewRegionsPerTrigger = 8;
+  /// Cap on simultaneously monitored regions.
+  std::size_t MaxRegions = 128;
+  /// Sample-attribution strategy (Fig. 16 compares the two).
+  AttributorKind Attribution = AttributorKind::IntervalTree;
+  /// Histogram similarity metric for local phase detection.
+  SimilarityKind Similarity = SimilarityKind::Pearson;
+  /// Per-region detector parameters.
+  LocalDetectorConfig Lpd;
+  /// Future-work feature: drop regions that received no samples for
+  /// PruneAfterIdleIntervals consecutive intervals.
+  bool PruneColdRegions = false;
+  std::uint64_t PruneAfterIdleIntervals = 64;
+  /// Record per-interval, per-region sample counts / r values / states for
+  /// the region charts (Figs. 2, 5, 9-11). Costs memory; off by default.
+  bool RecordTimelines = false;
+  /// Sliding window (in non-empty intervals) over which
+  /// \ref RegionMonitor::recentMissFraction is computed.
+  std::size_t MissWindowIntervals = 8;
+  /// Extension of the paper's "change in performance characteristics"
+  /// goal: run a second per-region detector over the *miss* histograms, so
+  /// a region whose cycle profile is unchanged but whose delinquent loads
+  /// moved (invisible to the PC-histogram detector) still reports a local
+  /// phase change. Off by default (the paper's configuration).
+  bool TrackMissPhases = false;
+};
+
+/// A deployment-facing notification.
+struct RegionEvent {
+  enum class Kind : std::uint8_t {
+    Formed,          ///< A new region entered monitoring.
+    BecameStable,    ///< The region's local phase became stable.
+    BecameUnstable,  ///< The region's local phase left stable.
+    Pruned,          ///< The region was dropped from monitoring.
+    MissPhaseChange, ///< TrackMissPhases: the miss histogram's phase
+                     ///< toggled while the cycle phase did not.
+  };
+  Kind K = Kind::Formed;
+  RegionId Id = 0;
+  /// Interval index (0-based) at which the event fired.
+  std::uint64_t Interval = 0;
+};
+
+/// Aggregated per-region statistics.
+struct RegionStats {
+  /// Intervals elapsed since the region was formed.
+  std::uint64_t LifetimeIntervals = 0;
+  /// Of those, intervals spent in the locally-stable state (Fig. 14).
+  std::uint64_t StableIntervals = 0;
+  /// Intervals in which the region received at least one sample.
+  std::uint64_t ActiveIntervals = 0;
+  /// Total samples attributed to the region.
+  std::uint64_t TotalSamples = 0;
+  /// Of those, samples flagged as D-cache miss stalls.
+  std::uint64_t TotalMisses = 0;
+  /// Local phase changes (Fig. 13).
+  std::uint64_t PhaseChanges = 0;
+  /// TrackMissPhases only: phase changes of the miss-histogram channel.
+  std::uint64_t MissPhaseChanges = 0;
+
+  /// Lifetime fraction of the region's samples stalled on D-cache misses
+  /// (the paper's DPI, expressed per cycle sample).
+  double missFraction() const {
+    return TotalSamples == 0 ? 0.0
+                             : static_cast<double>(TotalMisses) /
+                                   static_cast<double>(TotalSamples);
+  }
+
+  /// Fraction of the region's lifetime spent locally stable.
+  double stableFraction() const {
+    return LifetimeIntervals == 0
+               ? 0.0
+               : static_cast<double>(StableIntervals) /
+                     static_cast<double>(LifetimeIntervals);
+  }
+};
+
+/// The region monitoring framework (region formation + local phase
+/// detection + self-monitoring hooks).
+class RegionMonitor {
+public:
+  using EventHandler = std::function<void(const RegionEvent &)>;
+
+  /// Creates a monitor resolving candidate regions through \p Map (which
+  /// must outlive the monitor).
+  explicit RegionMonitor(const CodeMap &Map, RegionMonitorConfig Config = {});
+
+  /// Installs \p Handler for deployment-facing events. Events fire during
+  /// \ref observeInterval, after the monitor's own state is consistent.
+  void setEventHandler(EventHandler Handler);
+
+  /// Consumes one interval's sample buffer.
+  void observeInterval(std::span<const Sample> Samples);
+
+  /// Returns every region ever formed, indexed by RegionId (pruned regions
+  /// included; see \ref isActive).
+  std::span<const Region> regions() const { return Regions; }
+  /// Returns true while \p Id is being monitored.
+  bool isActive(RegionId Id) const;
+  /// Returns the ids of currently monitored regions, in formation order.
+  std::vector<RegionId> activeRegionIds() const;
+  /// Returns the local phase detector of region \p Id.
+  const LocalPhaseDetector &detector(RegionId Id) const;
+  /// Returns aggregated statistics of region \p Id.
+  const RegionStats &stats(RegionId Id) const;
+
+  /// Returns the number of samples region \p Id received in the most
+  /// recently observed interval (0 for regions formed in that interval).
+  std::uint64_t lastSampleCount(RegionId Id) const;
+
+  /// Returns the region's D-cache-miss sample fraction over the last
+  /// MissWindowIntervals non-empty intervals -- the feedback signal
+  /// self-monitoring uses to judge a deployed optimization (paper
+  /// section 5). 0 before the region has drawn samples.
+  double recentMissFraction(RegionId Id) const;
+
+  /// One delinquent load: an instruction address and its cumulative miss
+  /// sample count.
+  struct DelinquentLoad {
+    Addr Pc = 0;
+    std::uint64_t Misses = 0;
+  };
+
+  /// Returns region \p Id's top-\p N instructions by cumulative miss
+  /// samples (most delinquent first) -- what a prefetch optimizer targets.
+  std::vector<DelinquentLoad> delinquentLoads(RegionId Id,
+                                              std::size_t N = 4) const;
+
+  /// TrackMissPhases only: the miss-channel detector of region \p Id.
+  const LocalPhaseDetector &missDetector(RegionId Id) const;
+
+  /// Returns the number of intervals observed.
+  std::uint64_t intervals() const { return Intervals; }
+  /// Returns the number of region-formation triggers fired (Fig. 7's
+  /// repeated triggers in 254.gap / 186.crafty).
+  std::uint64_t formationTriggers() const { return FormationTriggers; }
+  /// Returns the UCR sample fraction of the most recent interval.
+  double lastUcrFraction() const;
+  /// Returns the per-interval UCR fraction history (Figs. 6 and 7).
+  std::span<const double> ucrHistory() const { return UcrHistory; }
+
+  /// Per-interval sample counts of region \p Id starting at its formation
+  /// interval. Requires RecordTimelines.
+  std::span<const std::uint32_t> sampleTimeline(RegionId Id) const;
+  /// Per-interval similarity values of region \p Id (carried forward over
+  /// empty intervals, as in Figs. 10/11). Requires RecordTimelines.
+  std::span<const double> rTimeline(RegionId Id) const;
+  /// Per-interval local states of region \p Id. Requires RecordTimelines.
+  std::span<const LocalPhaseState> stateTimeline(RegionId Id) const;
+
+  /// Returns the configuration in use.
+  const RegionMonitorConfig &config() const { return Config; }
+
+private:
+  void triggerFormation(std::span<const Addr> UcrPcs);
+  void pruneCold();
+  void emit(RegionEvent::Kind K, RegionId Id);
+
+  const CodeMap &Map;
+  RegionMonitorConfig Config;
+  std::unique_ptr<Attributor> Attrib;
+  std::unique_ptr<SimilarityMetric> Metric;
+  EventHandler Handler;
+
+  std::vector<Region> Regions;
+  std::vector<bool> Active;
+  std::vector<InstrHistogram> CurrHists;
+  std::vector<InstrHistogram> CurrMissHists;
+  std::vector<std::unique_ptr<LocalPhaseDetector>> Detectors;
+  std::vector<std::unique_ptr<LocalPhaseDetector>> MissDetectors;
+  std::vector<RegionStats> Stats;
+  std::vector<std::uint64_t> LastSampledInterval;
+  std::vector<std::vector<std::uint64_t>> CumulativeMisses; // per bin
+  std::vector<WindowedStats> RecentMiss;
+
+  // Optional recorded timelines, parallel to Regions.
+  std::vector<std::vector<std::uint32_t>> SampleTimelines;
+  std::vector<std::vector<double>> RTimelines;
+  std::vector<std::vector<LocalPhaseState>> StateTimelines;
+
+  std::vector<double> UcrHistory;
+  std::uint64_t Intervals = 0;
+  std::uint64_t FormationTriggers = 0;
+
+  // Reused scratch buffers (hot path).
+  std::vector<RegionId> LookupScratch;
+  std::vector<Addr> UcrScratch;
+};
+
+} // namespace regmon::core
+
+#endif // REGMON_CORE_REGIONMONITOR_H

@@ -1,0 +1,73 @@
+//===- core/Similarity.cpp - Histogram similarity metrics -----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Similarity.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace regmon;
+using namespace regmon::core;
+
+SimilarityMetric::~SimilarityMetric() = default;
+
+double
+PearsonSimilarity::compare(std::span<const std::uint32_t> Stable,
+                           std::span<const std::uint32_t> Current) const {
+  return pearson(Stable, Current);
+}
+
+double
+CosineSimilarity::compare(std::span<const std::uint32_t> Stable,
+                          std::span<const std::uint32_t> Current) const {
+  assert(Stable.size() == Current.size() && "histograms must match");
+  double Dot = 0, NormS = 0, NormC = 0;
+  for (std::size_t I = 0, E = Stable.size(); I != E; ++I) {
+    const double S = Stable[I], C = Current[I];
+    Dot += S * C;
+    NormS += S * S;
+    NormC += C * C;
+  }
+  if (NormS == 0 || NormC == 0)
+    return (NormS == 0 && NormC == 0) ? 1.0 : 0.0;
+  return Dot / (std::sqrt(NormS) * std::sqrt(NormC));
+}
+
+double
+OverlapSimilarity::compare(std::span<const std::uint32_t> Stable,
+                           std::span<const std::uint32_t> Current) const {
+  assert(Stable.size() == Current.size() && "histograms must match");
+  std::uint64_t TotalS = 0, TotalC = 0;
+  for (std::size_t I = 0, E = Stable.size(); I != E; ++I) {
+    TotalS += Stable[I];
+    TotalC += Current[I];
+  }
+  if (TotalS == 0 || TotalC == 0)
+    return (TotalS == 0 && TotalC == 0) ? 1.0 : 0.0;
+  double Overlap = 0;
+  const double InvS = 1.0 / static_cast<double>(TotalS);
+  const double InvC = 1.0 / static_cast<double>(TotalC);
+  for (std::size_t I = 0, E = Stable.size(); I != E; ++I)
+    Overlap += std::min(static_cast<double>(Stable[I]) * InvS,
+                        static_cast<double>(Current[I]) * InvC);
+  return Overlap;
+}
+
+std::unique_ptr<SimilarityMetric>
+regmon::core::makeSimilarity(SimilarityKind Kind) {
+  switch (Kind) {
+  case SimilarityKind::Pearson:
+    return std::make_unique<PearsonSimilarity>();
+  case SimilarityKind::Cosine:
+    return std::make_unique<CosineSimilarity>();
+  case SimilarityKind::Overlap:
+    return std::make_unique<OverlapSimilarity>();
+  }
+  return nullptr;
+}

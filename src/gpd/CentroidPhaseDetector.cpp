@@ -1,0 +1,156 @@
+//===- gpd/CentroidPhaseDetector.cpp - Centroid-based GPD -----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpd/CentroidPhaseDetector.h"
+
+#include <cassert>
+
+using namespace regmon;
+using namespace regmon::gpd;
+
+const char *regmon::gpd::toString(GlobalPhaseState S) {
+  switch (S) {
+  case GlobalPhaseState::Unstable:
+    return "unstable";
+  case GlobalPhaseState::LessStable:
+    return "less-stable";
+  case GlobalPhaseState::Stable:
+    return "stable";
+  }
+  return "?";
+}
+
+CentroidPhaseDetector::CentroidPhaseDetector(CentroidConfig Config)
+    : Config(Config), History(Config.HistoryLength) {
+  assert(Config.Th1 <= Config.Th2 && Config.Th2 <= Config.Th3 &&
+         Config.Th3 <= Config.Th4 && "thresholds must be ordered");
+  assert(Config.TimerIntervals > 0 && "timer must require >= 1 interval");
+  assert((!Config.AdaptiveWindow ||
+          (Config.MinHistoryLength >= 2 &&
+           Config.MinHistoryLength <= Config.MaxHistoryLength)) &&
+         "adaptive window bounds are inconsistent");
+}
+
+GlobalPhaseState
+CentroidPhaseDetector::observeInterval(std::span<const Sample> Samples) {
+  assert(!Samples.empty() && "an interval has a full buffer of samples");
+  double Sum = 0;
+  for (const Sample &S : Samples)
+    Sum += static_cast<double>(S.Pc);
+  return observeCentroid(Sum / static_cast<double>(Samples.size()));
+}
+
+GlobalPhaseState CentroidPhaseDetector::observeCentroid(double Centroid) {
+  const GlobalPhaseState Before = State;
+  State = step(Centroid);
+  LastWasChange = (Before == GlobalPhaseState::Stable) !=
+                  (State == GlobalPhaseState::Stable);
+  if (LastWasChange)
+    ++PhaseChanges;
+  if (Config.AdaptiveWindow)
+    adaptWindow();
+  noteState();
+  return State;
+}
+
+void CentroidPhaseDetector::adaptWindow() {
+  if (LastWasChange) {
+    // Turbulence: forget stale context quickly so the band re-forms
+    // around the new behaviour.
+    QuietStableRun = 0;
+    History.resize(Config.MinHistoryLength);
+    return;
+  }
+  if (State != GlobalPhaseState::Stable) {
+    QuietStableRun = 0;
+    return;
+  }
+  if (++QuietStableRun >= Config.GrowAfterStableIntervals &&
+      History.capacity() < Config.MaxHistoryLength) {
+    History.resize(History.capacity() + 1);
+    QuietStableRun = 0;
+  }
+}
+
+GlobalPhaseState CentroidPhaseDetector::step(double Centroid) {
+  assert(Centroid > 0 && "PC centroid of real code is positive");
+
+  // The band of stability is computed from *prior* centroids; the new
+  // centroid's drift is measured against it, then the new centroid joins
+  // the history.
+  const bool BandReady = History.count() >= 2;
+  const double E = History.mean();
+  const double Sd = History.stddev();
+  History.add(Centroid);
+
+  if (!BandReady)
+    return GlobalPhaseState::Unstable;
+
+  const double Lo = E - Sd, Hi = E + Sd;
+  double Delta = 0;
+  if (Centroid < Lo)
+    Delta = Lo - Centroid;
+  else if (Centroid > Hi)
+    Delta = Centroid - Hi;
+  const double Drift = Delta / E;
+
+  // A wholesale working-set change invalidates the whole history: the next
+  // phase will live at unrelated addresses.
+  if (Drift > Config.Th4) {
+    History.clear();
+    History.add(Centroid);
+    Timer = 0;
+    return GlobalPhaseState::Unstable;
+  }
+
+  switch (State) {
+  case GlobalPhaseState::Unstable:
+    // The band must be meaningful (not too thick) before trusting low
+    // drift: "a check is also made to ensure that band of stability is not
+    // too thick by ensuring that SD is less than 1/6 of E".
+    if (Drift <= Config.Th2 && Sd < E * Config.MaxSdFraction) {
+      Timer = 0;
+      return GlobalPhaseState::LessStable;
+    }
+    return GlobalPhaseState::Unstable;
+
+  case GlobalPhaseState::LessStable:
+    if (Drift > Config.Th3) {
+      Timer = 0;
+      return GlobalPhaseState::Unstable;
+    }
+    if (Drift <= Config.Th1) {
+      if (++Timer >= Config.TimerIntervals)
+        return GlobalPhaseState::Stable;
+      return GlobalPhaseState::LessStable;
+    }
+    // Moderate drift: stay less-stable but restart the quiet-time timer.
+    Timer = 0;
+    return GlobalPhaseState::LessStable;
+
+  case GlobalPhaseState::Stable:
+    if (Drift > Config.Th2) {
+      Timer = 0;
+      return GlobalPhaseState::Unstable;
+    }
+    return GlobalPhaseState::Stable;
+  }
+  return GlobalPhaseState::Unstable;
+}
+
+void CentroidPhaseDetector::noteState() {
+  ++Intervals;
+  if (State == GlobalPhaseState::Stable)
+    ++StableIntervals;
+  Timeline.push_back(State);
+}
+
+double CentroidPhaseDetector::stableFraction() const {
+  if (Intervals == 0)
+    return 0;
+  return static_cast<double>(StableIntervals) /
+         static_cast<double>(Intervals);
+}

@@ -1,0 +1,75 @@
+//===- rto/OptimizationModel.h - Trace-optimization benefit model -*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground truth about what a deployed trace optimization is worth. The
+/// paper's runtime optimizer (ADORE [13]) deploys data-prefetch traces:
+/// when the prefetches match the loop's actual miss behaviour they remove a
+/// fraction of its memory-stall cycles; when the behaviour has shifted (a
+/// local phase change) the speculative prefetches stop helping and can hurt
+/// by polluting the cache -- "the optimization deployed may not be
+/// beneficial... due to the speculative nature of some optimizations like
+/// data pre-fetching" (section 1).
+///
+/// Each loop carries:
+///  * StallFraction -- the removable fraction of its cycles (a loop with
+///    0.26 supports up to 1/(1-0.26) ~ 1.35x, mcf's reported 35% [13]);
+///  * MismatchFactor -- the execution-rate factor when the deployed trace
+///    was trained on a *different* behaviour profile than the one now
+///    active (1.0 = merely useless, < 1.0 = harmful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_RTO_OPTIMIZATIONMODEL_H
+#define REGMON_RTO_OPTIMIZATIONMODEL_H
+
+#include "sim/Program.h"
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace regmon::rto {
+
+/// Per-loop optimization opportunity (ground truth, set by the workload).
+struct LoopOpportunity {
+  /// Fraction of the loop's cycles removable by an accurate trace.
+  double StallFraction = 0.0;
+  /// Execution-rate factor under a behaviour mismatch.
+  double MismatchFactor = 1.0;
+};
+
+/// Evaluates the execution-rate factor of a deployed trace.
+class OptimizationModel {
+public:
+  /// Creates a model with one opportunity entry per LoopId of the program.
+  explicit OptimizationModel(std::vector<LoopOpportunity> PerLoop)
+      : PerLoop(std::move(PerLoop)) {}
+
+  /// Returns the opportunity table.
+  std::span<const LoopOpportunity> opportunities() const { return PerLoop; }
+
+  /// Returns the rate factor for a trace on loop \p L trained while profile
+  /// \p Trained was active, evaluated while \p Active is active.
+  double factor(sim::LoopId L, sim::ProfileId Active,
+                sim::ProfileId Trained) const {
+    assert(L < PerLoop.size() && "loop without an opportunity entry");
+    const LoopOpportunity &Opp = PerLoop[L];
+    if (Active == Trained) {
+      assert(Opp.StallFraction >= 0 && Opp.StallFraction < 1 &&
+             "stall fraction must leave some execution time");
+      return 1.0 / (1.0 - Opp.StallFraction);
+    }
+    return Opp.MismatchFactor;
+  }
+
+private:
+  std::vector<LoopOpportunity> PerLoop;
+};
+
+} // namespace regmon::rto
+
+#endif // REGMON_RTO_OPTIMIZATIONMODEL_H

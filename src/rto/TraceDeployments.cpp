@@ -1,0 +1,89 @@
+//===- rto/TraceDeployments.cpp - Deployed-trace bookkeeping --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rto/TraceDeployments.h"
+
+#include <cassert>
+
+using namespace regmon;
+using namespace regmon::rto;
+
+TraceDeployments::TraceDeployments(sim::Engine &Eng,
+                                   const OptimizationModel &Model,
+                                   double PatchOverheadCycles,
+                                   double PrefetchMissCover)
+    : Eng(Eng), Model(Model), PatchOverheadCycles(PatchOverheadCycles),
+      PrefetchMissCover(PrefetchMissCover),
+      Trained(Eng.program().loops().size()),
+      HarmStreak(Eng.program().loops().size(), 0) {
+  assert(Model.opportunities().size() == Trained.size() &&
+         "optimization model does not cover every loop");
+  assert(PrefetchMissCover >= 0 && PrefetchMissCover <= 1 &&
+         "miss coverage is a fraction");
+}
+
+std::optional<sim::ProfileId>
+TraceDeployments::activeProfile(sim::LoopId L) const {
+  const std::optional<sim::MixId> Mix = Eng.activeMix();
+  if (!Mix)
+    return std::nullopt;
+  // The engine's script is not directly reachable from here; the active
+  // mix's components are exposed through the engine instead.
+  for (const sim::MixComponent &C : Eng.activeMixComponents())
+    if (C.Loop == L && C.Weight > 0)
+      return C.Profile;
+  return std::nullopt;
+}
+
+bool TraceDeployments::deploy(sim::LoopId L) {
+  assert(L < Trained.size() && "unknown loop");
+  if (Trained[L])
+    return true; // already carrying a trace
+  const std::optional<sim::ProfileId> Active = activeProfile(L);
+  if (!Active)
+    return false;
+  Trained[L] = *Active;
+  HarmStreak[L] = 0;
+  Eng.setSpeedup(L, Model.factor(L, *Active, *Active));
+  Eng.setMissScale(L, 1.0 - PrefetchMissCover);
+  Eng.addOverheadCycles(PatchOverheadCycles);
+  ++Patches;
+  return true;
+}
+
+void TraceDeployments::unpatch(sim::LoopId L) {
+  assert(L < Trained.size() && "unknown loop");
+  if (!Trained[L])
+    return;
+  Trained[L].reset();
+  HarmStreak[L] = 0;
+  Eng.setSpeedup(L, 1.0);
+  Eng.setMissScale(L, 1.0);
+  Eng.addOverheadCycles(PatchOverheadCycles);
+  ++Unpatches;
+}
+
+void TraceDeployments::unpatchAll() {
+  for (sim::LoopId L = 0; L < Trained.size(); ++L)
+    unpatch(L);
+}
+
+void TraceDeployments::refresh() {
+  for (sim::LoopId L = 0; L < Trained.size(); ++L) {
+    if (!Trained[L])
+      continue;
+    const std::optional<sim::ProfileId> Active = activeProfile(L);
+    if (!Active)
+      continue; // loop not executing: factor is moot, keep last
+    const double Factor = Model.factor(L, *Active, *Trained[L]);
+    Eng.setSpeedup(L, Factor);
+    // Prefetches trained on a different behaviour miss their targets: the
+    // loop's observable miss rate returns to (or exceeds) baseline.
+    Eng.setMissScale(L, *Active == *Trained[L] ? 1.0 - PrefetchMissCover
+                                               : 1.0);
+    HarmStreak[L] = Factor < 1.0 ? HarmStreak[L] + 1 : 0;
+  }
+}

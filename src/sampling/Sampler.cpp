@@ -1,0 +1,38 @@
+//===- sampling/Sampler.cpp - HPM sampling front-end ----------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampling/Sampler.h"
+
+#include <cassert>
+
+using namespace regmon;
+using namespace regmon::sampling;
+
+Sampler::Sampler(sim::Engine &Eng, SamplingConfig Config)
+    : Eng(Eng), Config(Config) {
+  assert(Config.PeriodCycles > 0 && "sampling period must be positive");
+  assert(Config.BufferSize > 0 && "buffer must hold at least one sample");
+}
+
+bool Sampler::fillBuffer(std::vector<Sample> &Buffer) {
+  Buffer.clear();
+  Buffer.reserve(Config.BufferSize);
+  while (Buffer.size() < Config.BufferSize) {
+    std::optional<Sample> S = Eng.advanceAndSample(Config.PeriodCycles);
+    if (!S)
+      return false;
+    Buffer.push_back(*S);
+  }
+  ++Intervals;
+  return true;
+}
+
+std::size_t Sampler::run(const OverflowHandler &Handler) {
+  std::vector<Sample> Buffer;
+  while (fillBuffer(Buffer))
+    Handler(Buffer);
+  return Intervals;
+}

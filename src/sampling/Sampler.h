@@ -1,0 +1,76 @@
+//===- sampling/Sampler.h - HPM sampling front-end --------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware-performance-monitor sampling substrate. Real prototype
+/// systems (ADORE [12][13]) program a cycle counter to overflow every N
+/// cycles; the interrupt handler appends the interrupted PC to a user
+/// buffer, and the dynamic optimizer is woken on *buffer overflow* with one
+/// interval's worth of samples. This class reproduces that interface over
+/// the simulated execution engine: a fixed sampling period in
+/// cycles/interrupt and a fixed buffer of 2032 samples (the size used in
+/// the paper's Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SAMPLING_SAMPLER_H
+#define REGMON_SAMPLING_SAMPLER_H
+
+#include "sim/Engine.h"
+#include "support/Types.h"
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace regmon::sampling {
+
+/// Sampling parameters. The paper sweeps PeriodCycles over
+/// 45K/450K/900K (Figs. 3/4) and 100K/800K/1.5M (Fig. 17).
+struct SamplingConfig {
+  /// Cycles between sampling interrupts.
+  Cycles PeriodCycles = 45'000;
+  /// User-buffer capacity; one "interval" is one full buffer.
+  std::size_t BufferSize = 2032;
+};
+
+/// Drives an engine with periodic sampling interrupts and delivers full
+/// buffers to a handler.
+class Sampler {
+public:
+  /// Called once per buffer overflow with the interval's samples, in
+  /// arrival order.
+  using OverflowHandler = std::function<void(std::span<const Sample>)>;
+
+  /// Creates a sampler over \p Eng (which must outlive the sampler).
+  Sampler(sim::Engine &Eng, SamplingConfig Config);
+
+  /// Runs the program to completion, invoking \p Handler on every buffer
+  /// overflow. A final partial buffer (program ended mid-interval) is
+  /// discarded, as in the real system where teardown races the optimizer
+  /// thread. Returns the number of complete intervals delivered.
+  std::size_t run(const OverflowHandler &Handler);
+
+  /// Collects exactly one full buffer into \p Buffer. Returns false (with
+  /// \p Buffer holding any partial data) once the program ends.
+  bool fillBuffer(std::vector<Sample> &Buffer);
+
+  /// Returns the number of complete intervals delivered so far.
+  std::size_t intervals() const { return Intervals; }
+
+  /// Returns the sampling configuration.
+  const SamplingConfig &config() const { return Config; }
+
+private:
+  sim::Engine &Eng;
+  SamplingConfig Config;
+  std::size_t Intervals = 0;
+};
+
+} // namespace regmon::sampling
+
+#endif // REGMON_SAMPLING_SAMPLER_H

@@ -1,0 +1,157 @@
+//===- sim/Engine.cpp - Cycle-level execution engine ----------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace regmon;
+using namespace regmon::sim;
+
+Engine::Engine(const Program &Prog, const PhaseScript &Script,
+               std::uint64_t Seed)
+    : Prog(Prog), Script(Script), Random(Seed),
+      MissRandom(Seed ^ 0x6d697373ULL), // independent "miss" stream
+      Speedups(Prog.loops().size(), 1.0),
+      MissScales(Prog.loops().size(), 1.0) {
+  assert(Script.validateAgainst(Prog) &&
+         "phase script references loops/profiles the program lacks");
+}
+
+double Engine::cyclesPerWork(const Mix &M) const {
+  // A work unit is split across the mix components by weight; component
+  // work executing at speedup s consumes 1/s cycles per work unit.
+  double Total = 0, Weighted = 0;
+  for (const MixComponent &C : M.Components) {
+    Total += C.Weight;
+    Weighted += C.Weight / Speedups[C.Loop];
+  }
+  assert(Total > 0 && "mix has no weight");
+  return Weighted / Total;
+}
+
+std::optional<MixId> Engine::activeMix() const {
+  if (done())
+    return std::nullopt;
+  return Script.locate(WorkDone).ActiveMix;
+}
+
+std::span<const MixComponent> Engine::activeMixComponents() const {
+  const std::optional<MixId> M = activeMix();
+  if (!M)
+    return {};
+  return Script.mixes()[*M].Components;
+}
+
+Sample Engine::drawSample() {
+  assert(!done() && "cannot sample a finished program");
+  const MixId Active = Script.locate(WorkDone).ActiveMix;
+  const Mix &M = Script.mixes()[Active];
+
+  // Pick the component. The interrupted instruction is cycle-weighted, so a
+  // component's chance is its share of *cycles*, not of work: a slowed-down
+  // (or sped-up) loop occupies proportionally more (or less) wall time.
+  double CycleTotal = 0;
+  for (const MixComponent &C : M.Components)
+    CycleTotal += C.Weight / Speedups[C.Loop];
+  double Point = Random.nextDouble() * CycleTotal;
+  const MixComponent *Chosen = &M.Components.back();
+  for (const MixComponent &C : M.Components) {
+    Point -= C.Weight / Speedups[C.Loop];
+    if (Point < 0) {
+      Chosen = &C;
+      break;
+    }
+  }
+
+  // Pick the instruction within the loop from its active profile.
+  const std::span<const double> Weights =
+      Prog.profile(Chosen->Loop, Chosen->Profile);
+  const std::size_t Slot = Random.pickWeighted(Weights);
+
+  Sample S;
+  S.Pc = Prog.loop(Chosen->Loop).Start +
+         static_cast<Addr>(Slot) * InstrBytes;
+  S.Time = cycles();
+
+  // Miss tagging from an independent stream: the PC sequence is identical
+  // whether or not anyone looks at miss events.
+  const std::span<const double> Rates =
+      Prog.missRates(Chosen->Loop, Chosen->Profile);
+  if (!Rates.empty()) {
+    const double P =
+        std::min(1.0, Rates[Slot] * MissScales[Chosen->Loop]);
+    S.DCacheMiss = MissRandom.nextDouble() < P;
+  }
+  return S;
+}
+
+std::optional<Sample> Engine::advanceAndSample(Cycles Delta) {
+  if (done())
+    return std::nullopt;
+
+  double Remaining = static_cast<double>(Delta);
+  const Work TotalWork = Script.totalWork();
+
+  // Walk behaviour boundaries (segment ends, alternation flips), converting
+  // cycles to work at the rate of the mix active in each stretch. This is
+  // what makes sampling-period aliasing physical: a sample lands wherever
+  // the program actually is Delta cycles later, however many behaviour
+  // flips happened in between.
+  while (Remaining > 0) {
+    const PhaseScript::Location Loc = Script.locate(WorkDone);
+    const double Cpw = cyclesPerWork(Script.mixes()[Loc.ActiveMix]);
+    const double BoundaryCycles = Loc.ToBoundary * Cpw;
+
+    if (BoundaryCycles >= Remaining) {
+      WorkDone += Remaining / Cpw;
+      CyclesDone += Remaining;
+      Remaining = 0;
+      break;
+    }
+    WorkDone += Loc.ToBoundary;
+    CyclesDone += BoundaryCycles;
+    Remaining -= BoundaryCycles;
+    if (WorkDone >= TotalWork)
+      break;
+  }
+
+  if (WorkDone >= TotalWork) {
+    WorkDone = TotalWork;
+    return std::nullopt;
+  }
+  return drawSample();
+}
+
+void Engine::finish() {
+  const Work TotalWork = Script.totalWork();
+  while (WorkDone < TotalWork) {
+    const PhaseScript::Location Loc = Script.locate(WorkDone);
+    const double Cpw = cyclesPerWork(Script.mixes()[Loc.ActiveMix]);
+    CyclesDone += Loc.ToBoundary * Cpw;
+    WorkDone += Loc.ToBoundary;
+  }
+  WorkDone = TotalWork;
+}
+
+void Engine::setSpeedup(LoopId L, double Factor) {
+  assert(L < Speedups.size() && "unknown loop");
+  assert(Factor > 0 && "speedup factor must be positive");
+  Speedups[L] = Factor;
+}
+
+void Engine::clearSpeedups() {
+  std::fill(Speedups.begin(), Speedups.end(), 1.0);
+  std::fill(MissScales.begin(), MissScales.end(), 1.0);
+}
+
+void Engine::setMissScale(LoopId L, double Factor) {
+  assert(L < MissScales.size() && "unknown loop");
+  assert(Factor >= 0 && "miss scale cannot be negative");
+  MissScales[L] = Factor;
+}

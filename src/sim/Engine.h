@@ -1,0 +1,127 @@
+//===- sim/Engine.h - Cycle-level execution engine --------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine advances a synthetic program through its phase
+/// script and answers the one question a sampling-based dynamic optimizer
+/// ever asks of the hardware: *"where is the program counter right now?"*
+///
+/// Two clocks are maintained:
+///
+///  * **work** -- progress through the script, in baseline cycles;
+///  * **cycles** -- actual elapsed machine cycles.
+///
+/// With no optimizations deployed the clocks advance in lock-step. When the
+/// runtime optimizer deploys a trace on a loop, that loop's work executes
+/// at a speedup factor > 1, so the same scripted work completes in fewer
+/// actual cycles -- exactly how a deployed data-prefetch trace pays off on
+/// real hardware. Comparing the final cycle counts of two optimizer
+/// strategies over the identical script reproduces the paper's Fig. 17
+/// methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SIM_ENGINE_H
+#define REGMON_SIM_ENGINE_H
+
+#include "sim/PhaseScript.h"
+#include "sim/Program.h"
+#include "support/Rng.h"
+#include "support/Types.h"
+
+#include <optional>
+#include <vector>
+
+namespace regmon::sim {
+
+/// Drives one simulated execution of (program, script).
+class Engine {
+public:
+  /// Creates an engine over \p Prog and \p Script. Both must outlive the
+  /// engine. \p Seed fixes the PC-sampling random stream; the miss-event
+  /// stream is drawn from an independent generator so that enabling or
+  /// scaling the miss model never perturbs the PC sequence.
+  Engine(const Program &Prog, const PhaseScript &Script,
+         std::uint64_t Seed);
+
+  /// Advances execution by exactly \p Delta actual cycles (clamped to
+  /// program end) and returns the PC observed at the resulting instant --
+  /// i.e. models a cycle-counter overflow interrupt \p Delta cycles after
+  /// the previous one. Returns std::nullopt once the program has finished.
+  std::optional<Sample> advanceAndSample(Cycles Delta);
+
+  /// Runs the remaining script to completion without sampling (the program
+  /// keeps executing after the optimizer stops looking); cycle/work clocks
+  /// advance accordingly.
+  void finish();
+
+  /// Returns true once all scripted work has been executed.
+  bool done() const { return WorkDone >= Script.totalWork(); }
+
+  /// Returns elapsed actual cycles.
+  Cycles cycles() const { return static_cast<Cycles>(CyclesDone); }
+  /// Returns executed work (baseline cycles).
+  Work work() const { return WorkDone; }
+
+  /// Sets the execution-rate multiplier for \p L. \p Factor > 1 speeds the
+  /// loop up (a beneficial optimization), < 1 slows it down (a harmful
+  /// speculative optimization, e.g. prefetches that pollute the cache).
+  void setSpeedup(LoopId L, double Factor);
+
+  /// Returns the current speedup factor for \p L (1.0 when unoptimized).
+  double speedup(LoopId L) const { return Speedups[L]; }
+
+  /// Scales \p L's D-cache miss probabilities by \p Factor (clamped to
+  /// [0, inf); effective probabilities clamp to 1). A deployed prefetch
+  /// trace that covers the loop's delinquent loads sets this below 1 --
+  /// the observable effect self-monitoring feeds on.
+  void setMissScale(LoopId L, double Factor);
+
+  /// Returns the current miss-probability scale for \p L.
+  double missScale(LoopId L) const { return MissScales[L]; }
+
+  /// Clears all deployed speedups back to 1.0.
+  void clearSpeedups();
+
+  /// Charges \p Overhead cycles of runtime-system work on the program's
+  /// critical path (e.g. patching or unpatching a trace) without advancing
+  /// scripted work.
+  void addOverheadCycles(double Overhead) {
+    assert(Overhead >= 0 && "overhead cannot be negative");
+    CyclesDone += Overhead;
+  }
+
+  /// Returns the mix active at the current instant; std::nullopt at end.
+  std::optional<MixId> activeMix() const;
+
+  /// Returns the components of the mix active at the current instant (the
+  /// ground-truth loop behaviours executing now); empty once done.
+  std::span<const MixComponent> activeMixComponents() const;
+
+  /// Returns the program being executed.
+  const Program &program() const { return Prog; }
+
+private:
+  /// Cycles needed per work unit under mix \p M with current speedups.
+  double cyclesPerWork(const Mix &M) const;
+
+  /// Draws a sample from the current mix. Must not be called after
+  /// done().
+  Sample drawSample();
+
+  const Program &Prog;
+  const PhaseScript &Script;
+  Rng Random;
+  Rng MissRandom;
+  std::vector<double> Speedups;   // per LoopId
+  std::vector<double> MissScales; // per LoopId
+  Work WorkDone = 0;
+  double CyclesDone = 0;
+};
+
+} // namespace regmon::sim
+
+#endif // REGMON_SIM_ENGINE_H

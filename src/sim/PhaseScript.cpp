@@ -1,0 +1,80 @@
+//===- sim/PhaseScript.cpp - Program behaviour timeline -------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PhaseScript.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace regmon;
+using namespace regmon::sim;
+
+MixId PhaseScript::addMix(Mix M) {
+  assert(!M.Components.empty() && "mix must reference at least one loop");
+  assert(M.totalWeight() > 0 && "mix must have positive total weight");
+  Mixes.push_back(std::move(M));
+  return static_cast<MixId>(Mixes.size() - 1);
+}
+
+MixId PhaseScript::addMix(std::initializer_list<MixComponent> Components) {
+  Mix M;
+  M.Components.assign(Components.begin(), Components.end());
+  return addMix(std::move(M));
+}
+
+void PhaseScript::steady(MixId M, Work Duration) {
+  assert(M < Mixes.size() && "unknown mix");
+  assert(Duration > 0 && "segment must be non-empty");
+  SegmentStart.push_back(TotalWork);
+  Segments.push_back(Segment{Duration, M, false, 0, 0});
+  TotalWork += Duration;
+}
+
+void PhaseScript::alternating(MixId MA, MixId MB, Work HalfPeriod,
+                              Work Duration) {
+  assert(MA < Mixes.size() && MB < Mixes.size() && "unknown mix");
+  assert(Duration > 0 && "segment must be non-empty");
+  assert(HalfPeriod > 0 && "alternation half-period must be positive");
+  SegmentStart.push_back(TotalWork);
+  Segments.push_back(Segment{Duration, MA, true, MB, HalfPeriod});
+  TotalWork += Duration;
+}
+
+PhaseScript::Location PhaseScript::locate(Work W) const {
+  assert(!Segments.empty() && "empty script");
+  assert(W >= 0 && W < TotalWork && "work offset out of range");
+
+  // Find the segment containing W: the last SegmentStart <= W.
+  const auto It =
+      std::upper_bound(SegmentStart.begin(), SegmentStart.end(), W);
+  const auto Index = static_cast<std::size_t>(
+      std::distance(SegmentStart.begin(), It)) - 1;
+  const Segment &Seg = Segments[Index];
+  const Work Offset = W - SegmentStart[Index];
+  const Work SegRemaining = Seg.Duration - Offset;
+
+  if (!Seg.Alternates)
+    return Location{Seg.A, SegRemaining};
+
+  const double Phase = std::floor(Offset / Seg.HalfPeriod);
+  const bool InB = (static_cast<std::uint64_t>(Phase) % 2) == 1;
+  const Work FlipAt = (Phase + 1) * Seg.HalfPeriod;
+  const Work ToFlip = FlipAt - Offset;
+  return Location{InB ? Seg.B : Seg.A, std::min(ToFlip, SegRemaining)};
+}
+
+bool PhaseScript::validateAgainst(const Program &Prog) const {
+  for (const Mix &M : Mixes)
+    for (const MixComponent &C : M.Components) {
+      if (C.Loop >= Prog.loops().size())
+        return false;
+      if (C.Profile >= Prog.profileCount(C.Loop))
+        return false;
+      if (C.Weight < 0)
+        return false;
+    }
+  return !Segments.empty();
+}

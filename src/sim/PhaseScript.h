@@ -1,0 +1,124 @@
+//===- sim/PhaseScript.h - Program behaviour timeline -----------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A phase script describes *when the program does what*: a timeline of
+/// segments, each executing a mix of loops with given weights and
+/// instruction profiles. Segments may alternate between two mixes with a
+/// fixed period -- the mechanism behind the paper's key observations:
+///
+///  * 187.facerec "periodically executes switches between 2 sets of
+///    regions", which makes the centroid oscillate and GPD thrash while
+///    each region's local histogram stays self-similar (Fig. 5);
+///  * sampling-period aliasing (section 2.3): when the sampling interval is
+///    short relative to the alternation period, consecutive sample buffers
+///    see different mixes and GPD fires; when it is long, every buffer
+///    averages over many alternations and GPD is quiet.
+///
+/// Durations are expressed in *work units* (baseline cycles) so that a
+/// runtime optimizer that speeds the program up executes the same script in
+/// fewer actual cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SIM_PHASESCRIPT_H
+#define REGMON_SIM_PHASESCRIPT_H
+
+#include "sim/Program.h"
+#include "support/Types.h"
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace regmon::sim {
+
+/// Identifies a mix within a PhaseScript.
+using MixId = std::uint32_t;
+
+/// One ingredient of a mix: a loop, which of its instruction profiles is
+/// active, and the fraction of work it receives.
+struct MixComponent {
+  LoopId Loop = 0;
+  ProfileId Profile = 0;
+  double Weight = 0;
+};
+
+/// A stationary distribution of work across loops.
+struct Mix {
+  std::vector<MixComponent> Components;
+
+  /// Returns the sum of component weights.
+  double totalWeight() const {
+    double W = 0;
+    for (const MixComponent &C : Components)
+      W += C.Weight;
+    return W;
+  }
+};
+
+/// One contiguous stretch of the program timeline.
+struct Segment {
+  /// Segment length in work units.
+  Work Duration = 0;
+  /// Mix active throughout (or during the "A" half-periods).
+  MixId A = 0;
+  /// When true the segment alternates A and B every \ref HalfPeriod work
+  /// units, starting with A.
+  bool Alternates = false;
+  MixId B = 0;
+  Work HalfPeriod = 0;
+};
+
+/// An immutable program timeline: mixes plus segments.
+class PhaseScript {
+public:
+  /// Registers \p M and returns its MixId.
+  MixId addMix(Mix M);
+
+  /// Convenience: registers a mix from (loop, profile, weight) triples.
+  MixId addMix(std::initializer_list<MixComponent> Components);
+
+  /// Appends a steady segment running mix \p M for \p Duration work units.
+  void steady(MixId M, Work Duration);
+
+  /// Appends a segment alternating between \p MA and \p MB every
+  /// \p HalfPeriod work units for \p Duration total work units.
+  void alternating(MixId MA, MixId MB, Work HalfPeriod, Work Duration);
+
+  /// Returns the total scripted work.
+  Work totalWork() const { return TotalWork; }
+  /// Returns the registered mixes.
+  std::span<const Mix> mixes() const { return Mixes; }
+  /// Returns the segments in timeline order.
+  std::span<const Segment> segments() const { return Segments; }
+
+  /// Result of \ref locate: the active mix at a work offset and how much
+  /// work remains until the next behaviour boundary (segment end or
+  /// alternation flip).
+  struct Location {
+    MixId ActiveMix = 0;
+    Work ToBoundary = 0;
+  };
+
+  /// Returns the active mix at work offset \p W (0 <= W < totalWork()) and
+  /// the distance to the next boundary.
+  Location locate(Work W) const;
+
+  /// Validates loop/profile references against \p Prog; for asserts/tests.
+  bool validateAgainst(const Program &Prog) const;
+
+private:
+  std::vector<Mix> Mixes;
+  std::vector<Segment> Segments;
+  std::vector<Work> SegmentStart; // prefix sums of Duration
+  Work TotalWork = 0;
+};
+
+} // namespace regmon::sim
+
+#endif // REGMON_SIM_PHASESCRIPT_H

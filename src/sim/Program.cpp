@@ -1,0 +1,155 @@
+//===- sim/Program.cpp - Synthetic program model --------------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Program.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace regmon;
+using namespace regmon::sim;
+
+std::optional<LoopId> Program::loopContaining(Addr Pc) const {
+  // Loops may nest; return the innermost (smallest) containing loop.
+  std::optional<LoopId> Best;
+  Addr BestSpan = ~Addr(0);
+  for (const Loop &L : Loops) {
+    if (Pc < L.Start || Pc >= L.End)
+      continue;
+    const Addr Span = L.End - L.Start;
+    if (Span < BestSpan) {
+      BestSpan = Span;
+      Best = L.Id;
+    }
+  }
+  return Best;
+}
+
+ProgramBuilder::ProgramBuilder(std::string Name) {
+  Prog.Name = std::move(Name);
+}
+
+std::uint32_t ProgramBuilder::addProcedure(std::string Name, Addr Start,
+                                           Addr End) {
+  assert(!Built && "builder already consumed");
+  assert(Start < End && "procedure must be non-empty");
+  assert(Start % InstrBytes == 0 && End % InstrBytes == 0 &&
+         "procedure bounds must be instruction-aligned");
+#ifndef NDEBUG
+  for (const Procedure &P : Prog.Procs)
+    assert((End <= P.Start || Start >= P.End) &&
+           "procedures must not overlap");
+#endif
+  Prog.Procs.push_back(Procedure{std::move(Name), Start, End});
+  return static_cast<std::uint32_t>(Prog.Procs.size() - 1);
+}
+
+LoopId ProgramBuilder::addLoop(std::uint32_t ProcIndex, Addr Start, Addr End,
+                               bool Regionable) {
+  assert(!Built && "builder already consumed");
+  assert(ProcIndex < Prog.Procs.size() && "unknown procedure");
+  assert(Start < End && "loop must be non-empty");
+  assert(Start % InstrBytes == 0 && End % InstrBytes == 0 &&
+         "loop bounds must be instruction-aligned");
+  const Procedure &P = Prog.Procs[ProcIndex];
+  assert(Start >= P.Start && End <= P.End && "loop must lie in procedure");
+  (void)P;
+
+  char NameBuf[64];
+  std::snprintf(NameBuf, sizeof(NameBuf), "%llx-%llx",
+                static_cast<unsigned long long>(Start),
+                static_cast<unsigned long long>(End));
+
+  Loop L;
+  L.Id = static_cast<LoopId>(Prog.Loops.size());
+  L.Name = NameBuf;
+  L.Start = Start;
+  L.End = End;
+  L.ProcIndex = ProcIndex;
+  L.Regionable = Regionable;
+  Prog.Loops.push_back(std::move(L));
+  Prog.Profiles.emplace_back();
+  Prog.MissRates.emplace_back();
+  return Prog.Loops.back().Id;
+}
+
+ProfileId ProgramBuilder::addProfile(LoopId L, std::vector<double> Weights) {
+  assert(!Built && "builder already consumed");
+  assert(L < Prog.Loops.size() && "unknown loop");
+  assert(Weights.size() == Prog.Loops[L].instrCount() &&
+         "profile must cover every instruction of the loop");
+#ifndef NDEBUG
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "profile weights must be non-negative");
+    Total += W;
+  }
+  assert(Total > 0 && "profile must have positive total weight");
+#endif
+  Prog.Profiles[L].push_back(std::move(Weights));
+  Prog.MissRates[L].emplace_back(); // all-hit until setMissModel
+  return static_cast<ProfileId>(Prog.Profiles[L].size() - 1);
+}
+
+ProfileId ProgramBuilder::addHotSpotProfile(
+    LoopId L, double Background,
+    std::span<const std::pair<std::size_t, double>> HotSpots) {
+  assert(L < Prog.Loops.size() && "unknown loop");
+  std::vector<double> Weights(Prog.Loops[L].instrCount(), Background);
+  for (const auto &[Index, Extra] : HotSpots) {
+    assert(Index < Weights.size() && "hotspot index out of range");
+    Weights[Index] += Extra;
+  }
+  return addProfile(L, std::move(Weights));
+}
+
+ProfileId ProgramBuilder::addShiftedProfile(LoopId L, ProfileId P,
+                                            std::ptrdiff_t Delta) {
+  assert(L < Prog.Loops.size() && P < Prog.Profiles[L].size() &&
+         "unknown profile");
+  const auto Rotate = [Delta](const std::vector<double> &Src) {
+    const auto N = static_cast<std::ptrdiff_t>(Src.size());
+    std::vector<double> Dst(Src.size());
+    for (std::ptrdiff_t I = 0; I != N; ++I) {
+      std::ptrdiff_t J = (I + Delta) % N;
+      if (J < 0)
+        J += N;
+      Dst[static_cast<std::size_t>(J)] = Src[static_cast<std::size_t>(I)];
+    }
+    return Dst;
+  };
+  const std::vector<double> SrcMisses = Prog.MissRates[L][P];
+  const ProfileId New = addProfile(L, Rotate(Prog.Profiles[L][P]));
+  if (!SrcMisses.empty())
+    Prog.MissRates[L][New] = Rotate(SrcMisses);
+  return New;
+}
+
+void ProgramBuilder::setMissModel(
+    LoopId L, ProfileId P, double Background,
+    std::span<const std::pair<std::size_t, double>> Delinquent) {
+  assert(!Built && "builder already consumed");
+  assert(L < Prog.Loops.size() && P < Prog.Profiles[L].size() &&
+         "unknown profile");
+  assert(Background >= 0 && Background <= 1 && "probability out of range");
+  std::vector<double> Rates(Prog.Loops[L].instrCount(), Background);
+  for (const auto &[Index, Extra] : Delinquent) {
+    assert(Index < Rates.size() && "delinquent index out of range");
+    Rates[Index] = std::min(1.0, Rates[Index] + Extra);
+  }
+  Prog.MissRates[L][P] = std::move(Rates);
+}
+
+Program ProgramBuilder::build() {
+  assert(!Built && "builder already consumed");
+  Built = true;
+#ifndef NDEBUG
+  for (const Loop &L : Prog.Loops)
+    assert(!Prog.Profiles[L.Id].empty() &&
+           "every loop needs at least one profile");
+#endif
+  return std::move(Prog);
+}

@@ -1,0 +1,185 @@
+//===- sim/Program.h - Synthetic program model ------------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static shape of a simulated program: procedures laid out in a
+/// SPARC-like address space, loops inside them, and per-loop instruction
+/// weight profiles describing where cycles are spent when that loop runs.
+///
+/// The paper's substrate is a real SPEC CPU2000 binary whose hot code is
+/// dominated by a handful of loops. We model exactly the features the
+/// phase-detection machinery can observe through PC sampling:
+///
+///  * code layout (addresses matter: GPD's centroid is an address average);
+///  * loop extents (regions are built around loops, paper section 3.1);
+///  * regionability (some hot code spans procedure boundaries and the
+///    region builder of [13] cannot form a region for it -- these samples
+///    stay in the unmonitored code region forever, reproducing 254.gap and
+///    186.crafty in Figs. 6/7);
+///  * instruction-level cycle distributions (LPD compares per-instruction
+///    histograms, so which instructions are hot -- and how that shifts --
+///    is the observable behaviour).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SIM_PROGRAM_H
+#define REGMON_SIM_PROGRAM_H
+
+#include "support/Types.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace regmon::sim {
+
+/// Identifies a loop within a Program.
+using LoopId = std::uint32_t;
+/// Identifies an instruction-weight profile of a particular loop.
+using ProfileId = std::uint32_t;
+
+/// A single natural loop (the paper's unit of region formation).
+struct Loop {
+  LoopId Id = 0;
+  /// Display name; by convention the paper's "start-end" hex form.
+  std::string Name;
+  /// Half-open, instruction-aligned code extent.
+  Addr Start = 0;
+  Addr End = 0;
+  /// Index of the containing procedure.
+  std::uint32_t ProcIndex = 0;
+  /// False when the region builder cannot form a region around this code
+  /// (e.g. the hot cycle spans a procedure boundary). Samples from
+  /// non-regionable loops remain unmonitored forever.
+  bool Regionable = true;
+
+  /// Number of instructions covered by the loop.
+  std::size_t instrCount() const {
+    return static_cast<std::size_t>((End - Start) / InstrBytes);
+  }
+};
+
+/// A procedure: a named, contiguous slab of the address space.
+struct Procedure {
+  std::string Name;
+  Addr Start = 0;
+  Addr End = 0;
+};
+
+/// An immutable synthetic program. Build with ProgramBuilder.
+class Program {
+public:
+  /// Returns the program's display name (e.g. "181.mcf").
+  const std::string &name() const { return Name; }
+  /// Returns all procedures in address order.
+  std::span<const Procedure> procedures() const { return Procs; }
+  /// Returns all loops, indexed by LoopId.
+  std::span<const Loop> loops() const { return Loops; }
+  /// Returns the loop with identifier \p Id.
+  const Loop &loop(LoopId Id) const {
+    assert(Id < Loops.size() && "loop id out of range");
+    return Loops[Id];
+  }
+
+  /// Returns the instruction weights of profile \p P of loop \p L. The
+  /// returned span has loop(L).instrCount() entries summing to a positive
+  /// value; entry i is the relative chance a cycle sample inside the loop
+  /// lands on instruction i.
+  std::span<const double> profile(LoopId L, ProfileId P) const {
+    assert(L < Profiles.size() && P < Profiles[L].size() &&
+           "profile id out of range");
+    return Profiles[L][P];
+  }
+
+  /// Returns the number of profiles registered for loop \p L.
+  std::size_t profileCount(LoopId L) const {
+    assert(L < Profiles.size() && "loop id out of range");
+    return Profiles[L].size();
+  }
+
+  /// Returns the per-instruction D-cache miss probabilities of profile
+  /// \p P of loop \p L: entry i is the chance a cycle sample on
+  /// instruction i is flagged as a miss stall. Empty when the profile has
+  /// no memory-stall model (all-hit).
+  std::span<const double> missRates(LoopId L, ProfileId P) const {
+    assert(L < MissRates.size() && P < MissRates[L].size() &&
+           "profile id out of range");
+    return MissRates[L][P];
+  }
+
+  /// Returns the innermost loop containing \p Pc, or std::nullopt.
+  std::optional<LoopId> loopContaining(Addr Pc) const;
+
+private:
+  friend class ProgramBuilder;
+
+  std::string Name;
+  std::vector<Procedure> Procs;
+  std::vector<Loop> Loops;
+  /// Profiles[LoopId][ProfileId] -> per-instruction weights.
+  std::vector<std::vector<std::vector<double>>> Profiles;
+  /// MissRates[LoopId][ProfileId] -> per-instruction miss probabilities
+  /// (empty vector = no misses).
+  std::vector<std::vector<std::vector<double>>> MissRates;
+};
+
+/// Incrementally assembles a Program.
+class ProgramBuilder {
+public:
+  /// Begins a program named \p Name.
+  explicit ProgramBuilder(std::string Name);
+
+  /// Adds a procedure spanning [\p Start, \p End). Returns its index.
+  /// Bounds must be instruction-aligned and must not overlap previously
+  /// added procedures.
+  std::uint32_t addProcedure(std::string Name, Addr Start, Addr End);
+
+  /// Adds a loop inside procedure \p ProcIndex spanning [\p Start, \p End).
+  /// Returns its LoopId. The loop must lie inside the procedure.
+  /// The loop's display name is derived from its bounds ("146f0-14770").
+  LoopId addLoop(std::uint32_t ProcIndex, Addr Start, Addr End,
+                 bool Regionable = true);
+
+  /// Adds an instruction-weight profile for \p L with explicit \p Weights
+  /// (must have loop instruction count entries). Returns its ProfileId.
+  ProfileId addProfile(LoopId L, std::vector<double> Weights);
+
+  /// Adds a profile with uniform background weight \p Background plus
+  /// hotspots: (instruction index, extra weight) pairs. This models one or
+  /// more bottleneck instructions (e.g. cache-missing loads) dominating the
+  /// loop's cycle samples.
+  ProfileId addHotSpotProfile(
+      LoopId L, double Background,
+      std::span<const std::pair<std::size_t, double>> HotSpots);
+
+  /// Adds a copy of loop \p L's profile \p P with every hotspot shifted by
+  /// \p Delta instruction slots (wrapping). This is the paper's Fig. 8
+  /// "shift bottleneck by 1 instruction" behaviour change. The miss model
+  /// (if any) is shifted along with the weights.
+  ProfileId addShiftedProfile(LoopId L, ProfileId P, std::ptrdiff_t Delta);
+
+  /// Attaches a D-cache miss model to profile \p P of loop \p L:
+  /// \p Background miss probability everywhere plus (instruction index,
+  /// extra probability) pairs for the delinquent loads. Probabilities are
+  /// clamped to [0, 1].
+  void setMissModel(
+      LoopId L, ProfileId P, double Background,
+      std::span<const std::pair<std::size_t, double>> Delinquent);
+
+  /// Finalizes and returns the program. The builder must not be reused.
+  Program build();
+
+private:
+  Program Prog;
+  bool Built = false;
+};
+
+} // namespace regmon::sim
+
+#endif // REGMON_SIM_PROGRAM_H

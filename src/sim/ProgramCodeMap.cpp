@@ -1,0 +1,26 @@
+//===- sim/ProgramCodeMap.cpp - CodeMap over a synthetic program ----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ProgramCodeMap.h"
+
+using namespace regmon;
+using namespace regmon::sim;
+
+std::optional<core::CodeRegionInfo>
+ProgramCodeMap::regionFor(Addr Pc) const {
+  // Innermost regionable loop containing Pc. Non-regionable loops are
+  // skipped: an enclosing regionable loop (if any) can still claim the PC.
+  const Loop *Best = nullptr;
+  for (const Loop &L : Prog.loops()) {
+    if (!L.Regionable || Pc < L.Start || Pc >= L.End)
+      continue;
+    if (!Best || L.End - L.Start < Best->End - Best->Start)
+      Best = &L;
+  }
+  if (!Best)
+    return std::nullopt;
+  return core::CodeRegionInfo{Best->Start, Best->End, Best->Name};
+}

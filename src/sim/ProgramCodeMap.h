@@ -1,0 +1,38 @@
+//===- sim/ProgramCodeMap.h - CodeMap over a synthetic program -*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapts a synthetic Program to the region-formation CodeMap interface.
+/// This plays the role of the region-building machinery of [13]: a hot PC
+/// resolves to the innermost *regionable* loop containing it; PCs in
+/// non-regionable code (cycles spanning procedure boundaries) resolve to
+/// nothing and stay unmonitored forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SIM_PROGRAMCODEMAP_H
+#define REGMON_SIM_PROGRAMCODEMAP_H
+
+#include "core/CodeMap.h"
+#include "sim/Program.h"
+
+namespace regmon::sim {
+
+/// CodeMap implementation over a synthetic program's loop table.
+class ProgramCodeMap final : public core::CodeMap {
+public:
+  /// Creates a map over \p Prog, which must outlive the map.
+  explicit ProgramCodeMap(const Program &Prog) : Prog(Prog) {}
+
+  std::optional<core::CodeRegionInfo> regionFor(Addr Pc) const override;
+
+private:
+  const Program &Prog;
+};
+
+} // namespace regmon::sim
+
+#endif // REGMON_SIM_PROGRAMCODEMAP_H

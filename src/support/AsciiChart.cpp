@@ -1,0 +1,106 @@
+//===- support/AsciiChart.cpp - Terminal charts for region data -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace regmon;
+
+void StackedChart::addSeries(std::string Name, std::vector<double> Values) {
+  assert((AllSeries.empty() ||
+          AllSeries.front().Values.size() == Values.size()) &&
+         "all series must cover the same intervals");
+  AllSeries.push_back({std::move(Name), std::move(Values)});
+}
+
+void StackedChart::setOverlay(std::string Name, std::vector<bool> Flags) {
+  OverlayName = std::move(Name);
+  Overlay = std::move(Flags);
+}
+
+std::string StackedChart::render() const {
+  static const char Glyphs[] = "abcdefghijklmnopqrstuvwxyz";
+  constexpr std::size_t NumGlyphs = sizeof(Glyphs) - 1;
+
+  if (AllSeries.empty())
+    return "(empty chart)\n";
+  const std::size_t Width = AllSeries.front().Values.size();
+
+  // Column totals set the vertical scale.
+  double MaxTotal = 0;
+  std::vector<double> Totals(Width, 0);
+  for (const auto &S : AllSeries)
+    for (std::size_t C = 0; C < Width; ++C)
+      Totals[C] += S.Values[C];
+  for (double T : Totals)
+    MaxTotal = std::max(MaxTotal, T);
+  if (MaxTotal <= 0)
+    MaxTotal = 1;
+
+  // Rasterize each column bottom-up: each series gets a contiguous run of
+  // rows proportional to its share of the column total.
+  std::vector<std::string> Grid(Height, std::string(Width, ' '));
+  for (std::size_t C = 0; C < Width; ++C) {
+    const double ColScale = static_cast<double>(Height) / MaxTotal;
+    double Acc = 0;
+    for (std::size_t SI = 0; SI < AllSeries.size(); ++SI) {
+      const double V = AllSeries[SI].Values[C];
+      if (V <= 0)
+        continue;
+      const auto RowLo = static_cast<unsigned>(std::floor(Acc * ColScale));
+      Acc += V;
+      auto RowHi = static_cast<unsigned>(std::ceil(Acc * ColScale));
+      RowHi = std::min(RowHi, Height);
+      const char G = Glyphs[SI % NumGlyphs];
+      for (unsigned R = RowLo; R < std::max(RowHi, RowLo + 1) && R < Height;
+           ++R)
+        Grid[R][C] = G;
+    }
+  }
+
+  std::string Out;
+  if (!Overlay.empty()) {
+    std::string Line(Width, ' ');
+    for (std::size_t C = 0; C < std::min(Width, Overlay.size()); ++C)
+      if (Overlay[C])
+        Line[C] = '#';
+    Out += Line;
+    Out += "   <- ";
+    Out += OverlayName;
+    Out += '\n';
+  }
+  for (unsigned R = Height; R-- > 0;) {
+    Out += Grid[R];
+    Out += '\n';
+  }
+  Out.append(Width, '-');
+  Out += '\n';
+  for (std::size_t SI = 0; SI < AllSeries.size(); ++SI) {
+    Out += "  ";
+    Out += Glyphs[SI % NumGlyphs];
+    Out += " = ";
+    Out += AllSeries[SI].Name;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string regmon::sparkline(std::span<const double> Values, double Lo,
+                              double Hi) {
+  static const char Levels[] = " .:-=+*#%@";
+  constexpr int NumLevels = sizeof(Levels) - 2;
+  std::string Out;
+  Out.reserve(Values.size());
+  const double Span = Hi > Lo ? Hi - Lo : 1.0;
+  for (double V : Values) {
+    const double Norm = std::clamp((V - Lo) / Span, 0.0, 1.0);
+    Out += Levels[static_cast<int>(std::lround(Norm * NumLevels))];
+  }
+  return Out;
+}

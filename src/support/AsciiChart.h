@@ -1,0 +1,60 @@
+//===- support/AsciiChart.h - Terminal charts for region data --*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text renderers for the paper's "region charts" (Figs. 2, 5, 9):
+/// a stacked series chart showing how many samples each region received in
+/// each interval, with an optional phase line on top, and a simple sparkline
+/// for scalar series such as Pearson r over time (Figs. 10, 11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SUPPORT_ASCIICHART_H
+#define REGMON_SUPPORT_ASCIICHART_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace regmon {
+
+/// Renders a stacked chart of per-series values over intervals.
+class StackedChart {
+public:
+  /// Creates a chart \p Height character rows tall.
+  explicit StackedChart(unsigned Height = 16) : Height(Height) {}
+
+  /// Adds one series named \p Name with one value per interval. All series
+  /// must have the same length.
+  void addSeries(std::string Name, std::vector<double> Values);
+
+  /// Sets a boolean overlay (e.g. "phase unstable") drawn as a line of '#'
+  /// above the stack; one flag per interval.
+  void setOverlay(std::string Name, std::vector<bool> Flags);
+
+  /// Renders the chart plus a legend mapping glyphs to series names.
+  std::string render() const;
+
+private:
+  struct Series {
+    std::string Name;
+    std::vector<double> Values;
+  };
+
+  unsigned Height;
+  std::vector<Series> AllSeries;
+  std::string OverlayName;
+  std::vector<bool> Overlay;
+};
+
+/// Renders a single scalar series as a sparkline spanning [Lo, Hi], one
+/// character per point, using a vertical resolution of 8 sub-levels.
+std::string sparkline(std::span<const double> Values, double Lo, double Hi);
+
+} // namespace regmon
+
+#endif // REGMON_SUPPORT_ASCIICHART_H

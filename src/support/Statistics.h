@@ -1,0 +1,125 @@
+//===- support/Statistics.h - Streaming and batch statistics ---*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistical kernels both phase detectors are built from:
+///
+///  * RunningStats     -- Welford streaming mean/variance (GPD centroid
+///                        history when unwindowed).
+///  * WindowedStats    -- mean/stddev over a sliding window of the last N
+///                        values (the GPD "band of stability" E and SD).
+///  * pearson          -- Pearson's coefficient of correlation between two
+///                        equally-sized sample vectors (the LPD similarity
+///                        metric, paper section 3.2.1).
+///  * median/quantile  -- batch order statistics (Fig. 6 reports the median
+///                        of per-interval UCR percentages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SUPPORT_STATISTICS_H
+#define REGMON_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace regmon {
+
+/// Numerically stable streaming mean and variance (Welford's algorithm).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    ++N;
+    const double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+  }
+
+  /// Discards all observations.
+  void clear() { *this = RunningStats(); }
+
+  /// Returns the number of observations added so far.
+  std::size_t count() const { return N; }
+  /// Returns the sample mean, or 0 if no observations were added.
+  double mean() const { return Mean; }
+  /// Returns the population variance, or 0 with fewer than two observations.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N);
+  }
+  /// Returns the population standard deviation.
+  double stddev() const;
+
+private:
+  std::size_t N = 0;
+  double Mean = 0;
+  double M2 = 0;
+};
+
+/// Mean and standard deviation over a sliding window of the most recent
+/// \p Capacity observations. The GPD centroid history is an instance of
+/// this: E and SD of the last few centroids define the band of stability.
+class WindowedStats {
+public:
+  /// Creates a window holding at most \p Capacity observations.
+  explicit WindowedStats(std::size_t Capacity);
+
+  /// Adds one observation, evicting the oldest if the window is full.
+  void add(double X);
+  /// Discards all observations (a working-set reset).
+  void clear();
+  /// Changes the window capacity, keeping the most recent observations
+  /// that still fit. Used by adaptive-window phase detection.
+  void resize(std::size_t NewCapacity);
+
+  /// Returns the number of observations currently in the window.
+  std::size_t count() const { return Buffer.size(); }
+  /// Returns true if the window holds its full capacity of observations.
+  bool full() const { return Buffer.size() == Cap; }
+  /// Returns the window capacity.
+  std::size_t capacity() const { return Cap; }
+  /// Returns the mean of the windowed observations (0 when empty).
+  double mean() const;
+  /// Returns the population standard deviation of the windowed observations.
+  double stddev() const;
+
+private:
+  std::size_t Cap;
+  std::size_t Head = 0; // index of the oldest element when full
+  std::vector<double> Buffer;
+  double Sum = 0;
+};
+
+/// Computes Pearson's coefficient of correlation between \p X and \p Y,
+/// which must be the same (nonzero) length.
+///
+/// This is the similarity measure of local phase detection: X is the stable
+/// set of per-instruction samples for a region, Y the current set. Values
+/// near +1 mean the same instructions are hot in the same proportions (no
+/// phase change even if the total sample count scaled); values near 0 or
+/// negative mean the bottleneck moved (a phase change).
+///
+/// Degenerate inputs (either vector has zero variance) have no defined
+/// correlation; following the detector's intent we return 1.0 when the two
+/// vectors are proportional (identical shape) and 0.0 otherwise.
+double pearson(std::span<const double> X, std::span<const double> Y);
+
+/// Integer-histogram convenience overload of \ref pearson.
+double pearson(std::span<const std::uint32_t> X,
+               std::span<const std::uint32_t> Y);
+
+/// Returns the median of \p Values (by copy; does not reorder the input).
+/// Returns 0 for an empty input.
+double median(std::span<const double> Values);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation between closest ranks. Returns 0 for an empty input.
+double quantile(std::span<const double> Values, double Q);
+
+} // namespace regmon
+
+#endif // REGMON_SUPPORT_STATISTICS_H

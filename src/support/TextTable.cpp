@@ -1,0 +1,103 @@
+//===- support/TextTable.cpp - Aligned plain-text tables ------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+using namespace regmon;
+
+void TextTable::header(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::row(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+bool TextTable::looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : Cell) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == '%' || C == 'x' ||
+        C == 'e' || C == 'E' || C == ',')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+std::string TextTable::render() const {
+  std::size_t Cols = Header.size();
+  for (const auto &Row : Rows)
+    Cols = std::max(Cols, Row.size());
+
+  std::vector<std::size_t> Width(Cols, 0);
+  auto Measure = [&Width](const std::vector<std::string> &Row) {
+    for (std::size_t I = 0; I < Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (std::size_t I = 0; I < Cols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      const std::size_t Pad = Width[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+      if (I + 1 != Cols)
+        Out += "  ";
+    }
+    // Trim trailing padding.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    std::size_t RuleLen = 0;
+    for (std::size_t I = 0; I < Cols; ++I)
+      RuleLen += Width[I] + (I + 1 != Cols ? 2 : 0);
+    Out.append(RuleLen, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string TextTable::num(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TextTable::percent(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Digits, Value * 100.0);
+  return Buf;
+}
+
+std::string TextTable::count(std::uint64_t Value) {
+  return std::to_string(Value);
+}

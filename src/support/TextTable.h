@@ -1,0 +1,55 @@
+//===- support/TextTable.h - Aligned plain-text tables ---------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table renderer used by the benchmark harnesses to
+/// print the rows of each reproduced figure. Rendering produces a string;
+/// the caller decides where to write it (library code never touches
+/// iostreams).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SUPPORT_TEXTTABLE_H
+#define REGMON_SUPPORT_TEXTTABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace regmon {
+
+/// Accumulates rows of string cells and renders them with columns padded to
+/// their widest cell. The first row added with \ref header is underlined.
+class TextTable {
+public:
+  /// Sets the header row (replaces any previous header).
+  void header(std::vector<std::string> Cells);
+
+  /// Appends one data row. Rows may have differing cell counts; shorter
+  /// rows are padded with empty cells.
+  void row(std::vector<std::string> Cells);
+
+  /// Renders the table. Columns are separated by two spaces; numeric-looking
+  /// cells (per \ref looksNumeric) are right-aligned, text is left-aligned.
+  std::string render() const;
+
+  /// Formats \p Value with \p Digits fractional digits.
+  static std::string num(double Value, int Digits = 2);
+  /// Formats \p Value as a percentage with \p Digits fractional digits.
+  static std::string percent(double Value, int Digits = 1);
+  /// Formats an unsigned integer count.
+  static std::string count(std::uint64_t Value);
+
+private:
+  static bool looksNumeric(const std::string &Cell);
+
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace regmon
+
+#endif // REGMON_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,58 @@
+//===- support/Types.h - Fundamental scalar types ---------------*- C++ -*-===//
+//
+// Part of the regmon project: a reproduction of "Region Monitoring for Local
+// Phase Detection in Dynamic Optimization Systems" (Das, Lu & Hsu, CGO 2006).
+// Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fundamental scalar types shared by every regmon library: code addresses,
+/// cycle counts, work units, and the (pc, time) pair a hardware sampler
+/// delivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SUPPORT_TYPES_H
+#define REGMON_SUPPORT_TYPES_H
+
+#include <cstdint>
+
+namespace regmon {
+
+/// A code address. The simulated ISA is SPARC-like: instructions are 4 bytes
+/// wide and aligned.
+using Addr = std::uint64_t;
+
+/// A count of machine cycles (real, post-optimization execution time).
+using Cycles = std::uint64_t;
+
+/// A count of abstract work units. One work unit is one *baseline* cycle:
+/// the cycle cost of executing that slice of the program with no runtime
+/// optimizations deployed. Deployed optimizations make a work unit take
+/// fewer than one actual cycle, so total work is invariant across optimizer
+/// strategies while total cycles is the quantity a strategy improves.
+using Work = double;
+
+/// Byte width of one simulated instruction.
+inline constexpr Addr InstrBytes = 4;
+
+/// One program-counter sample as delivered by the sampling substrate.
+///
+/// Besides the interrupted PC, hardware performance monitors tag samples
+/// with event state; the one the paper's optimizer cares about is whether
+/// the interrupted instruction was stalled on a data-cache miss (the
+/// paper's DPI metric and ADORE's delinquent-load selection both derive
+/// from it).
+struct Sample {
+  /// The sampled program counter.
+  Addr Pc = 0;
+  /// The cycle at which the sampling interrupt fired.
+  Cycles Time = 0;
+  /// True when the interrupted instruction was stalled on a D-cache miss.
+  bool DCacheMiss = false;
+};
+
+} // namespace regmon
+
+#endif // REGMON_SUPPORT_TYPES_H

@@ -1,0 +1,347 @@
+//===- workloads/SpecFp.cpp - SPEC CPU2000 floating-point models ----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behaviour models of the SPEC CPU2000 floating-point benchmarks; see
+/// Workloads.h for the ground rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace regmon;
+using namespace regmon::workloads;
+using sim::LoopId;
+using sim::MixId;
+using sim::ProfileId;
+
+/// 168.wupwise: lattice QCD -- BLAS-heavy with a matmul/gamma-op cadence
+/// per lattice sweep. Oscillates fast enough to thrash GPD at the smallest
+/// sampling period only.
+Workload detail::makeWupwise() {
+  WorkloadBuilder B("168.wupwise");
+  const auto PZgemm = B.proc("zgemm", 0x1e000, 0x1f000);
+  const auto PGammp = B.proc("gammul", 0x66000, 0x67000);
+
+  const LoopId Zgemm = B.loop(PZgemm, 0x1e200, 0x1e300, 0.08);
+  const LoopId Zaxpy = B.loop(PZgemm, 0x1e800, 0x1e880, 0.06);
+  const LoopId Gamma = B.loop(PGammp, 0x66100, 0x661e0, 0.06);
+
+  const ProfileId ZgemmP = B.hotspots(Zgemm, 1.0, {{30, 40}, {52, 20}});
+  const ProfileId ZaxpyP = B.hotspots(Zaxpy, 1.0, {{8, 30}});
+  const ProfileId GammaP = B.hotspots(Gamma, 1.0, {{25, 34}});
+
+  const MixId MatPhase = B.mix({{Zgemm, ZgemmP, 0.66},
+                                {Zaxpy, ZaxpyP, 0.28},
+                                {Gamma, GammaP, 0.06}});
+  const MixId GammaPhase = B.mix({{Gamma, GammaP, 0.72},
+                                  {Zaxpy, ZaxpyP, 0.20},
+                                  {Zgemm, ZgemmP, 0.08}});
+
+  B.alternating(MatPhase, GammaPhase, 1.2 * GWork, 60 * GWork);
+  return B.build();
+}
+
+/// 171.swim: shallow-water stencils; three big steady loops, the model
+/// numeric benchmark that never changes phase.
+Workload detail::makeSwim() {
+  WorkloadBuilder B("171.swim");
+  const auto PCalc = B.proc("calc123", 0x16000, 0x17000);
+
+  const LoopId Calc1 = B.loop(PCalc, 0x16100, 0x161c0, 0.10);
+  const LoopId Calc2 = B.loop(PCalc, 0x16400, 0x164c0, 0.10);
+  const LoopId Calc3 = B.loop(PCalc, 0x16800, 0x168a0, 0.08);
+
+  const ProfileId C1 = B.hotspots(Calc1, 1.0, {{12, 36}, {28, 20}});
+  const ProfileId C2 = B.hotspots(Calc2, 1.0, {{20, 32}});
+  const ProfileId C3 = B.hotspots(Calc3, 1.0, {{9, 28}});
+
+  const MixId Step = B.mix(
+      {{Calc1, C1, 0.40}, {Calc2, C2, 0.37}, {Calc3, C3, 0.23}});
+  B.steady(Step, 58 * GWork);
+  return B.build();
+}
+
+/// 172.mgrid: multigrid V-cycles; the hot loops sit close together and the
+/// cycle structure repeats far faster than any sampling interval, so the
+/// centroid barely moves at any period ([13] reports 8%: stall 0.074).
+Workload detail::makeMgrid() {
+  WorkloadBuilder B("172.mgrid");
+  const auto PResid = B.proc("resid_psinv", 0x1a000, 0x1b000);
+
+  const LoopId Resid = B.loop(PResid, 0x1a100, 0x1a1e0, 0.074);
+  const LoopId Psinv = B.loop(PResid, 0x1a400, 0x1a4c0, 0.074);
+  const LoopId Interp = B.loop(PResid, 0x1a800, 0x1a880, 0.05);
+
+  const ProfileId ResidP = B.hotspots(Resid, 1.0, {{18, 42}, {33, 18}});
+  const ProfileId PsinvP = B.hotspots(Psinv, 1.0, {{14, 38}});
+  const ProfileId InterpP = B.hotspots(Interp, 1.0, {{7, 22}});
+  B.missModel(Resid, ResidP, 0.02, {{18, 0.18}, {33, 0.10}});
+  B.missModel(Psinv, PsinvP, 0.02, {{14, 0.16}});
+
+  const MixId Down = B.mix({{Resid, ResidP, 0.52},
+                            {Psinv, PsinvP, 0.36},
+                            {Interp, InterpP, 0.12}});
+  const MixId Up = B.mix({{Resid, ResidP, 0.44},
+                          {Psinv, PsinvP, 0.40},
+                          {Interp, InterpP, 0.16}});
+
+  // V-cycle cadence of ~40M work: every interval at every studied period
+  // blends both halves, so the mixture looks stationary.
+  B.alternating(Down, Up, 0.04 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 173.applu: SSOR solver; steady except one grid re-partitioning halfway.
+Workload detail::makeApplu() {
+  WorkloadBuilder B("173.applu");
+  const auto PSolve = B.proc("blts_buts", 0x1c000, 0x1d000);
+
+  const LoopId Blts = B.loop(PSolve, 0x1c100, 0x1c1e0, 0.08);
+  const LoopId Buts = B.loop(PSolve, 0x1c500, 0x1c5e0, 0.08);
+
+  const ProfileId BltsP = B.hotspots(Blts, 1.0, {{22, 36}});
+  const ProfileId ButsP = B.hotspots(Buts, 1.0, {{31, 34}});
+
+  const MixId Lower = B.mix({{Blts, BltsP, 0.68}, {Buts, ButsP, 0.32}});
+  const MixId Upper = B.mix({{Buts, ButsP, 0.66}, {Blts, BltsP, 0.34}});
+
+  B.steady(Lower, 29 * GWork);
+  B.steady(Upper, 29 * GWork);
+  return B.build();
+}
+
+/// 177.mesa: software rasterization; one dominant pipeline with a minor
+/// scene change.
+Workload detail::makeMesa() {
+  WorkloadBuilder B("177.mesa");
+  const auto PTri = B.proc("triangle_pipe", 0x28000, 0x29000);
+
+  const LoopId Span = B.loop(PTri, 0x28100, 0x281c0, 0.05);
+  const LoopId Tex = B.loop(PTri, 0x28500, 0x28580, 0.06);
+
+  const ProfileId SpanP = B.hotspots(Span, 1.0, {{15, 30}});
+  const ProfileId TexP = B.hotspots(Tex, 1.0, {{9, 28}});
+
+  const MixId Flat = B.mix({{Span, SpanP, 0.70}, {Tex, TexP, 0.30}});
+  const MixId Textured = B.mix({{Tex, TexP, 0.55}, {Span, SpanP, 0.45}});
+
+  B.steady(Flat, 22 * GWork);
+  B.steady(Textured, 36 * GWork);
+  return B.build();
+}
+
+/// 178.galgel: Galerkin fluid oscillations -- the physics itself is
+/// periodic, and the solver working set swings with it on a timescale that
+/// aliases badly against small sampling periods.
+Workload detail::makeGalgel() {
+  WorkloadBuilder B("178.galgel");
+  const auto PSyshtN = B.proc("sysht_nonlin", 0x20000, 0x21000);
+  const auto PDgemv = B.proc("dgemv_kernel", 0x7e000, 0x7f000);
+
+  const LoopId Nonlin = B.loop(PSyshtN, 0x20100, 0x201e0, 0.07);
+  const LoopId Dgemv = B.loop(PDgemv, 0x7e100, 0x7e1d0, 0.09);
+  const LoopId Copy = B.loop(PDgemv, 0x7e600, 0x7e660, 0.03);
+
+  const ProfileId NonlinP = B.hotspots(Nonlin, 1.0, {{27, 38}});
+  const ProfileId DgemvP = B.hotspots(Dgemv, 1.0, {{16, 44}, {37, 18}});
+  const ProfileId CopyP = B.hotspots(Copy, 1.0, {{4, 20}});
+
+  const MixId Assembly = B.mix({{Nonlin, NonlinP, 0.72},
+                                {Copy, CopyP, 0.16},
+                                {Dgemv, DgemvP, 0.12}});
+  const MixId Solve = B.mix({{Dgemv, DgemvP, 0.74},
+                             {Copy, CopyP, 0.14},
+                             {Nonlin, NonlinP, 0.12}});
+
+  B.alternating(Assembly, Solve, 1.0 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 179.art: neural-network image recognition; two steady scan loops.
+/// (Fig. 16 subject only.)
+Workload detail::makeArt() {
+  WorkloadBuilder B("179.art");
+  const auto PScan = B.proc("match_scan", 0x18000, 0x19000);
+
+  const LoopId F1 = B.loop(PScan, 0x18100, 0x181a0, 0.09);
+  const LoopId F2 = B.loop(PScan, 0x18400, 0x18480, 0.07);
+
+  const ProfileId F1P = B.hotspots(F1, 1.0, {{13, 34}});
+  const ProfileId F2P = B.hotspots(F2, 1.0, {{21, 30}});
+
+  const MixId Scan = B.mix({{F1, F1P, 0.58}, {F2, F2P, 0.42}});
+  B.steady(Scan, 56 * GWork);
+  return B.build();
+}
+
+/// 183.equake: sparse earthquake simulation; one steady sparse-matvec
+/// working set.
+Workload detail::makeEquake() {
+  WorkloadBuilder B("183.equake");
+  const auto PSmvp = B.proc("smvp", 0x1f000, 0x20000);
+
+  const LoopId Smvp = B.loop(PSmvp, 0x1f100, 0x1f1e0, 0.11);
+  const LoopId Time = B.loop(PSmvp, 0x1f600, 0x1f660, 0.04);
+
+  const ProfileId SmvpP = B.hotspots(Smvp, 1.0, {{24, 46}, {40, 22}});
+  const ProfileId TimeP = B.hotspots(Time, 1.0, {{6, 18}});
+  B.missModel(Smvp, SmvpP, 0.03, {{24, 0.35}, {40, 0.20}});
+
+  const MixId Step = B.mix({{Smvp, SmvpP, 0.82}, {Time, TimeP, 0.18}});
+  B.steady(Step, 56 * GWork);
+  return B.build();
+}
+
+/// 187.facerec: the paper's Fig. 5 case -- execution "periodically
+/// switches between 2 sets of regions" (graph search vs FFT correlation)
+/// placed far apart in the binary. Every switch yanks the centroid across
+/// most of the address space; locally each set is perfectly steady.
+Workload detail::makeFacerec() {
+  WorkloadBuilder B("187.facerec");
+  const auto PGraph = B.proc("graph_routines", 0x20000, 0x22000);
+  const auto PFft = B.proc("fft_correlate", 0x94000, 0x96000);
+
+  const LoopId GMatch = B.loop(PGraph, 0x20200, 0x202e0, 0.07);
+  const LoopId GLocal = B.loop(PGraph, 0x21000, 0x21090, 0.05);
+  const LoopId Fft = B.loop(PFft, 0x94200, 0x942e0, 0.09);
+  const LoopId Corr = B.loop(PFft, 0x95000, 0x950a0, 0.07);
+
+  const ProfileId GMatchP = B.hotspots(GMatch, 1.0, {{19, 36}});
+  const ProfileId GLocalP = B.hotspots(GLocal, 1.0, {{10, 26}});
+  const ProfileId FftP = B.hotspots(Fft, 1.0, {{28, 40}, {44, 16}});
+  const ProfileId CorrP = B.hotspots(Corr, 1.0, {{12, 30}});
+
+  const MixId GraphSet = B.mix({{GMatch, GMatchP, 0.62},
+                                {GLocal, GLocalP, 0.30},
+                                {Fft, FftP, 0.05},
+                                {Corr, CorrP, 0.03}});
+  const MixId FftSet = B.mix({{Fft, FftP, 0.58},
+                              {Corr, CorrP, 0.34},
+                              {GMatch, GMatchP, 0.05},
+                              {GLocal, GLocalP, 0.03}});
+
+  B.alternating(GraphSet, FftSet, 1.3 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 188.ammp: molecular dynamics with one enormous force loop (1024
+/// instructions). Its two bottleneck patterns alternate on a 33M-work
+/// cadence, so every 45K-period interval (91M cycles) blends them in
+/// wobbling proportions; with 1024 bins sharing ~1300 samples the Pearson
+/// r hovers *just below* the 0.8 threshold at small periods -- the
+/// Fig. 13 aberration that motivates a size-adaptive threshold. At larger
+/// periods each interval averages many alternations and r recovers.
+Workload detail::makeAmmp() {
+  WorkloadBuilder B("188.ammp");
+  const auto PForce = B.proc("mm_fv_update_nonbon", 0x60000, 0x62000);
+  const auto PPair = B.proc("pair_lists", 0x30000, 0x30800);
+
+  const LoopId Force = B.loop(PForce, 0x60000, 0x61000, 0.10);
+  const LoopId Pair = B.loop(PPair, 0x30100, 0x30190, 0.05);
+
+  const ProfileId ForceA = B.hotspots(
+      Force, 1.0,
+      {{100, 60}, {301, 45}, {502, 50}, {703, 40}, {900, 35}});
+  const ProfileId ForceB = B.shifted(Force, ForceA, 57);
+  const ProfileId PairP = B.hotspots(Pair, 1.0, {{8, 24}});
+
+  const MixId NearList = B.mix({{Force, ForceA, 0.62},
+                                {Pair, PairP, 0.38}});
+  const MixId FarList = B.mix({{Force, ForceB, 0.62},
+                               {Pair, PairP, 0.38}});
+
+  B.alternating(NearList, FarList, 0.033 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 189.lucas: Lucas-Lehmer primality -- FFT squaring and carry passes
+/// cadence against each other.
+Workload detail::makeLucas() {
+  WorkloadBuilder B("189.lucas");
+  const auto PFft = B.proc("fft_square", 0x1d000, 0x1e000);
+  const auto PCarry = B.proc("carry_norm", 0x6a000, 0x6b000);
+
+  const LoopId Fft = B.loop(PFft, 0x1d100, 0x1d1e0, 0.08);
+  const LoopId Carry = B.loop(PCarry, 0x6a100, 0x6a190, 0.06);
+
+  const ProfileId FftP = B.hotspots(Fft, 1.0, {{26, 42}});
+  const ProfileId CarryP = B.hotspots(Carry, 1.0, {{11, 30}});
+
+  const MixId Squaring = B.mix({{Fft, FftP, 0.80}, {Carry, CarryP, 0.20}});
+  const MixId Carrying = B.mix({{Carry, CarryP, 0.72}, {Fft, FftP, 0.28}});
+
+  B.alternating(Squaring, Carrying, 0.9 * GWork, 56 * GWork);
+  return B.build();
+}
+
+/// 191.fma3d: crash simulation; element blocks of different types stream
+/// through, drifting the working set on a medium timescale ([13] reports
+/// 16%: stall 0.138).
+Workload detail::makeFma3d() {
+  WorkloadBuilder B("191.fma3d");
+  const auto PPlate = B.proc("platq_force", 0x26000, 0x27000);
+  const auto PSolid = B.proc("solid_force", 0x6e000, 0x6f000);
+
+  const LoopId Platq = B.loop(PPlate, 0x26100, 0x261e0, 0.138);
+  const LoopId Solid = B.loop(PSolid, 0x6e100, 0x6e1d0, 0.138);
+  const LoopId Gather = B.loop(PSolid, 0x6e600, 0x6e680, 0.05);
+
+  const ProfileId PlatqP = B.hotspots(Platq, 1.0, {{21, 40}, {38, 18}});
+  const ProfileId SolidP = B.hotspots(Solid, 1.0, {{17, 38}});
+  const ProfileId GatherP = B.hotspots(Gather, 1.0, {{9, 22}});
+  B.missModel(Platq, PlatqP, 0.03, {{21, 0.30}, {38, 0.18}});
+  B.missModel(Solid, SolidP, 0.03, {{17, 0.28}});
+  B.missModel(Gather, GatherP, 0.03, {{9, 0.20}});
+
+  const MixId Plates = B.mix({{Platq, PlatqP, 0.64},
+                              {Gather, GatherP, 0.22},
+                              {Solid, SolidP, 0.14}});
+  const MixId Solids = B.mix({{Solid, SolidP, 0.62},
+                              {Gather, GatherP, 0.24},
+                              {Platq, PlatqP, 0.14}});
+
+  B.alternating(Plates, Solids, 2.0 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 200.sixtrack: particle tracking; a single tight steady kernel.
+Workload detail::makeSixtrack() {
+  WorkloadBuilder B("200.sixtrack");
+  const auto PTrack = B.proc("thin6d", 0x21000, 0x22000);
+
+  const LoopId Track = B.loop(PTrack, 0x21100, 0x211e0, 0.06);
+  const LoopId Kick = B.loop(PTrack, 0x21500, 0x21570, 0.04);
+
+  const ProfileId TrackP = B.hotspots(Track, 1.0, {{23, 40}});
+  const ProfileId KickP = B.hotspots(Kick, 1.0, {{8, 24}});
+
+  const MixId Turn = B.mix({{Track, TrackP, 0.76}, {Kick, KickP, 0.24}});
+  B.steady(Turn, 56 * GWork);
+  return B.build();
+}
+
+/// 301.apsi: pollution modelling; two solver working sets with clean
+/// transitions.
+Workload detail::makeApsi() {
+  WorkloadBuilder B("301.apsi");
+  const auto PAdv = B.proc("advection", 0x23000, 0x24000);
+  const auto PTurb = B.proc("turbulence", 0x52000, 0x53000);
+
+  const LoopId Adv = B.loop(PAdv, 0x23100, 0x231d0, 0.07);
+  const LoopId Turb = B.loop(PTurb, 0x52100, 0x52190, 0.06);
+
+  const ProfileId AdvP = B.hotspots(Adv, 1.0, {{20, 34}});
+  const ProfileId TurbP = B.hotspots(Turb, 1.0, {{13, 30}});
+
+  const MixId Advect = B.mix({{Adv, AdvP, 0.70}, {Turb, TurbP, 0.30}});
+  const MixId Diffuse = B.mix({{Turb, TurbP, 0.64}, {Adv, AdvP, 0.36}});
+
+  B.steady(Advect, 20 * GWork);
+  B.steady(Diffuse, 18 * GWork);
+  B.steady(Advect, 20 * GWork);
+  return B.build();
+}

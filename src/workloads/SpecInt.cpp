@@ -1,0 +1,401 @@
+//===- workloads/SpecInt.cpp - SPEC CPU2000 integer models ----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behaviour models of the SPEC CPU2000 integer benchmarks. Each model is a
+/// compact description of what the paper (and [13]) report the benchmark
+/// *looks like* through a PC-sampling window; see Workloads.h for the
+/// ground rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace regmon;
+using namespace regmon::workloads;
+using sim::LoopId;
+using sim::MixId;
+using sim::ProfileId;
+
+/// 164.gzip (ref5 input): deflate/inflate alternate as the input is
+/// compressed and decompressed in blocks. Moderate global churn at small
+/// sampling periods; both hot loops are internally steady.
+Workload detail::makeGzip() {
+  WorkloadBuilder B("164.gzip");
+  const auto PDeflate = B.proc("deflate", 0x18000, 0x19000);
+  const auto PInflate = B.proc("inflate", 0x42000, 0x43000);
+  const auto PLib = B.proc("libc_misc", 0x90000, 0x90400);
+
+  const LoopId Deflate = B.loop(PDeflate, 0x18200, 0x18300, 0.06);
+  const LoopId Match = B.loop(PDeflate, 0x18800, 0x18880, 0.08);
+  const LoopId Inflate = B.loop(PInflate, 0x42400, 0x424c0, 0.05);
+  const LoopId Crc = B.loop(PLib, 0x90000, 0x90400, 0.0, 1.0,
+                            /*Regionable=*/false);
+
+  const ProfileId DeflateP = B.hotspots(Deflate, 1.0, {{12, 30}, {40, 18}});
+  const ProfileId MatchP = B.hotspots(Match, 1.0, {{6, 45}});
+  const ProfileId InflateP = B.hotspots(Inflate, 1.0, {{20, 28}, {33, 12}});
+  const ProfileId CrcP = B.uniform(Crc);
+
+  const MixId Compress = B.mix({{Deflate, DeflateP, 0.42},
+                                {Match, MatchP, 0.38},
+                                {Inflate, InflateP, 0.05},
+                                {Crc, CrcP, 0.15}});
+  const MixId Decompress = B.mix({{Inflate, InflateP, 0.70},
+                                  {Deflate, DeflateP, 0.06},
+                                  {Match, MatchP, 0.04},
+                                  {Crc, CrcP, 0.20}});
+
+  // ref5 processes one file per pass: compress, then decompress, repeated.
+  B.alternating(Compress, Decompress, 1.1 * GWork, 60 * GWork);
+  return B.build();
+}
+
+/// 175.vpr: one placement phase, one routing phase, one clean transition.
+Workload detail::makeVpr() {
+  WorkloadBuilder B("175.vpr");
+  const auto PPlace = B.proc("try_place", 0x22000, 0x23000);
+  const auto PRoute = B.proc("route_net", 0x2a000, 0x2b000);
+
+  const LoopId Place = B.loop(PPlace, 0x22100, 0x22200, 0.05);
+  const LoopId Swap = B.loop(PPlace, 0x22600, 0x22680, 0.04);
+  const LoopId Route = B.loop(PRoute, 0x2a300, 0x2a400, 0.06);
+
+  const ProfileId PlaceP = B.hotspots(Place, 1.0, {{18, 26}});
+  const ProfileId SwapP = B.hotspots(Swap, 1.0, {{9, 30}});
+  const ProfileId RouteP = B.hotspots(Route, 1.0, {{30, 22}, {44, 14}});
+
+  const MixId Placing =
+      B.mix({{Place, PlaceP, 0.62}, {Swap, SwapP, 0.38}});
+  const MixId Routing =
+      B.mix({{Route, RouteP, 0.85}, {Place, PlaceP, 0.15}});
+
+  B.steady(Placing, 34 * GWork);
+  B.steady(Routing, 26 * GWork);
+  return B.build();
+}
+
+/// 176.gcc: a big compiler -- dozens of moderately hot loops, a working
+/// set that churns from pass to pass, and substantial time in code no
+/// region can be built around. The large region count is what makes gcc
+/// expensive to monitor (Figs. 15/16).
+Workload detail::makeGcc() {
+  WorkloadBuilder B("176.gcc");
+  const auto PParse = B.proc("yyparse", 0x30000, 0x38000);
+  const auto PRtl = B.proc("rtl_passes", 0x50000, 0x5c000);
+  const auto PReg = B.proc("reload", 0x70000, 0x78000);
+  const auto PMisc = B.proc("misc", 0xa0000, 0xa1000);
+
+  // Thirty-two loops per pass cluster, 24-40 instructions each.
+  std::vector<LoopId> Loops;
+  std::vector<ProfileId> Profiles;
+  const std::uint32_t Procs[] = {PParse, PRtl, PReg};
+  const Addr Bases[] = {0x30000, 0x50000, 0x70000};
+  for (int Cluster = 0; Cluster < 3; ++Cluster) {
+    for (int I = 0; I < 32; ++I) {
+      const Addr Start = Bases[Cluster] + static_cast<Addr>(I) * 0x400;
+      const Addr End = Start + 0x80 + static_cast<Addr>(I % 3) * 0x20;
+      const LoopId L = B.loop(Procs[Cluster], Start, End, 0.04);
+      Loops.push_back(L);
+      Profiles.push_back(B.hotspots(
+          L, 1.0, {{static_cast<std::size_t>(3 + I % 9), 24.0}}));
+    }
+  }
+  const LoopId Misc = B.loop(PMisc, 0xa0000, 0xa1000, 0.0, 1.0,
+                             /*Regionable=*/false);
+  const ProfileId MiscP = B.uniform(Misc);
+
+  // One mix per pass cluster: its loops plus non-regionable glue.
+  MixId Mixes[3];
+  for (int Cluster = 0; Cluster < 3; ++Cluster) {
+    sim::Mix M;
+    for (int I = 0; I < 32; ++I) {
+      const std::size_t Index = static_cast<std::size_t>(Cluster) * 32 +
+                                static_cast<std::size_t>(I);
+      M.Components.push_back(
+          {Loops[Index], Profiles[Index], 0.022 + 0.001 * (I % 5)});
+    }
+    M.Components.push_back({Misc, MiscP, 0.26});
+    Mixes[Cluster] = B.mixRaw(std::move(M));
+  }
+
+  // Compile units stream by: parse, optimize, reload, repeat.
+  for (int Unit = 0; Unit < 12; ++Unit)
+    for (int Cluster = 0; Cluster < 3; ++Cluster)
+      B.steady(Mixes[Cluster], (1.3 + 0.2 * (Unit % 3)) * GWork);
+  return B.build();
+}
+
+/// 181.mcf: the paper's flagship. Early execution is dominated by region
+/// 146f0-14770, which fades while 142c8-14318 grows (Figs. 2/9); the back
+/// half toggles periodically between the two sets with *constant
+/// per-region histograms*, so GPD sees endless churn while every region is
+/// locally stable (Fig. 10). [13] reports a 35% prefetching speedup:
+/// removable stall fraction 0.26.
+Workload detail::makeMcf() {
+  WorkloadBuilder B("181.mcf");
+  const auto PBea = B.proc("primal_bea_mpp", 0x13000, 0x13800);
+  const auto PRefresh = B.proc("refresh_potential", 0x14200, 0x14800);
+  const auto PLib = B.proc("malloc_glue", 0x1c000, 0x1c300);
+  const auto PImpl = B.proc("price_out_impl", 0x48000, 0x48800);
+
+  const LoopId Bea = B.loop(PBea, 0x13134, 0x133d4, 0.30);
+  const LoopId Arc = B.loop(PRefresh, 0x142c8, 0x14318, 0.30);
+  const LoopId Node = B.loop(PRefresh, 0x146f0, 0x14770, 0.30);
+  const LoopId Impl = B.loop(PImpl, 0x48100, 0x48190, 0.30);
+  const LoopId Lib = B.loop(PLib, 0x1c000, 0x1c300, 0.0, 1.0,
+                            /*Regionable=*/false);
+
+  const ProfileId BeaP = B.hotspots(Bea, 1.0, {{40, 60}, {90, 35}});
+  const ProfileId ArcP = B.hotspots(Arc, 1.0, {{5, 50}, {14, 20}});
+  const ProfileId NodeP = B.hotspots(Node, 1.0, {{10, 55}, {24, 30}});
+  const ProfileId ImplP = B.hotspots(Impl, 1.0, {{14, 36}});
+  const ProfileId LibP = B.uniform(Lib);
+  // mcf is the memory-bound benchmark of the suite: its hot instructions
+  // are pointer-chasing loads missing most of the time.
+  B.missModel(Bea, BeaP, 0.04, {{40, 0.55}, {90, 0.40}});
+  B.missModel(Arc, ArcP, 0.04, {{5, 0.50}, {14, 0.30}});
+  B.missModel(Node, NodeP, 0.04, {{10, 0.55}, {24, 0.35}});
+  B.missModel(Impl, ImplP, 0.04, {{14, 0.45}});
+
+  // Early: 146f0 (Node) rules.
+  const MixId Early = B.mix({{Node, NodeP, 0.58},
+                             {Bea, BeaP, 0.22},
+                             {Arc, ArcP, 0.08},
+                             {Lib, LibP, 0.12}});
+  // Hand-off midpoints.
+  const MixId Mid = B.mix({{Node, NodeP, 0.38},
+                           {Bea, BeaP, 0.24},
+                           {Arc, ArcP, 0.26},
+                           {Lib, LibP, 0.12}});
+  // Late toggle poles: Node-heavy simplex iterations vs Arc/implicit-price
+  // sweeps. price_out_impl sits far from refresh_potential in the binary,
+  // so the pole centroids land ~50% of E apart: past TH3 (band broken,
+  // bounce to unstable) but well under TH4 (history survives), exactly the
+  // churn-without-working-set-change regime of section 2.2.
+  const MixId PoleA = B.mix({{Node, NodeP, 0.70},
+                             {Bea, BeaP, 0.12},
+                             {Arc, ArcP, 0.06},
+                             {Lib, LibP, 0.12}});
+  const MixId PoleB = B.mix({{Arc, ArcP, 0.30},
+                             {Bea, BeaP, 0.18},
+                             {Impl, ImplP, 0.35},
+                             {Node, NodeP, 0.05},
+                             {Lib, LibP, 0.12}});
+
+  B.steady(Early, 14 * GWork);
+  B.steady(Mid, 10 * GWork);
+  B.alternating(PoleA, PoleB, 3.4 * GWork, 76 * GWork);
+  return B.build();
+}
+
+/// 186.crafty: chess search -- many small hot loops whose relative weights
+/// shuffle with the game phase, plus attack-table code whose cyclic paths
+/// cross procedure boundaries, defeating region formation on every trigger
+/// (Fig. 7: UCR never drops).
+Workload detail::makeCrafty() {
+  WorkloadBuilder B("186.crafty");
+  const auto PSearch = B.proc("search", 0x34000, 0x3a000);
+  const auto PEval = B.proc("evaluate", 0x3c000, 0x3e000);
+  const auto PAttack = B.proc("attack_tables", 0x58000, 0x59000);
+
+  std::vector<LoopId> Loops;
+  std::vector<ProfileId> Profiles;
+  for (int I = 0; I < 20; ++I) {
+    const Addr Start = 0x34000 + static_cast<Addr>(I) * 0x400;
+    const LoopId L = B.loop(PSearch, Start, Start + 0x70, 0.03);
+    Loops.push_back(L);
+    Profiles.push_back(B.hotspots(
+        L, 1.0, {{static_cast<std::size_t>(2 + I % 7), 20.0}}));
+  }
+  for (int I = 0; I < 20; ++I) {
+    const Addr Start = 0x3c000 + static_cast<Addr>(I) * 0x180;
+    const LoopId L = B.loop(PEval, Start, Start + 0x60, 0.03);
+    Loops.push_back(L);
+    Profiles.push_back(B.hotspots(
+        L, 1.0, {{static_cast<std::size_t>(1 + I % 5), 18.0}}));
+  }
+  const LoopId Attack = B.loop(PAttack, 0x58000, 0x59000, 0.0, 1.0,
+                               /*Regionable=*/false);
+  const ProfileId AttackP = B.uniform(Attack);
+
+  // Two game-phase mixes emphasizing different loop subsets; the attack
+  // tables burn ~45% throughout.
+  auto MakePhase = [&](int Offset) {
+    sim::Mix M;
+    for (int I = 0; I < 40; ++I) {
+      const double W = ((I + Offset) % 40) < 20 ? 0.0205 : 0.007;
+      M.Components.push_back(
+          {Loops[static_cast<std::size_t>(I)],
+           Profiles[static_cast<std::size_t>(I)], W});
+    }
+    M.Components.push_back({Attack, AttackP, 0.45});
+    return B.mixRaw(std::move(M));
+  };
+  const MixId Opening = MakePhase(0);
+  const MixId Endgame = MakePhase(20);
+
+  B.alternating(Opening, Endgame, 0.5 * GWork, 60 * GWork);
+  return B.build();
+}
+
+/// 197.parser: dictionary lookups and linkage phases; mild churn between
+/// two working sets, a quarter of the time in non-regionable hash glue.
+Workload detail::makeParser() {
+  WorkloadBuilder B("197.parser");
+  const auto PLink = B.proc("link_grammar", 0x26000, 0x28000);
+  const auto PDict = B.proc("dict_lookup", 0x2c000, 0x2d000);
+  const auto PHash = B.proc("hash_glue", 0x48000, 0x48800);
+
+  const LoopId Match = B.loop(PLink, 0x26200, 0x262c0, 0.05);
+  const LoopId Prune = B.loop(PLink, 0x27000, 0x27090, 0.05);
+  const LoopId Dict = B.loop(PDict, 0x2c100, 0x2c1a0, 0.04);
+  const LoopId Hash = B.loop(PHash, 0x48000, 0x48800, 0.0, 1.0,
+                             /*Regionable=*/false);
+
+  const ProfileId MatchP = B.hotspots(Match, 1.0, {{11, 32}});
+  const ProfileId PruneP = B.hotspots(Prune, 1.0, {{20, 26}});
+  const ProfileId DictP = B.hotspots(Dict, 1.0, {{8, 24}, {29, 12}});
+  const ProfileId HashP = B.uniform(Hash);
+
+  const MixId Parsing = B.mix({{Match, MatchP, 0.40},
+                               {Prune, PruneP, 0.22},
+                               {Dict, DictP, 0.13},
+                               {Hash, HashP, 0.25}});
+  const MixId Looking = B.mix({{Dict, DictP, 0.48},
+                               {Match, MatchP, 0.17},
+                               {Prune, PruneP, 0.10},
+                               {Hash, HashP, 0.25}});
+
+  B.alternating(Parsing, Looking, 2.2 * GWork, 58 * GWork);
+  return B.build();
+}
+
+/// 254.gap: the group-theory interpreter. ~40% of cycles live in dispatch
+/// code whose cycles span procedure boundaries -- no region can claim them,
+/// so UCR stays high through endless formation triggers (Figs. 6/7). Of the
+/// two named regions, 7ba2c-7ba78 computes steadily while 8d25c-8d314
+/// flips its internal bottleneck with the mix, making it locally unstable
+/// (Figs. 11/13). [13] reports ~9%: stall fraction 0.085.
+Workload detail::makeGap() {
+  WorkloadBuilder B("254.gap");
+  const auto PEval = B.proc("eval_loop", 0x7b000, 0x7c000);
+  const auto PCollect = B.proc("collect_garbage", 0x8d000, 0x8e000);
+  const auto PInterp = B.proc("interp_dispatch", 0x60000, 0x61800);
+  const auto PGcSup = B.proc("gc_support", 0x140000, 0x140800);
+
+  const LoopId Eval = B.loop(PEval, 0x7ba2c, 0x7ba78, 0.20);
+  const LoopId Gc = B.loop(PCollect, 0x8d25c, 0x8d314, 0.20, 0.97);
+  const LoopId Interp = B.loop(PInterp, 0x60000, 0x61800, 0.0, 1.0,
+                               /*Regionable=*/false);
+  const LoopId GcSup = B.loop(PGcSup, 0x140000, 0x140800, 0.0, 1.0,
+                              /*Regionable=*/false);
+
+  const ProfileId EvalP = B.hotspots(Eval, 1.0, {{7, 38}});
+  const ProfileId GcA = B.hotspots(Gc, 1.0, {{10, 30}, {22, 18}});
+  B.missModel(Eval, EvalP, 0.03, {{7, 0.40}});
+  B.missModel(Gc, GcA, 0.03, {{10, 0.35}, {22, 0.25}});
+  const ProfileId GcB = B.shifted(Gc, GcA, 17); // weights + misses shift
+  const ProfileId InterpP = B.uniform(Interp);
+  const ProfileId GcSupP = B.uniform(GcSup);
+
+  // Quiet stretch before the Gc region ever runs (Fig. 11: r starts at 0).
+  const MixId Warmup = B.mix({{Eval, EvalP, 0.60}, {Interp, InterpP, 0.40}});
+  // Toggle poles: Eval-heavy vs Gc-heavy; Gc's bottleneck shifts with the
+  // mix, so its histogram changes shape each flip.
+  const MixId PoleA = B.mix({{Eval, EvalP, 0.52},
+                             {Gc, GcA, 0.06},
+                             {Interp, InterpP, 0.42}});
+  const MixId PoleB = B.mix({{Gc, GcB, 0.40},
+                             {Eval, EvalP, 0.10},
+                             {Interp, InterpP, 0.30},
+                             {GcSup, GcSupP, 0.20}});
+
+  B.steady(Warmup, 5 * GWork);
+  B.alternating(PoleA, PoleB, 1.4 * GWork, 26 * GWork);
+  B.steady(Warmup, 5 * GWork);
+  return B.build();
+}
+
+/// 255.vortex: an object database; three query mixes in rotation with
+/// clean transitions.
+Workload detail::makeVortex() {
+  WorkloadBuilder B("255.vortex");
+  const auto PMem = B.proc("mem_subsystem", 0x20000, 0x21000);
+  const auto PTree = B.proc("tree_walk", 0x44000, 0x45000);
+  const auto PGlue = B.proc("glue", 0x74000, 0x74600);
+
+  const LoopId Mem = B.loop(PMem, 0x20100, 0x201c0, 0.05);
+  const LoopId Tree = B.loop(PTree, 0x44200, 0x442a0, 0.05);
+  const LoopId Pack = B.loop(PTree, 0x44800, 0x44880, 0.04);
+  const LoopId Glue = B.loop(PGlue, 0x74000, 0x74600, 0.0, 1.0,
+                             /*Regionable=*/false);
+
+  const ProfileId MemP = B.hotspots(Mem, 1.0, {{14, 30}});
+  const ProfileId TreeP = B.hotspots(Tree, 1.0, {{22, 28}});
+  const ProfileId PackP = B.hotspots(Pack, 1.0, {{5, 26}});
+  const ProfileId GlueP = B.uniform(Glue);
+
+  const MixId Lookup = B.mix({{Tree, TreeP, 0.48},
+                              {Mem, MemP, 0.22},
+                              {Pack, PackP, 0.10},
+                              {Glue, GlueP, 0.20}});
+  const MixId Update = B.mix({{Mem, MemP, 0.46},
+                              {Pack, PackP, 0.24},
+                              {Tree, TreeP, 0.10},
+                              {Glue, GlueP, 0.20}});
+
+  B.steady(Lookup, 20 * GWork);
+  B.steady(Update, 18 * GWork);
+  B.steady(Lookup, 20 * GWork);
+  return B.build();
+}
+
+/// 256.bzip2: block-sorting compression; compress and decompress passes
+/// alternate slowly, each internally steady.
+Workload detail::makeBzip2() {
+  WorkloadBuilder B("256.bzip2");
+  const auto PSort = B.proc("block_sort", 0x1a000, 0x1b000);
+  const auto PHuff = B.proc("huffman", 0x3a000, 0x3b000);
+
+  const LoopId Sort = B.loop(PSort, 0x1a200, 0x1a2e0, 0.07);
+  const LoopId Mtf = B.loop(PSort, 0x1a900, 0x1a980, 0.05);
+  const LoopId Huff = B.loop(PHuff, 0x3a100, 0x3a1c0, 0.05);
+
+  const ProfileId SortP = B.hotspots(Sort, 1.0, {{25, 34}, {41, 16}});
+  const ProfileId MtfP = B.hotspots(Mtf, 1.0, {{10, 28}});
+  const ProfileId HuffP = B.hotspots(Huff, 1.0, {{19, 30}});
+
+  const MixId Compress = B.mix({{Sort, SortP, 0.55},
+                                {Mtf, MtfP, 0.30},
+                                {Huff, HuffP, 0.15}});
+  const MixId Decompress = B.mix({{Huff, HuffP, 0.62},
+                                  {Mtf, MtfP, 0.28},
+                                  {Sort, SortP, 0.10}});
+
+  B.alternating(Compress, Decompress, 2.5 * GWork, 60 * GWork);
+  return B.build();
+}
+
+/// 300.twolf: simulated annealing placement; one dominant working set with
+/// a slow cooling drift.
+Workload detail::makeTwolf() {
+  WorkloadBuilder B("300.twolf");
+  const auto PPlace = B.proc("uloop", 0x24000, 0x25000);
+
+  const LoopId New = B.loop(PPlace, 0x24100, 0x241a0, 0.06);
+  const LoopId Accept = B.loop(PPlace, 0x24600, 0x24680, 0.05);
+
+  const ProfileId NewP = B.hotspots(New, 1.0, {{16, 30}});
+  const ProfileId AcceptP = B.hotspots(Accept, 1.0, {{7, 26}});
+
+  const MixId Hot = B.mix({{New, NewP, 0.60}, {Accept, AcceptP, 0.40}});
+  const MixId Cold = B.mix({{New, NewP, 0.74}, {Accept, AcceptP, 0.26}});
+
+  B.steady(Hot, 30 * GWork);
+  B.steady(Cold, 28 * GWork);
+  return B.build();
+}

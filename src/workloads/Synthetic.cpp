@@ -1,0 +1,90 @@
+//===- workloads/Synthetic.cpp - Hand-checkable test workloads ------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, fully understood workloads for unit/integration tests and the
+/// quickstart example. Unlike the SPEC models these are sized so a whole
+/// run finishes in milliseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace regmon;
+using namespace regmon::workloads;
+using sim::LoopId;
+using sim::MixId;
+using sim::ProfileId;
+
+/// One steady mix of two loops; no phase ever changes.
+Workload detail::makeSyntheticSteady() {
+  WorkloadBuilder B("synthetic.steady");
+  const auto P = B.proc("kernel", 0x10000, 0x11000);
+  const LoopId A = B.loop(P, 0x10100, 0x101c0, 0.10);
+  const LoopId C = B.loop(P, 0x10800, 0x10880, 0.05);
+  const ProfileId Ap = B.hotspots(A, 1.0, {{12, 30}});
+  const ProfileId Cp = B.hotspots(C, 1.0, {{7, 24}});
+  B.missModel(A, Ap, 0.02, {{12, 0.45}});
+  B.missModel(C, Cp, 0.02, {{7, 0.30}});
+  const MixId M = B.mix({{A, Ap, 0.65}, {C, Cp, 0.35}});
+  B.steady(M, 2.0 * GWork);
+  return B.build();
+}
+
+/// Two far-apart region sets toggling every 800M work: a miniature
+/// facerec. Globally chaotic at small periods, locally steady always.
+Workload detail::makeSyntheticPeriodic() {
+  WorkloadBuilder B("synthetic.periodic");
+  const auto P1 = B.proc("set_a", 0x10000, 0x11000);
+  const auto P2 = B.proc("set_b", 0x80000, 0x81000);
+  const LoopId A = B.loop(P1, 0x10100, 0x101c0, 0.10);
+  const LoopId C = B.loop(P2, 0x80100, 0x801c0, 0.10);
+  const ProfileId Ap = B.hotspots(A, 1.0, {{10, 32}});
+  const ProfileId Cp = B.hotspots(C, 1.0, {{20, 28}});
+  const MixId MixA = B.mix({{A, Ap, 0.92}, {C, Cp, 0.08}});
+  const MixId MixB = B.mix({{C, Cp, 0.92}, {A, Ap, 0.08}});
+  B.alternating(MixA, MixB, 0.8 * GWork, 12.0 * GWork);
+  return B.build();
+}
+
+/// One loop whose bottleneck instruction shifts halfway through the run
+/// (the Fig. 8 scenario): a genuine *local* phase change with no
+/// working-set change at all.
+Workload detail::makeSyntheticBottleneck() {
+  WorkloadBuilder B("synthetic.bottleneck");
+  const auto P = B.proc("kernel", 0x10000, 0x11000);
+  const LoopId A = B.loop(P, 0x10100, 0x101c0, 0.10, 0.95);
+  const ProfileId Before = B.hotspots(A, 1.0, {{12, 40}, {30, 22}});
+  B.missModel(A, Before, 0.02, {{12, 0.50}, {30, 0.35}});
+  const ProfileId After = B.shifted(A, Before, 1);
+  const MixId MixBefore = B.mix({{A, Before, 1.0}});
+  const MixId MixAfter = B.mix({{A, After, 1.0}});
+  B.steady(MixBefore, 1.0 * GWork);
+  B.steady(MixAfter, 1.0 * GWork);
+  return B.build();
+}
+
+/// One loop whose *cycle* histogram never changes but whose delinquent
+/// loads move halfway through the run: invisible to PC-histogram phase
+/// detection, visible only through miss-event monitoring. The workload
+/// behind the self-monitoring ablation -- a deployed prefetch trace keeps
+/// "looking" right while silently polluting the cache.
+Workload detail::makeSyntheticPollution() {
+  WorkloadBuilder B("synthetic.pollution");
+  const auto P = B.proc("kernel", 0x10000, 0x11000);
+  const LoopId A = B.loop(P, 0x10100, 0x101c0, 0.12, 0.94);
+  // Two equally hot instructions; identical cycle weights in both phases.
+  const ProfileId Phase1 = B.hotspots(A, 1.0, {{12, 30}, {30, 30}});
+  const ProfileId Phase2 = B.hotspots(A, 1.0, {{12, 30}, {30, 30}});
+  // Only the miss pattern moves: same DPI, different delinquent load.
+  B.missModel(A, Phase1, 0.02, {{12, 0.55}});
+  B.missModel(A, Phase2, 0.02, {{30, 0.55}});
+  const MixId Mix1 = B.mix({{A, Phase1, 1.0}});
+  const MixId Mix2 = B.mix({{A, Phase2, 1.0}});
+  B.steady(Mix1, 2.0 * GWork);
+  B.steady(Mix2, 4.0 * GWork);
+  return B.build();
+}

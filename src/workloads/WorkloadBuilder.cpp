@@ -1,0 +1,80 @@
+//===- workloads/WorkloadBuilder.cpp - Workload assembly DSL --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadBuilder.h"
+
+#include <cassert>
+
+using namespace regmon;
+using namespace regmon::workloads;
+
+WorkloadBuilder::WorkloadBuilder(std::string Name)
+    : Name(Name), Prog(Name) {}
+
+std::uint32_t WorkloadBuilder::proc(std::string ProcName, Addr Start,
+                                    Addr End) {
+  return Prog.addProcedure(std::move(ProcName), Start, End);
+}
+
+sim::LoopId WorkloadBuilder::loop(std::uint32_t ProcIndex, Addr Start,
+                                  Addr End, double Stall, double Mismatch,
+                                  bool Regionable) {
+  const sim::LoopId Id = Prog.addLoop(ProcIndex, Start, End, Regionable);
+  assert(Id == Opportunities.size() && "loop ids must stay dense");
+  Opportunities.push_back(rto::LoopOpportunity{Stall, Mismatch});
+  return Id;
+}
+
+sim::ProfileId WorkloadBuilder::hotspots(
+    sim::LoopId L, double Background,
+    std::initializer_list<std::pair<std::size_t, double>> Spots) {
+  const std::vector<std::pair<std::size_t, double>> Vec(Spots);
+  return Prog.addHotSpotProfile(L, Background, Vec);
+}
+
+sim::ProfileId WorkloadBuilder::uniform(sim::LoopId L) {
+  return Prog.addHotSpotProfile(L, 1.0, {});
+}
+
+sim::ProfileId WorkloadBuilder::shifted(sim::LoopId L, sim::ProfileId P,
+                                        std::ptrdiff_t Delta) {
+  return Prog.addShiftedProfile(L, P, Delta);
+}
+
+void WorkloadBuilder::missModel(
+    sim::LoopId L, sim::ProfileId P, double Background,
+    std::initializer_list<std::pair<std::size_t, double>> Delinquent) {
+  const std::vector<std::pair<std::size_t, double>> Vec(Delinquent);
+  Prog.setMissModel(L, P, Background, Vec);
+}
+
+sim::MixId
+WorkloadBuilder::mix(std::initializer_list<sim::MixComponent> Components) {
+  return Script.addMix(Components);
+}
+
+sim::MixId WorkloadBuilder::mixRaw(sim::Mix M) {
+  return Script.addMix(std::move(M));
+}
+
+void WorkloadBuilder::steady(sim::MixId M, Work Duration) {
+  Script.steady(M, Duration);
+}
+
+void WorkloadBuilder::alternating(sim::MixId A, sim::MixId B,
+                                  Work HalfPeriod, Work Duration) {
+  Script.alternating(A, B, HalfPeriod, Duration);
+}
+
+Workload WorkloadBuilder::build() {
+  Workload W;
+  W.Name = std::move(Name);
+  W.Prog = Prog.build();
+  W.Script = std::move(Script);
+  W.Opportunities = std::move(Opportunities);
+  assert(W.Script.validateAgainst(W.Prog) && "script/program mismatch");
+  return W;
+}

@@ -1,0 +1,105 @@
+//===- workloads/WorkloadBuilder.h - Workload assembly DSL -----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin assembly layer over ProgramBuilder + PhaseScript +
+/// OptimizationModel so that each benchmark model reads as a compact,
+/// reviewable behaviour description. See Workloads.h for the catalogue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_WORKLOADS_WORKLOADBUILDER_H
+#define REGMON_WORKLOADS_WORKLOADBUILDER_H
+
+#include "rto/OptimizationModel.h"
+#include "sim/PhaseScript.h"
+#include "sim/Program.h"
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace regmon::workloads {
+
+/// Convenient work-unit scales for behaviour scripts.
+inline constexpr Work MWork = 1e6;
+inline constexpr Work GWork = 1e9;
+
+/// A fully assembled workload: the program, its behaviour timeline, and
+/// the ground-truth optimization opportunities per loop.
+struct Workload {
+  std::string Name;
+  sim::Program Prog;
+  sim::PhaseScript Script;
+  std::vector<rto::LoopOpportunity> Opportunities;
+
+  /// Returns the optimization model over this workload's loops.
+  rto::OptimizationModel model() const {
+    return rto::OptimizationModel(Opportunities);
+  }
+};
+
+/// Fluent builder for Workload instances.
+class WorkloadBuilder {
+public:
+  explicit WorkloadBuilder(std::string Name);
+
+  /// Adds a procedure; returns its index.
+  std::uint32_t proc(std::string Name, Addr Start, Addr End);
+
+  /// Adds a loop with its optimization ground truth. \p Stall is the
+  /// removable cycle fraction, \p Mismatch the rate factor under behaviour
+  /// mismatch, \p Regionable whether region formation can claim it.
+  sim::LoopId loop(std::uint32_t Proc, Addr Start, Addr End,
+                   double Stall = 0.05, double Mismatch = 1.0,
+                   bool Regionable = true);
+
+  /// Adds a hotspot instruction-weight profile (see
+  /// ProgramBuilder::addHotSpotProfile).
+  sim::ProfileId hotspots(
+      sim::LoopId L, double Background,
+      std::initializer_list<std::pair<std::size_t, double>> Spots);
+
+  /// Adds a uniform profile over the loop's instructions.
+  sim::ProfileId uniform(sim::LoopId L);
+
+  /// Adds a copy of (\p L, \p P) with hotspots shifted by \p Delta slots.
+  sim::ProfileId shifted(sim::LoopId L, sim::ProfileId P,
+                         std::ptrdiff_t Delta);
+
+  /// Attaches a D-cache miss model to (\p L, \p P): background miss
+  /// probability plus (instruction, extra probability) delinquent loads.
+  void missModel(sim::LoopId L, sim::ProfileId P, double Background,
+                 std::initializer_list<std::pair<std::size_t, double>>
+                     Delinquent);
+
+  /// Registers a mix of (loop, profile, weight) components.
+  sim::MixId mix(std::initializer_list<sim::MixComponent> Components);
+
+  /// Registers a programmatically assembled mix.
+  sim::MixId mixRaw(sim::Mix M);
+
+  /// Appends a steady segment.
+  void steady(sim::MixId M, Work Duration);
+
+  /// Appends an A/B alternating segment.
+  void alternating(sim::MixId A, sim::MixId B, Work HalfPeriod,
+                   Work Duration);
+
+  /// Finalizes the workload; the builder must not be reused.
+  Workload build();
+
+private:
+  std::string Name;
+  sim::ProgramBuilder Prog;
+  sim::PhaseScript Script;
+  std::vector<rto::LoopOpportunity> Opportunities;
+};
+
+} // namespace regmon::workloads
+
+#endif // REGMON_WORKLOADS_WORKLOADBUILDER_H

@@ -1,0 +1,134 @@
+//===- workloads/Workloads.cpp - Workload registry ------------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/WorkloadsImpl.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace regmon;
+using namespace regmon::workloads;
+
+namespace {
+
+using Factory = Workload (*)();
+
+struct RegistryEntry {
+  const char *Name;
+  Factory Make;
+};
+
+// Registration order defines allNames() order: SPEC by number, then the
+// synthetic workloads.
+constexpr RegistryEntry Registry[] = {
+    {"164.gzip", detail::makeGzip},
+    {"168.wupwise", detail::makeWupwise},
+    {"171.swim", detail::makeSwim},
+    {"172.mgrid", detail::makeMgrid},
+    {"173.applu", detail::makeApplu},
+    {"175.vpr", detail::makeVpr},
+    {"176.gcc", detail::makeGcc},
+    {"177.mesa", detail::makeMesa},
+    {"178.galgel", detail::makeGalgel},
+    {"179.art", detail::makeArt},
+    {"181.mcf", detail::makeMcf},
+    {"183.equake", detail::makeEquake},
+    {"186.crafty", detail::makeCrafty},
+    {"187.facerec", detail::makeFacerec},
+    {"188.ammp", detail::makeAmmp},
+    {"189.lucas", detail::makeLucas},
+    {"191.fma3d", detail::makeFma3d},
+    {"197.parser", detail::makeParser},
+    {"200.sixtrack", detail::makeSixtrack},
+    {"254.gap", detail::makeGap},
+    {"255.vortex", detail::makeVortex},
+    {"256.bzip2", detail::makeBzip2},
+    {"300.twolf", detail::makeTwolf},
+    {"301.apsi", detail::makeApsi},
+    {"429.mcf", detail::makeMcf2006},
+    {"462.libquantum", detail::makeLibquantum},
+    {"470.lbm", detail::makeLbm},
+    {"synthetic.steady", detail::makeSyntheticSteady},
+    {"synthetic.periodic", detail::makeSyntheticPeriodic},
+    {"synthetic.bottleneck", detail::makeSyntheticBottleneck},
+    {"synthetic.pollution", detail::makeSyntheticPollution},
+};
+
+const RegistryEntry *find(std::string_view Name) {
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+Workload regmon::workloads::make(std::string_view Name) {
+  const RegistryEntry *E = find(Name);
+  assert(E && "unknown workload name");
+  return E->Make();
+}
+
+bool regmon::workloads::exists(std::string_view Name) {
+  return find(Name) != nullptr;
+}
+
+const std::vector<std::string> &regmon::workloads::allNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    for (const RegistryEntry &E : Registry)
+      Out.emplace_back(E.Name);
+    return Out;
+  }();
+  return Names;
+}
+
+const std::vector<std::string> &regmon::workloads::fig3Names() {
+  // The paper's Figs. 3/4 cover 21 benchmarks; short-running programs
+  // (gzip, gcc, art in our catalogue) are excluded from that sweep.
+  static const std::vector<std::string> Names = {
+      "168.wupwise", "171.swim",   "172.mgrid",    "173.applu",
+      "175.vpr",     "177.mesa",   "178.galgel",   "181.mcf",
+      "183.equake",  "186.crafty", "187.facerec",  "188.ammp",
+      "189.lucas",   "191.fma3d",  "197.parser",   "200.sixtrack",
+      "254.gap",     "255.vortex", "256.bzip2",    "300.twolf",
+      "301.apsi"};
+  return Names;
+}
+
+const std::vector<std::string> &regmon::workloads::fig6Names() {
+  // Fig. 6 adds gzip and gcc to the Fig. 3 set.
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out = {"164.gzip", "176.gcc"};
+    const std::vector<std::string> &Base = fig3Names();
+    Out.insert(Out.end(), Base.begin(), Base.end());
+    return Out;
+  }();
+  return Names;
+}
+
+const std::vector<std::string> &regmon::workloads::fig13Names() {
+  // The Figs. 13/14 selection: benchmarks with many GPD changes at small
+  // sampling periods.
+  static const std::vector<std::string> Names = {
+      "181.mcf",    "187.facerec", "254.gap",   "164.gzip",
+      "178.galgel", "189.lucas",   "191.fma3d", "188.ammp"};
+  return Names;
+}
+
+const std::vector<std::string> &regmon::workloads::fig17Names() {
+  static const std::vector<std::string> Names = {
+      "181.mcf", "172.mgrid", "254.gap", "191.fma3d"};
+  return Names;
+}
+
+const std::vector<std::string> &regmon::workloads::nextGenNames() {
+  static const std::vector<std::string> Names = {
+      "429.mcf", "462.libquantum", "470.lbm"};
+  return Names;
+}

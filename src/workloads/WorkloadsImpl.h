@@ -1,0 +1,62 @@
+//===- workloads/WorkloadsImpl.h - Per-benchmark factories -----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private declarations of the per-benchmark workload factories, split
+/// across SpecInt.cpp / SpecFp.cpp / Synthetic.cpp and registered in
+/// Workloads.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_WORKLOADS_WORKLOADSIMPL_H
+#define REGMON_WORKLOADS_WORKLOADSIMPL_H
+
+#include "workloads/WorkloadBuilder.h"
+
+namespace regmon::workloads::detail {
+
+// SPEC CPU2000 integer models (SpecInt.cpp).
+Workload makeGzip();
+Workload makeVpr();
+Workload makeGcc();
+Workload makeMcf();
+Workload makeCrafty();
+Workload makeParser();
+Workload makeGap();
+Workload makeVortex();
+Workload makeBzip2();
+Workload makeTwolf();
+
+// SPEC CPU2000 floating-point models (SpecFp.cpp).
+Workload makeWupwise();
+Workload makeSwim();
+Workload makeMgrid();
+Workload makeApplu();
+Workload makeMesa();
+Workload makeGalgel();
+Workload makeArt();
+Workload makeEquake();
+Workload makeFacerec();
+Workload makeAmmp();
+Workload makeLucas();
+Workload makeFma3d();
+Workload makeSixtrack();
+Workload makeApsi();
+
+// Next-generation (CPU2006-candidate) models (NextGen.cpp).
+Workload makeMcf2006();
+Workload makeLibquantum();
+Workload makeLbm();
+
+// Hand-checkable synthetic workloads (Synthetic.cpp).
+Workload makeSyntheticSteady();
+Workload makeSyntheticPeriodic();
+Workload makeSyntheticBottleneck();
+Workload makeSyntheticPollution();
+
+} // namespace regmon::workloads::detail
+
+#endif // REGMON_WORKLOADS_WORKLOADSIMPL_H

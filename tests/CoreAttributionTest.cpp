@@ -1,0 +1,124 @@
+//===- tests/CoreAttributionTest.cpp - Sample attribution -----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Attribution.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::core;
+
+namespace {
+
+std::vector<RegionId> lookupSorted(const Attributor &A, Addr Pc) {
+  std::vector<RegionId> Out;
+  A.lookup(Pc, Out);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Both strategies behind one parameterized suite: every behavioural test
+/// must hold for the list and the interval tree alike.
+class AttributorTest : public ::testing::TestWithParam<AttributorKind> {
+protected:
+  std::unique_ptr<Attributor> A = makeAttributor(GetParam());
+};
+
+TEST_P(AttributorTest, EmptyMatchesNothing) {
+  EXPECT_EQ(A->size(), 0u);
+  EXPECT_TRUE(lookupSorted(*A, 0x1234).empty());
+}
+
+TEST_P(AttributorTest, HalfOpenBounds) {
+  A->insert(1, 0x1000, 0x1100);
+  EXPECT_EQ(lookupSorted(*A, 0x1000), std::vector<RegionId>{1});
+  EXPECT_EQ(lookupSorted(*A, 0x10fc), std::vector<RegionId>{1});
+  EXPECT_TRUE(lookupSorted(*A, 0x1100).empty());
+  EXPECT_TRUE(lookupSorted(*A, 0xfff).empty());
+}
+
+TEST_P(AttributorTest, OverlapsReportAllRegions) {
+  A->insert(1, 0x1000, 0x2000);
+  A->insert(2, 0x1800, 0x2800); // straddles
+  A->insert(3, 0x1900, 0x1a00); // nested in both
+  EXPECT_EQ(lookupSorted(*A, 0x1980), (std::vector<RegionId>{1, 2, 3}));
+  EXPECT_EQ(lookupSorted(*A, 0x1100), std::vector<RegionId>{1});
+  EXPECT_EQ(lookupSorted(*A, 0x2400), std::vector<RegionId>{2});
+}
+
+TEST_P(AttributorTest, RemoveStopsMatching) {
+  A->insert(1, 0x1000, 0x2000);
+  A->insert(2, 0x1000, 0x2000);
+  A->remove(1, 0x1000, 0x2000);
+  EXPECT_EQ(A->size(), 1u);
+  EXPECT_EQ(lookupSorted(*A, 0x1500), std::vector<RegionId>{2});
+}
+
+TEST_P(AttributorTest, LookupAppendsWithoutClearing) {
+  A->insert(7, 0x100, 0x200);
+  std::vector<RegionId> Out = {42};
+  A->lookup(0x150, Out);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], 42u) << "existing contents preserved";
+  EXPECT_EQ(Out[1], 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AttributorTest,
+                         ::testing::Values(AttributorKind::List,
+                                           AttributorKind::IntervalTree),
+                         [](const auto &Info) {
+                           return Info.param == AttributorKind::List
+                                      ? "List"
+                                      : "IntervalTree";
+                         });
+
+/// Property sweep: the two strategies agree on random region sets with
+/// interleaved removals.
+class AttributorEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttributorEquivalenceTest, ListAndTreeAgree) {
+  Rng Random(GetParam());
+  ListAttributor List;
+  IntervalTreeAttributor Tree;
+  struct Entry {
+    RegionId Id;
+    Addr Start, End;
+  };
+  std::vector<Entry> Live;
+
+  for (std::uint32_t Op = 0; Op < 300; ++Op) {
+    if (!Live.empty() && Random.nextBelow(5) == 0) {
+      const std::size_t Pick = Random.nextBelow(Live.size());
+      const Entry E = Live[Pick];
+      List.remove(E.Id, E.Start, E.End);
+      Tree.remove(E.Id, E.Start, E.End);
+      Live.erase(Live.begin() + static_cast<std::ptrdiff_t>(Pick));
+    } else {
+      const Addr Start = Random.nextBelow(10'000) * 4;
+      const Addr End = Start + (1 + Random.nextBelow(256)) * 4;
+      List.insert(Op, Start, End);
+      Tree.insert(Op, Start, End);
+      Live.push_back(Entry{Op, Start, End});
+    }
+    ASSERT_EQ(List.size(), Tree.size());
+    for (int Probe = 0; Probe < 10; ++Probe) {
+      const Addr Pc = Random.nextBelow(42'000);
+      ASSERT_EQ(lookupSorted(List, Pc), lookupSorted(Tree, Pc))
+          << "pc " << Pc << " op " << Op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttributorEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(200, 210));
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/CoreSimilarityTest.cpp - Similarity metrics ------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Similarity.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::core;
+
+namespace {
+
+std::vector<std::uint32_t> randomHist(Rng &Random, std::size_t N) {
+  std::vector<std::uint32_t> H(N);
+  for (auto &V : H)
+    V = static_cast<std::uint32_t>(Random.nextBelow(100));
+  return H;
+}
+
+/// Contract tests every similarity metric must satisfy.
+class SimilarityMetricTest : public ::testing::TestWithParam<SimilarityKind> {
+protected:
+  std::unique_ptr<SimilarityMetric> Metric = makeSimilarity(GetParam());
+};
+
+TEST_P(SimilarityMetricTest, IdenticalHistogramsScoreOne) {
+  Rng Random(1);
+  const auto H = randomHist(Random, 32);
+  EXPECT_NEAR(Metric->compare(H, H), 1.0, 1e-9);
+}
+
+TEST_P(SimilarityMetricTest, ScaledHistogramScoresHigh) {
+  // The defining requirement (paper section 3.2.1): more samples with the
+  // same shape must NOT look like a phase change.
+  std::vector<std::uint32_t> H = {4, 8, 120, 6, 40, 5, 9, 7};
+  std::vector<std::uint32_t> Scaled(H.size());
+  for (std::size_t I = 0; I < H.size(); ++I)
+    Scaled[I] = H[I] * 3;
+  EXPECT_GT(Metric->compare(H, Scaled), 0.95);
+}
+
+TEST_P(SimilarityMetricTest, DisjointHotspotsScoreLow) {
+  const std::vector<std::uint32_t> A = {200, 0, 0, 0, 1, 2, 0, 1};
+  const std::vector<std::uint32_t> B = {0, 1, 0, 2, 0, 0, 200, 1};
+  EXPECT_LT(Metric->compare(A, B), 0.5);
+}
+
+TEST_P(SimilarityMetricTest, SymmetricInArguments) {
+  Rng Random(2);
+  const auto A = randomHist(Random, 24);
+  const auto B = randomHist(Random, 24);
+  EXPECT_NEAR(Metric->compare(A, B), Metric->compare(B, A), 1e-12);
+}
+
+TEST_P(SimilarityMetricTest, BothEmptyScoreOne) {
+  const std::vector<std::uint32_t> Zero(16, 0);
+  EXPECT_DOUBLE_EQ(Metric->compare(Zero, Zero), 1.0);
+}
+
+TEST_P(SimilarityMetricTest, BoundedByOne) {
+  Rng Random(3);
+  for (int I = 0; I < 50; ++I) {
+    const auto A = randomHist(Random, 16);
+    const auto B = randomHist(Random, 16);
+    const double S = Metric->compare(A, B);
+    EXPECT_LE(S, 1.0 + 1e-12);
+    EXPECT_GE(S, -1.0 - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SimilarityMetricTest,
+    ::testing::Values(SimilarityKind::Pearson, SimilarityKind::Cosine,
+                      SimilarityKind::Overlap),
+    [](const auto &Info) {
+      switch (Info.param) {
+      case SimilarityKind::Pearson:
+        return "Pearson";
+      case SimilarityKind::Cosine:
+        return "Cosine";
+      case SimilarityKind::Overlap:
+        return "Overlap";
+      }
+      return "?";
+    });
+
+TEST(PearsonSimilarity, AntiCorrelationIsNegative) {
+  // Only Pearson distinguishes anti-correlation; the paper treats it as a
+  // behaviour change too (values near or below zero trigger).
+  const std::vector<std::uint32_t> A = {10, 8, 6, 4, 2, 0};
+  const std::vector<std::uint32_t> B = {0, 2, 4, 6, 8, 10};
+  PearsonSimilarity P;
+  EXPECT_NEAR(P.compare(A, B), -1.0, 1e-9);
+}
+
+TEST(OverlapSimilarity, IsNormalizedIntersection) {
+  const std::vector<std::uint32_t> A = {10, 0};
+  const std::vector<std::uint32_t> B = {5, 5};
+  OverlapSimilarity O;
+  EXPECT_DOUBLE_EQ(O.compare(A, B), 0.5);
+}
+
+TEST(OverlapSimilarity, ZeroAgainstNonZeroIsZero) {
+  const std::vector<std::uint32_t> Zero(4, 0);
+  const std::vector<std::uint32_t> B = {1, 2, 3, 4};
+  OverlapSimilarity O;
+  EXPECT_DOUBLE_EQ(O.compare(Zero, B), 0.0);
+}
+
+TEST(CosineSimilarity, OrthogonalVectorsScoreZero) {
+  const std::vector<std::uint32_t> A = {1, 0, 0, 0};
+  const std::vector<std::uint32_t> B = {0, 1, 0, 0};
+  CosineSimilarity C;
+  EXPECT_DOUBLE_EQ(C.compare(A, B), 0.0);
+}
+
+TEST(Similarity, FactoryNames) {
+  EXPECT_STREQ(makeSimilarity(SimilarityKind::Pearson)->name(), "pearson");
+  EXPECT_STREQ(makeSimilarity(SimilarityKind::Cosine)->name(), "cosine");
+  EXPECT_STREQ(makeSimilarity(SimilarityKind::Overlap)->name(), "overlap");
+}
+
+} // namespace

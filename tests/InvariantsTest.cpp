@@ -1,0 +1,138 @@
+//===- tests/InvariantsTest.cpp - Cross-cutting system invariants ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariants that must hold for *every* workload in the catalogue, checked
+/// by one full monitored run each. These catch accounting bugs that
+/// pointwise unit tests miss: sample conservation across attribution and
+/// the UCR, stability bookkeeping, and the parity relation between phase
+/// changes and the current state.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace regmon;
+
+namespace {
+
+/// One monitored run of the parameterized workload at 450K (cheap: ~10x
+/// fewer samples than 45K, same code paths).
+class WorkloadInvariantsTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override {
+    W = std::make_unique<workloads::Workload>(
+        workloads::make(GetParam()));
+    Map = std::make_unique<sim::ProgramCodeMap>(W->Prog);
+    Monitor = std::make_unique<core::RegionMonitor>(*Map);
+    sim::Engine Engine(W->Prog, W->Script, /*Seed=*/1);
+    sampling::Sampler Sampler(Engine, {450'000, 2032});
+    Sampler.run([&](std::span<const Sample> Buffer) {
+      Monitor->observeInterval(Buffer);
+      Gpd.observeInterval(Buffer);
+      ++Intervals;
+    });
+  }
+
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<sim::ProgramCodeMap> Map;
+  std::unique_ptr<core::RegionMonitor> Monitor;
+  gpd::CentroidPhaseDetector Gpd;
+  std::uint64_t Intervals = 0;
+};
+
+TEST_P(WorkloadInvariantsTest, SampleConservation) {
+  // No workload in the catalogue has overlapping regions, so every sample
+  // lands in exactly one region or the UCR:
+  //   sum(region samples) + sum(UCR samples) == intervals * buffer.
+  std::uint64_t Attributed = 0;
+  for (const core::Region &R : Monitor->regions())
+    Attributed += Monitor->stats(R.Id).TotalSamples;
+  double UcrSamples = 0;
+  for (double Fraction : Monitor->ucrHistory())
+    UcrSamples += Fraction * 2032.0;
+  EXPECT_NEAR(static_cast<double>(Attributed) + UcrSamples,
+              static_cast<double>(Intervals) * 2032.0, 0.5)
+      << "samples leaked or were double-counted";
+}
+
+TEST_P(WorkloadInvariantsTest, PerRegionAccounting) {
+  for (const core::Region &R : Monitor->regions()) {
+    const core::RegionStats &S = Monitor->stats(R.Id);
+    EXPECT_LE(S.ActiveIntervals, S.LifetimeIntervals) << R.Name;
+    EXPECT_LE(S.LifetimeIntervals, Intervals) << R.Name;
+    EXPECT_LE(S.StableIntervals, S.LifetimeIntervals) << R.Name;
+    EXPECT_LE(S.TotalMisses, S.TotalSamples) << R.Name;
+    EXPECT_GE(S.missFraction(), 0.0);
+    EXPECT_LE(S.missFraction(), 1.0);
+    EXPECT_EQ(S.LifetimeIntervals, Intervals - R.FormedAtInterval)
+        << R.Name << ": no pruning configured, lifetime is exact";
+  }
+}
+
+TEST_P(WorkloadInvariantsTest, PhaseChangeParity) {
+  // Every region starts unstable and each counted change toggles
+  // stability, so: currently stable <=> an odd number of phase changes.
+  for (core::RegionId Id : Monitor->activeRegionIds()) {
+    const bool Stable = Monitor->detector(Id).state() ==
+                        core::LocalPhaseState::Stable;
+    EXPECT_EQ(Monitor->stats(Id).PhaseChanges % 2 == 1, Stable)
+        << Monitor->regions()[Id].Name;
+  }
+  const bool GpdStable = Gpd.state() == gpd::GlobalPhaseState::Stable;
+  EXPECT_EQ(Gpd.phaseChanges() % 2 == 1, GpdStable);
+}
+
+TEST_P(WorkloadInvariantsTest, TimelinesAndHistoriesAlign) {
+  EXPECT_EQ(Monitor->intervals(), Intervals);
+  EXPECT_EQ(Monitor->ucrHistory().size(), Intervals);
+  EXPECT_EQ(Gpd.intervals(), Intervals);
+  EXPECT_EQ(Gpd.timeline().size(), Intervals);
+  for (double Fraction : Monitor->ucrHistory()) {
+    EXPECT_GE(Fraction, 0.0);
+    EXPECT_LE(Fraction, 1.0);
+  }
+}
+
+TEST_P(WorkloadInvariantsTest, RegionsMatchFormableLoops) {
+  // Every formed region must correspond exactly to a regionable loop of
+  // the program (formation only proposes loop bounds).
+  for (const core::Region &R : Monitor->regions()) {
+    const bool Matches = std::any_of(
+        W->Prog.loops().begin(), W->Prog.loops().end(),
+        [&](const sim::Loop &L) {
+          return L.Regionable && L.Start == R.Start && L.End == R.End;
+        });
+    EXPECT_TRUE(Matches) << R.Name;
+  }
+}
+
+TEST_P(WorkloadInvariantsTest, LastRWithinBounds) {
+  for (core::RegionId Id : Monitor->activeRegionIds()) {
+    const double R = Monitor->detector(Id).lastR();
+    EXPECT_GE(R, -1.0 - 1e-9);
+    EXPECT_LE(R, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadInvariantsTest,
+                         ::testing::ValuesIn(workloads::allNames()),
+                         [](const auto &Info) {
+                           std::string Name = Info.param;
+                           std::replace(Name.begin(), Name.end(), '.', '_');
+                           return Name;
+                         });
+
+} // namespace

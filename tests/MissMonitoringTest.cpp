@@ -1,0 +1,310 @@
+//===- tests/MissMonitoringTest.cpp - DPI & self-monitoring ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the performance-characteristics extension: miss-event
+/// sampling in the engine, per-region DPI / delinquent loads in the
+/// monitor, the optional miss-histogram detection channel, and the
+/// observational self-monitoring feedback loop (paper section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+#include "rto/Harness.h"
+#include "rto/TraceDeployments.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+
+namespace {
+
+struct MissSetup {
+  sim::Program Prog;
+  sim::PhaseScript Script;
+  sim::LoopId Hot = 0;
+
+  MissSetup() {
+    sim::ProgramBuilder B("miss-test");
+    const auto Proc = B.addProcedure("f", 0x1000, 0x2000);
+    Hot = B.addLoop(Proc, 0x1000, 0x1100); // 64 instructions
+    const std::vector<std::pair<std::size_t, double>> Spots = {{8, 50.0}};
+    const sim::ProfileId P = B.addHotSpotProfile(Hot, 1.0, Spots);
+    const std::vector<std::pair<std::size_t, double>> Misses = {{8, 0.6}};
+    B.setMissModel(Hot, P, /*Background=*/0.0, Misses);
+    const sim::MixId M = Script.addMix({sim::MixComponent{Hot, P, 1.0}});
+    Script.steady(M, 50'000'000);
+    Prog = B.build();
+  }
+};
+
+TEST(MissSampling, HotInstructionMissesAtItsModelRate) {
+  MissSetup T;
+  sim::Engine E(T.Prog, T.Script, 1);
+  int HotSamples = 0, HotMisses = 0, ColdMisses = 0;
+  for (int I = 0; I < 20'000; ++I) {
+    const auto S = E.advanceAndSample(1'000);
+    ASSERT_TRUE(S.has_value());
+    if (S->Pc == 0x1000 + 8 * 4) {
+      ++HotSamples;
+      HotMisses += S->DCacheMiss ? 1 : 0;
+    } else {
+      ColdMisses += S->DCacheMiss ? 1 : 0;
+    }
+  }
+  ASSERT_GT(HotSamples, 1000);
+  EXPECT_NEAR(HotMisses / static_cast<double>(HotSamples), 0.6, 0.05);
+  EXPECT_EQ(ColdMisses, 0) << "background miss rate is zero";
+}
+
+TEST(MissSampling, MissScaleReducesObservedMisses) {
+  MissSetup T;
+  sim::Engine E(T.Prog, T.Script, 2);
+  E.setMissScale(T.Hot, 0.25);
+  int HotSamples = 0, HotMisses = 0;
+  for (int I = 0; I < 20'000; ++I) {
+    const auto S = E.advanceAndSample(1'000);
+    ASSERT_TRUE(S.has_value());
+    if (S->Pc == 0x1000 + 8 * 4) {
+      ++HotSamples;
+      HotMisses += S->DCacheMiss ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(HotMisses / static_cast<double>(HotSamples), 0.15, 0.03);
+}
+
+TEST(MissSampling, MissModelDoesNotPerturbPcStream) {
+  // The PC sequence must be bit-identical with and without a miss model:
+  // miss tagging draws from an independent generator.
+  sim::ProgramBuilder B1("a"), B2("b");
+  for (auto *B : {&B1, &B2}) {
+    const auto Proc = B->addProcedure("f", 0x1000, 0x2000);
+    const sim::LoopId L = B->addLoop(Proc, 0x1000, 0x1100);
+    const std::vector<std::pair<std::size_t, double>> Spots = {{3, 20.0}};
+    const sim::ProfileId P = B->addHotSpotProfile(L, 1.0, Spots);
+    if (B == &B2) {
+      const std::vector<std::pair<std::size_t, double>> Misses = {{3, 0.5}};
+      B->setMissModel(L, P, 0.1, Misses);
+    }
+  }
+  sim::PhaseScript S1, S2;
+  S1.steady(S1.addMix({sim::MixComponent{0, 0, 1.0}}), 1'000'000);
+  S2.steady(S2.addMix({sim::MixComponent{0, 0, 1.0}}), 1'000'000);
+  const sim::Program P1 = B1.build(), P2 = B2.build();
+  sim::Engine E1(P1, S1, 7), E2(P2, S2, 7);
+  for (int I = 0; I < 500; ++I) {
+    const auto A = E1.advanceAndSample(1'000);
+    const auto B = E2.advanceAndSample(1'000);
+    ASSERT_EQ(A.has_value(), B.has_value());
+    if (A) {
+      ASSERT_EQ(A->Pc, B->Pc);
+    }
+  }
+}
+
+TEST(MissSampling, ShiftedProfileShiftsMissModel) {
+  sim::ProgramBuilder B("p");
+  const auto Proc = B.addProcedure("f", 0, 0x100);
+  const sim::LoopId L = B.addLoop(Proc, 0, 0x28); // 10 instructions
+  const std::vector<std::pair<std::size_t, double>> Spots = {{2, 9.0}};
+  const sim::ProfileId Base = B.addHotSpotProfile(L, 1.0, Spots);
+  const std::vector<std::pair<std::size_t, double>> Misses = {{2, 0.8}};
+  B.setMissModel(L, Base, 0.0, Misses);
+  const sim::ProfileId Shifted = B.addShiftedProfile(L, Base, 1);
+  const sim::Program P = B.build();
+  EXPECT_DOUBLE_EQ(P.missRates(L, Shifted)[3], 0.8);
+  EXPECT_DOUBLE_EQ(P.missRates(L, Shifted)[2], 0.0);
+}
+
+/// Drives one workload through a monitor and returns it for inspection.
+struct MonitoredRun {
+  workloads::Workload W;
+  sim::ProgramCodeMap Map;
+  core::RegionMonitor Monitor;
+
+  explicit MonitoredRun(const std::string &Name,
+                        core::RegionMonitorConfig Config = {})
+      : W(workloads::make(Name)), Map(W.Prog), Monitor(Map, Config) {
+    sim::Engine Engine(W.Prog, W.Script, 1);
+    sampling::Sampler Sampler(Engine, {45'000, 2032});
+    Sampler.run([&](std::span<const Sample> Buffer) {
+      Monitor.observeInterval(Buffer);
+    });
+  }
+};
+
+TEST(RegionCharacteristics, MissFractionMatchesModel) {
+  // synthetic.steady's loop A: hotspot bin 12 holds weight 31/(63+31)
+  // of the loop's samples and misses at 0.45 + background 0.02.
+  MonitoredRun Run("synthetic.steady");
+  const auto Ids = Run.Monitor.activeRegionIds();
+  ASSERT_EQ(Ids.size(), 2u);
+  for (core::RegionId Id : Ids) {
+    const core::Region &R = Run.Monitor.regions()[Id];
+    const double Dpi = Run.Monitor.stats(Id).missFraction();
+    if (R.Start == 0x10100) {
+      // weight on bin 12: 31 of 78 total -> miss fraction ~ 0.02 +
+      // (31/78)*0.45 ~ 0.198.
+      EXPECT_NEAR(Dpi, 0.198, 0.02);
+    } else {
+      // loop C (32 instrs): bin 7 carries 25/56 of the weight and misses
+      // at 0.32.
+      EXPECT_NEAR(Dpi, (31 * 0.02 + 25 * 0.32) / 56.0, 0.02);
+    }
+  }
+}
+
+TEST(RegionCharacteristics, DelinquentLoadsRankByMisses) {
+  MonitoredRun Run("synthetic.steady");
+  for (core::RegionId Id : Run.Monitor.activeRegionIds()) {
+    const core::Region &R = Run.Monitor.regions()[Id];
+    const auto Loads = Run.Monitor.delinquentLoads(Id, 2);
+    ASSERT_FALSE(Loads.empty());
+    const Addr ExpectedTop =
+        R.Start == 0x10100 ? R.Start + 12 * 4 : R.Start + 7 * 4;
+    EXPECT_EQ(Loads[0].Pc, ExpectedTop)
+        << "the modelled delinquent load must rank first";
+    if (Loads.size() > 1) {
+      EXPECT_GE(Loads[0].Misses, Loads[1].Misses);
+    }
+  }
+}
+
+TEST(RegionCharacteristics, RecentMissFractionTracksCurrentWindow) {
+  // synthetic.pollution: miss pattern moves at 1/3 of the run but total
+  // miss fraction stays similar; the windowed fraction stays positive
+  // throughout and the cumulative top delinquent load reflects both bins.
+  MonitoredRun Run("synthetic.pollution");
+  const auto Ids = Run.Monitor.activeRegionIds();
+  ASSERT_EQ(Ids.size(), 1u);
+  EXPECT_GT(Run.Monitor.recentMissFraction(Ids[0]), 0.1);
+  const auto Loads = Run.Monitor.delinquentLoads(Ids[0], 2);
+  ASSERT_EQ(Loads.size(), 2u);
+  // Both phase-1 (bin 12) and phase-2 (bin 30) delinquent loads appear.
+  const Addr Base = Run.Monitor.regions()[Ids[0]].Start;
+  EXPECT_TRUE((Loads[0].Pc == Base + 12 * 4 &&
+               Loads[1].Pc == Base + 30 * 4) ||
+              (Loads[0].Pc == Base + 30 * 4 &&
+               Loads[1].Pc == Base + 12 * 4));
+}
+
+TEST(MissChannel, PollutionInvisibleToCycleDetectorVisibleToMissChannel) {
+  core::RegionMonitorConfig Plain;
+  MonitoredRun PlainRun("synthetic.pollution", Plain);
+  const auto PlainIds = PlainRun.Monitor.activeRegionIds();
+  ASSERT_EQ(PlainIds.size(), 1u);
+  EXPECT_LE(PlainRun.Monitor.stats(PlainIds[0]).PhaseChanges, 1u)
+      << "the cycle histogram never changes";
+
+  core::RegionMonitorConfig WithMiss;
+  WithMiss.TrackMissPhases = true;
+  MonitoredRun MissRun("synthetic.pollution", WithMiss);
+  const auto Ids = MissRun.Monitor.activeRegionIds();
+  ASSERT_EQ(Ids.size(), 1u);
+  EXPECT_GE(MissRun.Monitor.stats(Ids[0]).MissPhaseChanges, 2u)
+      << "the miss histogram shift is a detectable local phase change";
+}
+
+TEST(MissChannel, EmitsMissPhaseChangeEvent) {
+  workloads::Workload W = workloads::make("synthetic.pollution");
+  sim::Engine Engine(W.Prog, W.Script, 1);
+  sampling::Sampler Sampler(Engine, {45'000, 2032});
+  sim::ProgramCodeMap Map(W.Prog);
+  core::RegionMonitorConfig Config;
+  Config.TrackMissPhases = true;
+  core::RegionMonitor Monitor(Map, Config);
+  int MissEvents = 0;
+  Monitor.setEventHandler([&](const core::RegionEvent &E) {
+    if (E.K == core::RegionEvent::Kind::MissPhaseChange)
+      ++MissEvents;
+  });
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor.observeInterval(Buffer);
+  });
+  EXPECT_GE(MissEvents, 1);
+}
+
+TEST(TraceDeployments, DeploySetsMissScale) {
+  workloads::Workload W = workloads::make("synthetic.steady");
+  const rto::OptimizationModel Model(W.Opportunities);
+  sim::Engine Eng(W.Prog, W.Script, 1);
+  rto::TraceDeployments T(Eng, Model, 0, /*PrefetchMissCover=*/0.75);
+  T.deploy(0);
+  EXPECT_DOUBLE_EQ(Eng.missScale(0), 0.25);
+  T.unpatch(0);
+  EXPECT_DOUBLE_EQ(Eng.missScale(0), 1.0);
+}
+
+TEST(TraceDeployments, MismatchRestoresMissRate) {
+  workloads::Workload W = workloads::make("synthetic.pollution");
+  const rto::OptimizationModel Model(W.Opportunities);
+  sim::Engine Eng(W.Prog, W.Script, 1);
+  rto::TraceDeployments T(Eng, Model, 0);
+  T.deploy(0);
+  ASSERT_DOUBLE_EQ(Eng.missScale(0), 0.25);
+  // Cross into phase 2 (profile changes at 2G work).
+  ASSERT_TRUE(Eng.advanceAndSample(2'500'000'000).has_value());
+  T.refresh();
+  EXPECT_DOUBLE_EQ(Eng.missScale(0), 1.0)
+      << "mismatched prefetches stop covering misses";
+  EXPECT_LT(Eng.speedup(0), 1.0) << "and pollute";
+}
+
+rto::RtoResult runPollution(rto::SelfMonitorMode Mode,
+                            bool TrackMissPhases = false) {
+  const workloads::Workload W = workloads::make("synthetic.pollution");
+  rto::RtoConfig Config;
+  Config.Sampling.PeriodCycles = 45'000;
+  Config.SelfMonitor = Mode;
+  Config.Monitor.TrackMissPhases = TrackMissPhases;
+  return rto::runLocal(W.Prog, W.Script, W.model(), 1, Config);
+}
+
+TEST(SelfMonitoring, WithoutFeedbackTheHarmfulTracePersists) {
+  const workloads::Workload W = workloads::make("synthetic.pollution");
+  rto::RtoConfig Config;
+  Config.Sampling.PeriodCycles = 45'000;
+  const rto::RtoResult Unopt =
+      rto::runUnoptimized(W.Prog, W.Script, 1, Config);
+  const rto::RtoResult Off = runPollution(rto::SelfMonitorMode::Off);
+  // Phase 2 is twice as long as phase 1; the polluting trace costs more
+  // than the phase-1 prefetching gain.
+  EXPECT_GT(Off.TotalCycles, Unopt.TotalCycles);
+  EXPECT_EQ(Off.SelfUndos, 0u);
+}
+
+TEST(SelfMonitoring, ObservationalFeedbackUndoesTheHarmfulTrace) {
+  const rto::RtoResult Obs =
+      runPollution(rto::SelfMonitorMode::Observational);
+  EXPECT_GE(Obs.SelfUndos, 1u);
+  const rto::RtoResult Off = runPollution(rto::SelfMonitorMode::Off);
+  EXPECT_LT(Obs.TotalCycles, Off.TotalCycles);
+}
+
+TEST(SelfMonitoring, ObservationalApproachesGroundTruth) {
+  const rto::RtoResult Obs =
+      runPollution(rto::SelfMonitorMode::Observational);
+  const rto::RtoResult Oracle =
+      runPollution(rto::SelfMonitorMode::GroundTruth);
+  // The honest monitor pays a detection delay but must land within 2% of
+  // the oracle's cycle count.
+  EXPECT_LT(static_cast<double>(Obs.TotalCycles),
+            static_cast<double>(Oracle.TotalCycles) * 1.02);
+}
+
+TEST(SelfMonitoring, MissChannelDetectionAlsoRecovers) {
+  const rto::RtoResult MissChannel =
+      runPollution(rto::SelfMonitorMode::Off, /*TrackMissPhases=*/true);
+  const rto::RtoResult Off = runPollution(rto::SelfMonitorMode::Off);
+  EXPECT_LT(MissChannel.TotalCycles, Off.TotalCycles)
+      << "the miss-histogram channel unpatches on the shift";
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/RtoStrategyTest.cpp - Optimizer strategy behaviour -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioural tests of the two optimizer strategies beyond end-to-end
+/// cycle counts: ORIG's unpatch-all-on-phase-change policy, its hotness
+/// gate, and the deployment dynamics of LPD under each sampling period.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rto/Harness.h"
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+using namespace regmon::rto;
+
+namespace {
+
+RtoConfig configAt(Cycles Period) {
+  RtoConfig Config;
+  Config.Sampling.PeriodCycles = Period;
+  return Config;
+}
+
+TEST(RtoOriginal, UnpatchesEverythingOnGlobalPhaseChange) {
+  // synthetic.periodic at 45K: GPD stabilizes within runs and fires at
+  // flips; every firing must unpatch all deployed traces, so unpatches
+  // grow with the number of phase changes.
+  const workloads::Workload W = workloads::make("synthetic.periodic");
+  const OptimizationModel Model = W.model();
+  const RtoResult R =
+      runOriginal(W.Prog, W.Script, Model, 3, configAt(45'000));
+  EXPECT_GT(R.GlobalPhaseChanges, 3u);
+  EXPECT_GT(R.Unpatches, 2u);
+  EXPECT_GE(R.Patches, R.Unpatches)
+      << "everything unpatched was previously patched";
+}
+
+TEST(RtoOriginal, SteadyWorkloadPatchesOnceAndKeeps) {
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model = W.model();
+  const RtoResult R =
+      runOriginal(W.Prog, W.Script, Model, 3, configAt(45'000));
+  EXPECT_EQ(R.Unpatches, 0u) << "no phase change, nothing unpatched";
+  EXPECT_EQ(R.Patches, 2u) << "both hot loops get traces";
+}
+
+TEST(RtoOriginal, HotnessGateBlocksColdRegions) {
+  // With an absurdly high hotness bar, ORIG never deploys anything.
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model = W.model();
+  RtoConfig Config = configAt(45'000);
+  Config.MinTraceSamples = 10'000; // > buffer size: unreachable
+  const RtoResult R = runOriginal(W.Prog, W.Script, Model, 3, Config);
+  EXPECT_EQ(R.Patches, 0u);
+  EXPECT_EQ(R.TotalCycles, static_cast<Cycles>(R.TotalWork))
+      << "no deployment, no speedup";
+}
+
+TEST(RtoLocal, RedeploysPerRegionAfterLocalChange) {
+  // synthetic.bottleneck: the region destabilizes once (the shift) and
+  // restabilizes; LPD should patch, unpatch once, patch again.
+  const workloads::Workload W = workloads::make("synthetic.bottleneck");
+  const OptimizationModel Model = W.model();
+  RtoConfig Config = configAt(45'000);
+  Config.SelfMonitor = SelfMonitorMode::Off;
+  const RtoResult R = runLocal(W.Prog, W.Script, Model, 3, Config);
+  EXPECT_EQ(R.Patches, 2u);
+  EXPECT_EQ(R.Unpatches, 1u);
+}
+
+TEST(RtoLocal, PatchOverheadIsChargedPerOperation) {
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model = W.model();
+  RtoConfig Cheap = configAt(45'000);
+  Cheap.PatchOverheadCycles = 0;
+  RtoConfig Expensive = configAt(45'000);
+  Expensive.PatchOverheadCycles = 10'000'000;
+  const RtoResult A = runLocal(W.Prog, W.Script, Model, 3, Cheap);
+  const RtoResult B = runLocal(W.Prog, W.Script, Model, 3, Expensive);
+  ASSERT_EQ(A.Patches, B.Patches);
+  EXPECT_EQ(B.TotalCycles - A.TotalCycles, B.Patches * 10'000'000u);
+}
+
+TEST(RtoLocal, StableFractionGrowsWithLpd) {
+  // On every catalogued Fig. 17 subject at every period, LPD's stable
+  // fraction must dominate ORIG's -- the mechanism behind the speedups.
+  for (const std::string &Name : workloads::fig17Names()) {
+    const workloads::Workload W = workloads::make(Name);
+    const OptimizationModel Model = W.model();
+    for (const Cycles Period : {100'000u, 1'500'000u}) {
+      const RtoResult Orig =
+          runOriginal(W.Prog, W.Script, Model, 1, configAt(Period));
+      const RtoResult Lpd =
+          runLocal(W.Prog, W.Script, Model, 1, configAt(Period));
+      EXPECT_GE(Lpd.StableFraction + 1e-9, Orig.StableFraction)
+          << Name << " @ " << Period;
+    }
+  }
+}
+
+TEST(RtoLocal, NeverMateriallySlowerThanOrig) {
+  // The paper's bottom line: "in general LPD outperforms GPD". Allow a
+  // tiny tolerance for patch-overhead noise.
+  for (const std::string &Name : workloads::fig17Names()) {
+    const workloads::Workload W = workloads::make(Name);
+    const OptimizationModel Model = W.model();
+    for (const Cycles Period : {100'000u, 800'000u, 1'500'000u}) {
+      const RtoResult Orig =
+          runOriginal(W.Prog, W.Script, Model, 1, configAt(Period));
+      const RtoResult Lpd =
+          runLocal(W.Prog, W.Script, Model, 1, configAt(Period));
+      EXPECT_GT(speedupPercent(Orig, Lpd), -1.0) << Name << " @ " << Period;
+    }
+  }
+}
+
+TEST(RtoHarness, SamplingPeriodZeroIntervalsIsSafe) {
+  // A sampling period longer than the whole program: no complete interval
+  // is ever delivered; both strategies degrade to unoptimized execution.
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model = W.model();
+  RtoConfig Config;
+  Config.Sampling.PeriodCycles = 10'000'000'000ull;
+  const RtoResult Orig = runOriginal(W.Prog, W.Script, Model, 3, Config);
+  const RtoResult Lpd = runLocal(W.Prog, W.Script, Model, 3, Config);
+  EXPECT_EQ(Orig.Intervals, 0u);
+  EXPECT_EQ(Lpd.Intervals, 0u);
+  EXPECT_EQ(Orig.TotalCycles, static_cast<Cycles>(W.Script.totalWork()));
+  EXPECT_EQ(Lpd.TotalCycles, Orig.TotalCycles);
+  EXPECT_DOUBLE_EQ(Orig.StableFraction, 0.0);
+}
+
+TEST(RtoHarness, NextGenModelsShowLargerLpdAdvantage) {
+  // The section 3.2.4 prediction, pinned: 429.mcf's LPD-over-ORIG speedup
+  // at 800K exceeds 181.mcf's.
+  const auto RunPair = [&](const std::string &Name) {
+    const workloads::Workload W = workloads::make(Name);
+    const OptimizationModel Model = W.model();
+    const RtoConfig Config = configAt(800'000);
+    return speedupPercent(runOriginal(W.Prog, W.Script, Model, 1, Config),
+                          runLocal(W.Prog, W.Script, Model, 1, Config));
+  };
+  EXPECT_GT(RunPair("429.mcf"), RunPair("181.mcf"));
+}
+
+} // namespace

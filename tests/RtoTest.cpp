@@ -1,0 +1,186 @@
+//===- tests/RtoTest.cpp - Runtime-optimizer simulation -------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rto/Harness.h"
+
+#include "rto/TraceDeployments.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+using namespace regmon::rto;
+
+namespace {
+
+RtoConfig fastConfig() {
+  RtoConfig Config;
+  Config.Sampling.PeriodCycles = 45'000;
+  return Config;
+}
+
+TEST(OptimizationModel, MatchedProfileYieldsSpeedup) {
+  OptimizationModel M({LoopOpportunity{0.2, 0.95}});
+  EXPECT_DOUBLE_EQ(M.factor(0, 3, 3), 1.0 / 0.8);
+}
+
+TEST(OptimizationModel, MismatchedProfileYieldsPenalty) {
+  OptimizationModel M({LoopOpportunity{0.2, 0.95}});
+  EXPECT_DOUBLE_EQ(M.factor(0, 1, 2), 0.95);
+}
+
+TEST(Harness, UnoptimizedCyclesEqualWork) {
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const RtoResult R =
+      runUnoptimized(W.Prog, W.Script, /*Seed=*/3, fastConfig());
+  EXPECT_DOUBLE_EQ(R.TotalWork, W.Script.totalWork());
+  EXPECT_EQ(R.TotalCycles, static_cast<Cycles>(R.TotalWork));
+}
+
+TEST(Harness, BothOptimizersExecuteAllWork) {
+  const workloads::Workload W = workloads::make("synthetic.periodic");
+  const OptimizationModel Model = W.model();
+  const RtoResult Orig =
+      runOriginal(W.Prog, W.Script, Model, 3, fastConfig());
+  const RtoResult Lpd = runLocal(W.Prog, W.Script, Model, 3, fastConfig());
+  EXPECT_DOUBLE_EQ(Orig.TotalWork, W.Script.totalWork());
+  EXPECT_DOUBLE_EQ(Lpd.TotalWork, W.Script.totalWork());
+}
+
+TEST(Harness, OptimizationBeatsBaselineOnSteadyWorkload) {
+  // A steady workload: both strategies should deploy and beat the
+  // unoptimized run.
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model = W.model();
+  const RtoResult Base =
+      runUnoptimized(W.Prog, W.Script, 3, fastConfig());
+  const RtoResult Orig =
+      runOriginal(W.Prog, W.Script, Model, 3, fastConfig());
+  const RtoResult Lpd = runLocal(W.Prog, W.Script, Model, 3, fastConfig());
+  EXPECT_LT(Orig.TotalCycles, Base.TotalCycles);
+  EXPECT_LT(Lpd.TotalCycles, Base.TotalCycles);
+  EXPECT_GT(Orig.Patches, 0u);
+  EXPECT_GT(Lpd.Patches, 0u);
+}
+
+TEST(Harness, LpdBeatsOrigOnGloballyChaoticWorkload) {
+  // synthetic.periodic toggles two far-apart region sets every 100M work:
+  // at a small sampling period GPD keeps losing stability while every
+  // region is locally steady -- the paper's core claim in miniature.
+  const workloads::Workload W = workloads::make("synthetic.periodic");
+  const OptimizationModel Model = W.model();
+  const RtoResult Orig =
+      runOriginal(W.Prog, W.Script, Model, 3, fastConfig());
+  const RtoResult Lpd = runLocal(W.Prog, W.Script, Model, 3, fastConfig());
+  EXPECT_GT(speedupPercent(Orig, Lpd), 1.0);
+  EXPECT_GT(Lpd.StableFraction, Orig.StableFraction);
+}
+
+TEST(Harness, SpeedupPercentIsRatioMinusOne) {
+  RtoResult A, B;
+  A.TotalCycles = 120;
+  B.TotalCycles = 100;
+  EXPECT_DOUBLE_EQ(speedupPercent(A, B), 20.0);
+  EXPECT_DOUBLE_EQ(speedupPercent(B, B), 0.0);
+}
+
+TEST(Harness, DeterministicAcrossRuns) {
+  const workloads::Workload W = workloads::make("synthetic.periodic");
+  const OptimizationModel Model = W.model();
+  const RtoResult A = runLocal(W.Prog, W.Script, Model, 5, fastConfig());
+  const RtoResult B = runLocal(W.Prog, W.Script, Model, 5, fastConfig());
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.Patches, B.Patches);
+}
+
+struct DeploymentsFixture {
+  workloads::Workload W = workloads::make("synthetic.bottleneck");
+  OptimizationModel Model{W.Opportunities};
+  sim::Engine Eng{W.Prog, W.Script, 1};
+};
+
+TEST(TraceDeployments, DeployTrainsOnActiveProfile) {
+  DeploymentsFixture F;
+  TraceDeployments T(F.Eng, F.Model, /*PatchOverheadCycles=*/1000);
+  EXPECT_FALSE(T.deployed(0));
+  EXPECT_TRUE(T.deploy(0));
+  EXPECT_TRUE(T.deployed(0));
+  EXPECT_EQ(T.patches(), 1u);
+  // Matched profile: the engine runs the loop faster.
+  EXPECT_DOUBLE_EQ(F.Eng.speedup(0), 1.0 / 0.9);
+  // Patch overhead hit the cycle clock without advancing work.
+  EXPECT_EQ(F.Eng.cycles(), 1000u);
+  EXPECT_DOUBLE_EQ(F.Eng.work(), 0.0);
+}
+
+TEST(TraceDeployments, DeployIsIdempotent) {
+  DeploymentsFixture F;
+  TraceDeployments T(F.Eng, F.Model, 1000);
+  T.deploy(0);
+  EXPECT_TRUE(T.deploy(0));
+  EXPECT_EQ(T.patches(), 1u) << "second deploy is a no-op";
+}
+
+TEST(TraceDeployments, UnpatchRestoresBaseline) {
+  DeploymentsFixture F;
+  TraceDeployments T(F.Eng, F.Model, 1000);
+  T.deploy(0);
+  T.unpatch(0);
+  EXPECT_FALSE(T.deployed(0));
+  EXPECT_DOUBLE_EQ(F.Eng.speedup(0), 1.0);
+  EXPECT_EQ(T.unpatches(), 1u);
+  T.unpatch(0);
+  EXPECT_EQ(T.unpatches(), 1u) << "unpatching nothing is free";
+}
+
+TEST(TraceDeployments, RefreshAppliesMismatchPenalty) {
+  // synthetic.bottleneck switches the loop's profile at half-run; a trace
+  // trained on the first profile turns harmful after the switch
+  // (MismatchFactor 0.95).
+  DeploymentsFixture F;
+  TraceDeployments T(F.Eng, F.Model, 0);
+  T.deploy(0);
+  ASSERT_DOUBLE_EQ(F.Eng.speedup(0), 1.0 / 0.9);
+  // Advance past the profile switch at 1G work.
+  ASSERT_TRUE(F.Eng.advanceAndSample(1'200'000'000).has_value());
+  T.refresh();
+  EXPECT_DOUBLE_EQ(F.Eng.speedup(0), 0.95);
+  EXPECT_EQ(T.harmfulStreak(0), 1u);
+  T.refresh();
+  EXPECT_EQ(T.harmfulStreak(0), 2u);
+  T.unpatch(0);
+  EXPECT_EQ(T.harmfulStreak(0), 0u);
+}
+
+TEST(TraceDeployments, UnpatchAllClearsEverything) {
+  const workloads::Workload W = workloads::make("synthetic.steady");
+  const OptimizationModel Model(W.Opportunities);
+  sim::Engine Eng(W.Prog, W.Script, 1);
+  TraceDeployments T(Eng, Model, 0);
+  T.deploy(0);
+  T.deploy(1);
+  T.unpatchAll();
+  EXPECT_FALSE(T.deployed(0));
+  EXPECT_FALSE(T.deployed(1));
+  EXPECT_EQ(T.unpatches(), 2u);
+}
+
+TEST(Harness, SelfMonitoringUndoesHarmfulTraces) {
+  // With self-monitoring, LPD must never end up slower than baseline on
+  // the bottleneck-shift workload even though its trace turns harmful.
+  const workloads::Workload W = workloads::make("synthetic.bottleneck");
+  const OptimizationModel Model = W.model();
+  RtoConfig Config = fastConfig();
+  Config.SelfMonitorHarmIntervals = 2;
+  const RtoResult Lpd = runLocal(W.Prog, W.Script, Model, 3, Config);
+  const RtoResult Base =
+      runUnoptimized(W.Prog, W.Script, 3, Config);
+  EXPECT_LT(Lpd.TotalCycles,
+            Base.TotalCycles + static_cast<Cycles>(1e7))
+      << "harmful phase must be cut short";
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/SamplingSamplerTest.cpp - Sampling front-end -----------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampling/Sampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+using namespace regmon::sim;
+using namespace regmon::sampling;
+
+namespace {
+
+struct TestSetup {
+  Program Prog;
+  PhaseScript Script;
+
+  explicit TestSetup(Work Total = 1'000'000) {
+    ProgramBuilder B("sampler-test");
+    const auto Proc = B.addProcedure("f", 0x1000, 0x2000);
+    const LoopId A = B.addLoop(Proc, 0x1000, 0x1100);
+    B.addHotSpotProfile(A, 1.0, {});
+    const MixId M = Script.addMix({MixComponent{A, 0, 1.0}});
+    Script.steady(M, Total);
+    Prog = B.build();
+  }
+};
+
+TEST(Sampler, DeliversFullBuffers) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 1);
+  Sampler S(E, {/*PeriodCycles=*/100, /*BufferSize=*/64});
+  std::size_t Buffers = 0;
+  S.run([&](std::span<const Sample> Buffer) {
+    ++Buffers;
+    EXPECT_EQ(Buffer.size(), 64u);
+  });
+  // 1M cycles / (100 * 64) = 156 full buffers, remainder discarded.
+  EXPECT_EQ(Buffers, 156u);
+  EXPECT_EQ(S.intervals(), 156u);
+}
+
+TEST(Sampler, PartialFinalBufferDiscarded) {
+  TestSetup T(10'000);
+  Engine E(T.Prog, T.Script, 2);
+  Sampler S(E, {100, 64});
+  std::size_t Buffers = 0;
+  S.run([&](std::span<const Sample>) { ++Buffers; });
+  EXPECT_EQ(Buffers, 1u) << "100 samples fit; 36 leftover discarded";
+}
+
+TEST(Sampler, FillBufferReturnsFalseAtEnd) {
+  TestSetup T(10'000);
+  Engine E(T.Prog, T.Script, 3);
+  Sampler S(E, {100, 64});
+  std::vector<Sample> Buffer;
+  EXPECT_TRUE(S.fillBuffer(Buffer));
+  EXPECT_EQ(Buffer.size(), 64u);
+  EXPECT_FALSE(S.fillBuffer(Buffer));
+  EXPECT_LT(Buffer.size(), 64u);
+}
+
+TEST(Sampler, TimestampsSpacedByPeriod) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 4);
+  Sampler S(E, {250, 16});
+  std::vector<Sample> Buffer;
+  ASSERT_TRUE(S.fillBuffer(Buffer));
+  for (std::size_t I = 1; I < Buffer.size(); ++I)
+    EXPECT_EQ(Buffer[I].Time - Buffer[I - 1].Time, 250u);
+}
+
+TEST(Sampler, PaperDefaultBufferSize) {
+  const SamplingConfig Config;
+  EXPECT_EQ(Config.BufferSize, 2032u) << "the paper's Fig. 2 buffer";
+  EXPECT_EQ(Config.PeriodCycles, 45'000u);
+}
+
+TEST(Sampler, SmallerPeriodMoreIntervals) {
+  TestSetup T;
+  std::size_t Coarse, Fine;
+  {
+    Engine E(T.Prog, T.Script, 5);
+    Sampler S(E, {1000, 32});
+    Coarse = S.run([](std::span<const Sample>) {});
+  }
+  {
+    Engine E(T.Prog, T.Script, 5);
+    Sampler S(E, {100, 32});
+    Fine = S.run([](std::span<const Sample>) {});
+  }
+  // 1M cycles: 31 buffers of 32*1000 cycles vs 312 of 32*100.
+  EXPECT_EQ(Coarse, 31u);
+  EXPECT_EQ(Fine, 312u);
+}
+
+} // namespace

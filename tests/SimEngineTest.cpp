@@ -1,0 +1,227 @@
+//===- tests/SimEngineTest.cpp - Execution engine -------------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace regmon;
+using namespace regmon::sim;
+
+namespace {
+
+struct TestSetup {
+  Program Prog;
+  PhaseScript Script;
+
+  TestSetup() {
+    ProgramBuilder B("engine-test");
+    const auto Proc = B.addProcedure("f", 0x1000, 0x3000);
+    const LoopId A = B.addLoop(Proc, 0x1000, 0x1100); // 64 instrs
+    const LoopId C = B.addLoop(Proc, 0x2000, 0x2100);
+    B.addHotSpotProfile(A, 1.0, {});
+    B.addHotSpotProfile(C, 1.0, {});
+    const MixId Mixed =
+        Script.addMix({MixComponent{A, 0, 0.75}, MixComponent{C, 0, 0.25}});
+    const MixId OnlyC = Script.addMix({MixComponent{C, 0, 1.0}});
+    Script.steady(Mixed, 1'000'000);
+    Script.steady(OnlyC, 1'000'000);
+    Prog = B.build();
+  }
+};
+
+TEST(Engine, CyclesEqualWorkWithoutOptimizations) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 1);
+  while (E.advanceAndSample(10'000))
+    ;
+  E.finish();
+  EXPECT_DOUBLE_EQ(E.work(), 2'000'000);
+  EXPECT_EQ(E.cycles(), 2'000'000u);
+  EXPECT_TRUE(E.done());
+}
+
+TEST(Engine, SamplesComeFromActiveMix) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 2);
+  // First segment: PCs from loop A or C only.
+  for (int I = 0; I < 50; ++I) {
+    const auto S = E.advanceAndSample(10'000);
+    ASSERT_TRUE(S.has_value());
+    const bool InA = S->Pc >= 0x1000 && S->Pc < 0x1100;
+    const bool InC = S->Pc >= 0x2000 && S->Pc < 0x2100;
+    EXPECT_TRUE(InA || InC) << std::hex << S->Pc;
+  }
+}
+
+TEST(Engine, SecondSegmentUsesItsOwnMix) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 3);
+  // Jump into the second segment.
+  ASSERT_TRUE(E.advanceAndSample(1'200'000).has_value());
+  for (int I = 0; I < 30; ++I) {
+    const auto S = E.advanceAndSample(10'000);
+    ASSERT_TRUE(S.has_value());
+    EXPECT_GE(S->Pc, 0x2000u);
+    EXPECT_LT(S->Pc, 0x2100u);
+  }
+}
+
+TEST(Engine, MixWeightsGovernSampleFrequencies) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 4);
+  std::map<bool, int> Counts; // key: sample in loop A
+  for (int I = 0; I < 2000; ++I) {
+    const auto S = E.advanceAndSample(400); // stay inside segment 1
+    ASSERT_TRUE(S.has_value());
+    ++Counts[S->Pc < 0x1100];
+  }
+  const double FracA = Counts[true] / 2000.0;
+  EXPECT_NEAR(FracA, 0.75, 0.04);
+}
+
+TEST(Engine, SameSeedSameSampleStream) {
+  TestSetup T;
+  Engine E1(T.Prog, T.Script, 9), E2(T.Prog, T.Script, 9);
+  for (int I = 0; I < 200; ++I) {
+    const auto A = E1.advanceAndSample(5'000);
+    const auto B = E2.advanceAndSample(5'000);
+    ASSERT_EQ(A.has_value(), B.has_value());
+    if (A) {
+      ASSERT_EQ(A->Pc, B->Pc);
+      ASSERT_EQ(A->Time, B->Time);
+    }
+  }
+}
+
+TEST(Engine, SampleTimestampsAdvanceByPeriod) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 5);
+  Cycles Prev = 0;
+  for (int I = 0; I < 20; ++I) {
+    const auto S = E.advanceAndSample(7'000);
+    ASSERT_TRUE(S.has_value());
+    EXPECT_EQ(S->Time - Prev, 7'000u);
+    Prev = S->Time;
+  }
+}
+
+TEST(Engine, SpeedupReducesCycles) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 6);
+  E.setSpeedup(0, 2.0); // loop A (75% of segment 1) runs twice as fast
+  E.finish();
+  // Segment 1: 0.75/2 + 0.25 = 0.625 cycles per work unit -> 625k cycles;
+  // segment 2 unaffected: 1M cycles.
+  EXPECT_NEAR(static_cast<double>(E.cycles()), 1'625'000, 2.0);
+  EXPECT_DOUBLE_EQ(E.work(), 2'000'000) << "work is invariant";
+}
+
+TEST(Engine, SlowdownIncreasesCycles) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 6);
+  E.setSpeedup(1, 0.5); // loop C runs at half speed
+  E.finish();
+  // Segment 1: 0.75 + 0.25*2 = 1.25 -> 1.25M; segment 2: 2.0 -> 2M.
+  EXPECT_NEAR(static_cast<double>(E.cycles()), 3'250'000, 2.0);
+}
+
+TEST(Engine, ClearSpeedupsRestoresBaseline) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 7);
+  E.setSpeedup(0, 4.0);
+  E.clearSpeedups();
+  EXPECT_DOUBLE_EQ(E.speedup(0), 1.0);
+  E.finish();
+  EXPECT_EQ(E.cycles(), 2'000'000u);
+}
+
+TEST(Engine, SpeedupAffectsSampleOdds) {
+  // A sped-up loop occupies proportionally less wall time, so it should be
+  // sampled less often (samples are cycle-weighted).
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 8);
+  E.setSpeedup(0, 3.0); // loop A: cycle share 0.25/(0.25+0.25) = 0.5
+  int InA = 0;
+  constexpr int N = 3000;
+  for (int I = 0; I < N; ++I) {
+    // 150 cycles/sample keeps all 3000 samples inside segment 1 (450K
+    // cycles = 900K work at 0.5 cycles/work).
+    const auto S = E.advanceAndSample(150);
+    ASSERT_TRUE(S.has_value());
+    InA += S->Pc < 0x1100 ? 1 : 0;
+  }
+  EXPECT_NEAR(InA / static_cast<double>(N), 0.5, 0.04);
+}
+
+TEST(Engine, EndsExactlyAtTotalWork) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 10);
+  while (E.advanceAndSample(123'456))
+    ;
+  EXPECT_TRUE(E.done());
+  EXPECT_DOUBLE_EQ(E.work(), T.Script.totalWork());
+}
+
+TEST(Engine, AdvancePastEndReturnsNullopt) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 11);
+  EXPECT_FALSE(E.advanceAndSample(5'000'000).has_value());
+  EXPECT_FALSE(E.advanceAndSample(1).has_value()) << "stays finished";
+}
+
+TEST(Engine, OverheadCyclesChargeWithoutWork) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 12);
+  E.addOverheadCycles(1234);
+  E.finish();
+  EXPECT_EQ(E.cycles(), 2'001'234u);
+  EXPECT_DOUBLE_EQ(E.work(), 2'000'000);
+}
+
+TEST(Engine, ActiveMixComponentsTrackSegments) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 13);
+  ASSERT_EQ(E.activeMix().value(), 0u);
+  EXPECT_EQ(E.activeMixComponents().size(), 2u);
+  ASSERT_TRUE(E.advanceAndSample(1'500'000).has_value());
+  ASSERT_EQ(E.activeMix().value(), 1u);
+  EXPECT_EQ(E.activeMixComponents().size(), 1u);
+  E.finish();
+  EXPECT_FALSE(E.activeMix().has_value());
+  EXPECT_TRUE(E.activeMixComponents().empty());
+}
+
+TEST(Engine, AlternatingSegmentSamplesRespectFlips) {
+  ProgramBuilder B("alt");
+  const auto Proc = B.addProcedure("f", 0x1000, 0x3000);
+  const LoopId A = B.addLoop(Proc, 0x1000, 0x1100);
+  const LoopId C = B.addLoop(Proc, 0x2000, 0x2100);
+  B.addHotSpotProfile(A, 1.0, {});
+  B.addHotSpotProfile(C, 1.0, {});
+  PhaseScript S;
+  const MixId MA = S.addMix({MixComponent{A, 0, 1.0}});
+  const MixId MC = S.addMix({MixComponent{C, 0, 1.0}});
+  S.alternating(MA, MC, /*HalfPeriod=*/1000, /*Duration=*/100'000);
+  const Program P = B.build();
+  Engine E(P, S, 14);
+
+  // Sample every 250 cycles: work offset alternates blocks of 1000.
+  for (int I = 0; I < 200; ++I) {
+    const auto Sample = E.advanceAndSample(250);
+    ASSERT_TRUE(Sample.has_value());
+    const auto Block = static_cast<std::uint64_t>(E.work() / 1000.0);
+    const bool ExpectA = Block % 2 == 0;
+    if (ExpectA)
+      EXPECT_LT(Sample->Pc, 0x1100u) << "work=" << E.work();
+    else
+      EXPECT_GE(Sample->Pc, 0x2000u) << "work=" << E.work();
+  }
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/SimPhaseScriptTest.cpp - Phase script timeline ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PhaseScript.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+using namespace regmon::sim;
+
+namespace {
+
+Program makeTwoLoopProgram() {
+  ProgramBuilder B("p");
+  const auto Proc = B.addProcedure("f", 0, 0x1000);
+  const LoopId A = B.addLoop(Proc, 0x0, 0x100);
+  const LoopId C = B.addLoop(Proc, 0x200, 0x300);
+  B.addHotSpotProfile(A, 1.0, {});
+  B.addHotSpotProfile(C, 1.0, {});
+  return B.build();
+}
+
+PhaseScript makeScript() {
+  PhaseScript S;
+  const MixId M0 = S.addMix({MixComponent{0, 0, 1.0}});
+  const MixId M1 = S.addMix({MixComponent{1, 0, 1.0}});
+  S.steady(M0, 1000);
+  S.alternating(M0, M1, /*HalfPeriod=*/100, /*Duration=*/1000);
+  return S;
+}
+
+TEST(PhaseScript, TotalWorkAccumulates) {
+  const PhaseScript S = makeScript();
+  EXPECT_DOUBLE_EQ(S.totalWork(), 2000);
+  EXPECT_EQ(S.segments().size(), 2u);
+  EXPECT_EQ(S.mixes().size(), 2u);
+}
+
+TEST(PhaseScript, LocateInSteadySegment) {
+  const PhaseScript S = makeScript();
+  const auto Loc = S.locate(250);
+  EXPECT_EQ(Loc.ActiveMix, 0u);
+  EXPECT_DOUBLE_EQ(Loc.ToBoundary, 750) << "distance to segment end";
+}
+
+TEST(PhaseScript, LocateAtSegmentStart) {
+  const PhaseScript S = makeScript();
+  const auto Loc = S.locate(0);
+  EXPECT_EQ(Loc.ActiveMix, 0u);
+  EXPECT_DOUBLE_EQ(Loc.ToBoundary, 1000);
+}
+
+TEST(PhaseScript, AlternationTogglesEveryHalfPeriod) {
+  const PhaseScript S = makeScript();
+  EXPECT_EQ(S.locate(1050).ActiveMix, 0u) << "first half-period runs A";
+  EXPECT_EQ(S.locate(1150).ActiveMix, 1u) << "second runs B";
+  EXPECT_EQ(S.locate(1250).ActiveMix, 0u) << "third runs A again";
+  EXPECT_EQ(S.locate(1950).ActiveMix, 1u);
+}
+
+TEST(PhaseScript, AlternationBoundaryDistance) {
+  const PhaseScript S = makeScript();
+  EXPECT_DOUBLE_EQ(S.locate(1050).ToBoundary, 50) << "to the flip at 1100";
+  EXPECT_DOUBLE_EQ(S.locate(1100).ToBoundary, 100)
+      << "exactly at a flip: a full half-period remains";
+}
+
+TEST(PhaseScript, BoundaryClampedToSegmentEnd) {
+  PhaseScript S;
+  const MixId M0 = S.addMix({MixComponent{0, 0, 1.0}});
+  const MixId M1 = S.addMix({MixComponent{1, 0, 1.0}});
+  S.alternating(M0, M1, /*HalfPeriod=*/300, /*Duration=*/500);
+  // At work 450 the flip would be at 600, but the segment ends at 500.
+  EXPECT_DOUBLE_EQ(S.locate(450).ToBoundary, 50);
+  EXPECT_EQ(S.locate(450).ActiveMix, 1u);
+}
+
+TEST(PhaseScript, ValidatesAgainstProgram) {
+  const Program P = makeTwoLoopProgram();
+  const PhaseScript Good = makeScript();
+  EXPECT_TRUE(Good.validateAgainst(P));
+
+  PhaseScript BadLoop;
+  BadLoop.addMix({MixComponent{9, 0, 1.0}});
+  BadLoop.steady(0, 10);
+  EXPECT_FALSE(BadLoop.validateAgainst(P));
+
+  PhaseScript BadProfile;
+  BadProfile.addMix({MixComponent{0, 3, 1.0}});
+  BadProfile.steady(0, 10);
+  EXPECT_FALSE(BadProfile.validateAgainst(P));
+
+  PhaseScript Empty;
+  EXPECT_FALSE(Empty.validateAgainst(P)) << "no segments";
+}
+
+TEST(PhaseScript, MixTotalWeight) {
+  Mix M;
+  M.Components = {MixComponent{0, 0, 0.25}, MixComponent{1, 0, 0.75}};
+  EXPECT_DOUBLE_EQ(M.totalWeight(), 1.0);
+}
+
+TEST(PhaseScript, LocateAcrossManySegments) {
+  PhaseScript S;
+  const MixId M0 = S.addMix({MixComponent{0, 0, 1.0}});
+  const MixId M1 = S.addMix({MixComponent{1, 0, 1.0}});
+  for (int I = 0; I < 50; ++I)
+    S.steady(I % 2 ? M0 : M1, 10);
+  EXPECT_EQ(S.locate(5).ActiveMix, M1);
+  EXPECT_EQ(S.locate(15).ActiveMix, M0);
+  EXPECT_EQ(S.locate(495).ActiveMix, M0);
+  EXPECT_DOUBLE_EQ(S.locate(495).ToBoundary, 5);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/SupportMiscTest.cpp - Histogram, tables, charts --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+#include "support/Histogram.h"
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace regmon;
+
+namespace {
+
+TEST(InstrHistogram, BinsCoverRegion) {
+  InstrHistogram H(0x1000, 0x1040);
+  EXPECT_EQ(H.size(), 16u);
+  EXPECT_EQ(H.start(), 0x1000u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(InstrHistogram, AddSampleCountsPerInstruction) {
+  InstrHistogram H(0x1000, 0x1040);
+  H.addSample(0x1000);
+  H.addSample(0x1004);
+  H.addSample(0x1004);
+  H.addSample(0x103c);
+  EXPECT_EQ(H.total(), 4u);
+  EXPECT_EQ(H.bins()[0], 1u);
+  EXPECT_EQ(H.bins()[1], 2u);
+  EXPECT_EQ(H.bins()[15], 1u);
+  EXPECT_FALSE(H.empty());
+}
+
+TEST(InstrHistogram, UnalignedPcLandsInItsInstructionBin) {
+  // A sampled PC mid-instruction still belongs to that instruction.
+  InstrHistogram H(0x1000, 0x1010);
+  H.addSample(0x1006);
+  EXPECT_EQ(H.bins()[1], 1u);
+}
+
+TEST(InstrHistogram, ResetClearsCounts) {
+  InstrHistogram H(0, 0x10);
+  H.addSample(0x4);
+  H.reset();
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.bins()[1], 0u);
+}
+
+TEST(InstrHistogram, AssignFromCopiesBins) {
+  InstrHistogram A(0, 0x10), B(0, 0x10);
+  A.addSample(0x8);
+  B.assignFrom(A);
+  EXPECT_EQ(B.bins()[2], 1u);
+  EXPECT_EQ(B.total(), 1u);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable T;
+  T.header({"name", "value"});
+  T.row({"alpha", "1"});
+  T.row({"b", "22"});
+  const std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Numeric column is right-aligned: "22" ends at the same column as "1".
+  EXPECT_NE(Out.find(" 1\n"), std::string::npos);
+  EXPECT_NE(Out.find("22\n"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable T;
+  T.header({"a", "b", "c"});
+  T.row({"x"});
+  EXPECT_NO_THROW({ (void)T.render(); });
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::percent(0.256, 1), "25.6%");
+  EXPECT_EQ(TextTable::count(42), "42");
+}
+
+TEST(Sparkline, EmptyInput) {
+  EXPECT_EQ(sparkline(std::span<const double>(), 0, 1), "");
+}
+
+TEST(Sparkline, MapsExtremes) {
+  const std::vector<double> V = {0.0, 1.0};
+  const std::string S = sparkline(V, 0, 1);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0], ' ');
+  EXPECT_EQ(S[1], '@');
+}
+
+TEST(Sparkline, ClampsOutOfRange) {
+  const std::vector<double> V = {-5.0, 5.0};
+  const std::string S = sparkline(V, 0, 1);
+  EXPECT_EQ(S[0], ' ');
+  EXPECT_EQ(S[1], '@');
+}
+
+TEST(StackedChart, RendersSeriesAndLegend) {
+  StackedChart C(4);
+  C.addSeries("first", {1, 2, 3});
+  C.addSeries("second", {3, 2, 1});
+  const std::string Out = C.render();
+  EXPECT_NE(Out.find("a = first"), std::string::npos);
+  EXPECT_NE(Out.find("b = second"), std::string::npos);
+}
+
+TEST(StackedChart, EmptyChart) {
+  StackedChart C;
+  EXPECT_EQ(C.render(), "(empty chart)\n");
+}
+
+TEST(StackedChart, OverlayLine) {
+  StackedChart C(3);
+  C.addSeries("s", {1, 1});
+  C.setOverlay("flag", {true, false});
+  const std::string Out = C.render();
+  EXPECT_NE(Out.find('#'), std::string::npos);
+  EXPECT_NE(Out.find("flag"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/SupportRngTest.cpp - Deterministic PRNG ----------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+using namespace regmon;
+
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, ReseedReproducesStream) {
+  Rng A(77);
+  std::vector<std::uint64_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(A.next());
+  A.reseed(77);
+  for (int I = 0; I < 16; ++I)
+    ASSERT_EQ(A.next(), First[static_cast<std::size_t>(I)]);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 10'000; ++I) {
+    const double V = R.nextDouble();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng R(6);
+  for (const std::uint64_t Bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int I = 0; I < 1000; ++I)
+      ASSERT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng R(8);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng A(9);
+  Rng B = A.fork();
+  // The fork and the parent should not emit identical sequences.
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, PickWeightedHonorsZeroWeights) {
+  Rng R(10);
+  const std::array<double, 4> Weights = {0.0, 1.0, 0.0, 0.0};
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(R.pickWeighted(Weights), 1u);
+}
+
+TEST(Rng, PickWeightedSingleElement) {
+  Rng R(11);
+  const std::array<double, 1> Weights = {0.25};
+  EXPECT_EQ(R.pickWeighted(Weights), 0u);
+}
+
+/// Property sweep: empirical pick frequencies track the weights within a
+/// loose statistical tolerance.
+class PickWeightedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PickWeightedTest, FrequenciesTrackWeights) {
+  Rng R(GetParam());
+  std::vector<double> Weights;
+  const std::size_t N = 2 + R.nextBelow(6);
+  double Total = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Weights.push_back(1.0 + static_cast<double>(R.nextBelow(9)));
+    Total += Weights.back();
+  }
+  std::vector<int> Counts(N, 0);
+  constexpr int Draws = 40'000;
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[R.pickWeighted(Weights)];
+  for (std::size_t I = 0; I < N; ++I) {
+    const double Expected = Weights[I] / Total;
+    const double Observed =
+        static_cast<double>(Counts[I]) / static_cast<double>(Draws);
+    EXPECT_NEAR(Observed, Expected, 0.02)
+        << "component " << I << " of " << N;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PickWeightedTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+TEST(Rng, UniformityOfNextBelow) {
+  Rng R(30);
+  constexpr std::uint64_t Buckets = 16;
+  std::array<int, Buckets> Counts = {};
+  constexpr int Draws = 64'000;
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[R.nextBelow(Buckets)];
+  for (const int C : Counts)
+    EXPECT_NEAR(C, Draws / Buckets, Draws / Buckets * 0.15);
+}
+
+} // namespace

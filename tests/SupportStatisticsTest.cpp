@@ -1,0 +1,280 @@
+//===- tests/SupportStatisticsTest.cpp - Statistics kernels ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace regmon;
+
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats S;
+  S.add(42.5);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0); // classic population-stddev example
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats S;
+  S.add(1);
+  S.add(2);
+  S.clear();
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0);
+}
+
+TEST(RunningStats, MatchesTwoPassOnRandomData) {
+  Rng Random(11);
+  std::vector<double> Values;
+  RunningStats S;
+  for (int I = 0; I < 1000; ++I) {
+    const double V = Random.nextDouble() * 1e6;
+    Values.push_back(V);
+    S.add(V);
+  }
+  double Mean = 0;
+  for (double V : Values)
+    Mean += V;
+  Mean /= static_cast<double>(Values.size());
+  double Var = 0;
+  for (double V : Values)
+    Var += (V - Mean) * (V - Mean);
+  Var /= static_cast<double>(Values.size());
+  EXPECT_NEAR(S.mean(), Mean, 1e-6);
+  EXPECT_NEAR(S.variance(), Var, 1e-3);
+}
+
+TEST(WindowedStats, FillsToCapacityThenSlides) {
+  WindowedStats W(3);
+  W.add(1);
+  W.add(2);
+  EXPECT_FALSE(W.full());
+  EXPECT_DOUBLE_EQ(W.mean(), 1.5);
+  W.add(3);
+  EXPECT_TRUE(W.full());
+  EXPECT_DOUBLE_EQ(W.mean(), 2.0);
+  W.add(10); // evicts 1
+  EXPECT_DOUBLE_EQ(W.mean(), 5.0);
+  EXPECT_EQ(W.count(), 3u);
+}
+
+TEST(WindowedStats, StddevOfConstantIsZero) {
+  WindowedStats W(4);
+  for (int I = 0; I < 10; ++I)
+    W.add(7.0);
+  EXPECT_DOUBLE_EQ(W.stddev(), 0.0);
+}
+
+TEST(WindowedStats, StddevResistsCancellation) {
+  // Large base with tiny spread: the naive sum-of-squares shortcut loses
+  // all precision here.
+  WindowedStats W(4);
+  const double Base = 1e12;
+  for (double D : {0.0, 1.0, 2.0, 3.0})
+    W.add(Base + D);
+  EXPECT_NEAR(W.stddev(), std::sqrt(1.25), 1e-6);
+}
+
+TEST(WindowedStats, ClearEmptiesWindow) {
+  WindowedStats W(3);
+  W.add(5);
+  W.add(6);
+  W.clear();
+  EXPECT_EQ(W.count(), 0u);
+  EXPECT_DOUBLE_EQ(W.mean(), 0);
+  W.add(9);
+  EXPECT_DOUBLE_EQ(W.mean(), 9);
+}
+
+TEST(WindowedStats, SlidingMatchesBatchOnRandomData) {
+  Rng Random(12);
+  WindowedStats W(8);
+  std::vector<double> All;
+  for (int I = 0; I < 200; ++I) {
+    const double V = Random.nextDouble() * 100;
+    All.push_back(V);
+    W.add(V);
+    const std::size_t Lo = All.size() > 8 ? All.size() - 8 : 0;
+    double Mean = 0;
+    for (std::size_t J = Lo; J < All.size(); ++J)
+      Mean += All[J];
+    Mean /= static_cast<double>(All.size() - Lo);
+    ASSERT_NEAR(W.mean(), Mean, 1e-9) << "at step " << I;
+  }
+}
+
+TEST(WindowedStats, ResizeShrinkKeepsNewest) {
+  WindowedStats W(4);
+  for (double V : {1.0, 2.0, 3.0, 4.0, 5.0}) // window holds 2,3,4,5
+    W.add(V);
+  W.resize(2); // keeps 4, 5
+  EXPECT_EQ(W.count(), 2u);
+  EXPECT_DOUBLE_EQ(W.mean(), 4.5);
+  W.add(7); // evicts 4
+  EXPECT_DOUBLE_EQ(W.mean(), 6.0);
+}
+
+TEST(WindowedStats, ResizeGrowKeepsAll) {
+  WindowedStats W(2);
+  W.add(1);
+  W.add(2);
+  W.add(3); // window: 2, 3
+  W.resize(4);
+  EXPECT_EQ(W.count(), 2u);
+  EXPECT_EQ(W.capacity(), 4u);
+  W.add(4);
+  W.add(5);
+  EXPECT_DOUBLE_EQ(W.mean(), (2.0 + 3 + 4 + 5) / 4);
+  W.add(6); // now evicts 2
+  EXPECT_DOUBLE_EQ(W.mean(), (3.0 + 4 + 5 + 6) / 4);
+}
+
+TEST(WindowedStats, ResizeBeforeWrapIsChronological) {
+  WindowedStats W(8);
+  W.add(10);
+  W.add(20);
+  W.resize(1);
+  EXPECT_DOUBLE_EQ(W.mean(), 20) << "the newest value survives";
+}
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> X = {1, 2, 3, 4, 5};
+  const std::vector<double> Y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(std::span<const double>(X),
+                      std::span<const double>(Y)),
+              1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> X = {1, 2, 3, 4, 5};
+  const std::vector<double> Y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(std::span<const double>(X),
+                      std::span<const double>(Y)),
+              -1.0, 1e-12);
+}
+
+TEST(Pearson, BothConstantIsOne) {
+  const std::vector<std::uint32_t> X = {5, 5, 5};
+  const std::vector<std::uint32_t> Y = {9, 9, 9};
+  EXPECT_DOUBLE_EQ(pearson(std::span<const std::uint32_t>(X),
+                           std::span<const std::uint32_t>(Y)),
+                   1.0);
+}
+
+TEST(Pearson, OneConstantIsZero) {
+  const std::vector<std::uint32_t> X = {5, 5, 5};
+  const std::vector<std::uint32_t> Y = {1, 9, 4};
+  EXPECT_DOUBLE_EQ(pearson(std::span<const std::uint32_t>(X),
+                           std::span<const std::uint32_t>(Y)),
+                   0.0);
+}
+
+TEST(Pearson, PaperShiftExample) {
+  // Fig. 8: shifting the bottleneck by one instruction must push r far
+  // below the rt = 0.8 threshold.
+  std::vector<std::uint32_t> Original = {10, 12, 9,  350, 11,
+                                         14, 95, 10, 13,  11};
+  std::vector<std::uint32_t> Shifted(Original.size());
+  for (std::size_t I = 0; I < Original.size(); ++I)
+    Shifted[(I + 1) % Original.size()] = Original[I];
+  const double R = pearson(std::span<const std::uint32_t>(Original),
+                           std::span<const std::uint32_t>(Shifted));
+  EXPECT_LT(R, 0.2);
+}
+
+/// Property sweep: for random histograms, r is within [-1, 1], symmetric,
+/// exactly 1 against any positive scaling of itself, and insensitive to
+/// adding a constant.
+class PearsonPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PearsonPropertyTest, BoundsSymmetryScaleAndShiftInvariance) {
+  Rng Random(GetParam());
+  const std::size_t N = 4 + Random.nextBelow(60);
+  std::vector<double> X(N), Y(N);
+  for (std::size_t I = 0; I < N; ++I) {
+    X[I] = static_cast<double>(Random.nextBelow(1000));
+    Y[I] = static_cast<double>(Random.nextBelow(1000));
+  }
+  // Ensure both vary (degenerate handling is tested separately).
+  X[0] += 1000;
+  Y[N - 1] += 1000;
+
+  const auto SX = std::span<const double>(X);
+  const auto SY = std::span<const double>(Y);
+  const double R = pearson(SX, SY);
+  EXPECT_GE(R, -1.0 - 1e-12);
+  EXPECT_LE(R, 1.0 + 1e-12);
+  EXPECT_NEAR(pearson(SY, SX), R, 1e-12) << "not symmetric";
+
+  // Scale invariance: r(X, 3.7 * X) == 1.
+  std::vector<double> Scaled(N);
+  for (std::size_t I = 0; I < N; ++I)
+    Scaled[I] = X[I] * 3.7;
+  EXPECT_NEAR(pearson(SX, std::span<const double>(Scaled)), 1.0, 1e-9);
+
+  // Shift invariance: r(X, Y + c) == r(X, Y).
+  std::vector<double> ShiftedY(N);
+  for (std::size_t I = 0; I < N; ++I)
+    ShiftedY[I] = Y[I] + 123.0;
+  EXPECT_NEAR(pearson(SX, std::span<const double>(ShiftedY)), R, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Quantile, MedianOfOddCount) {
+  const std::vector<double> V = {5, 1, 9};
+  EXPECT_DOUBLE_EQ(median(V), 5);
+}
+
+TEST(Quantile, MedianOfEvenCountInterpolates) {
+  const std::vector<double> V = {1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(median(V), 2.5);
+}
+
+TEST(Quantile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(median(std::span<const double>()), 0);
+}
+
+TEST(Quantile, ExtremesAreMinAndMax) {
+  const std::vector<double> V = {3, 8, 1, 7};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 8);
+}
+
+TEST(Quantile, DoesNotMutateInput) {
+  const std::vector<double> V = {3, 1, 2};
+  const std::vector<double> Copy = V;
+  (void)median(V);
+  EXPECT_EQ(V, Copy);
+}
+
+} // namespace

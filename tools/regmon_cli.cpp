@@ -1,0 +1,335 @@
+//===- tools/regmon_cli.cpp - Command-line driver -------------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One binary to drive everything in the library:
+//
+//   regmon-cli list
+//   regmon-cli gpd <workload> [--period N] [--seed N]
+//   regmon-cli monitor <workload> [--period N] [--seed N]
+//                      [--similarity pearson|cosine|overlap]
+//                      [--attribution tree|list] [--adaptive-rt]
+//                      [--miss-phases] [--prune N]
+//   regmon-cli rto <workload> [--period N] [--seed N]
+//                  [--self-monitor off|oracle|observed]
+//   regmon-cli sweep <workload> [--seed N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "rto/Harness.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "support/TextTable.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string Workload;
+  Cycles Period = 45'000;
+  std::uint64_t Seed = 1;
+  core::SimilarityKind Similarity = core::SimilarityKind::Pearson;
+  core::AttributorKind Attribution = core::AttributorKind::IntervalTree;
+  bool AdaptiveRt = false;
+  bool MissPhases = false;
+  std::optional<std::uint64_t> PruneAfter;
+  rto::SelfMonitorMode SelfMonitor = rto::SelfMonitorMode::Observational;
+};
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  list                      list available workloads\n"
+      "  gpd <workload>            run global (centroid) phase detection\n"
+      "  monitor <workload>        run region monitoring (LPD)\n"
+      "  rto <workload>            compare RTO-ORIG vs RTO-LPD\n"
+      "  sweep <workload>          GPD + LPD summary at 45K/450K/900K\n"
+      "common flags: --period N --seed N\n"
+      "monitor flags: --similarity pearson|cosine|overlap "
+      "--attribution tree|list\n"
+      "               --adaptive-rt --miss-phases --prune N\n"
+      "rto flags: --self-monitor off|oracle|observed\n",
+      Prog);
+  return 2;
+}
+
+bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
+  const std::string Flag = Argv[I];
+  const auto Next = [&]() -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", Flag.c_str());
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+  if (Flag == "--period") {
+    Opts.Period = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--seed") {
+    Opts.Seed = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--similarity") {
+    const std::string V = Next();
+    if (V == "pearson")
+      Opts.Similarity = core::SimilarityKind::Pearson;
+    else if (V == "cosine")
+      Opts.Similarity = core::SimilarityKind::Cosine;
+    else if (V == "overlap")
+      Opts.Similarity = core::SimilarityKind::Overlap;
+    else {
+      std::fprintf(stderr, "error: unknown similarity '%s'\n", V.c_str());
+      std::exit(2);
+    }
+    return true;
+  }
+  if (Flag == "--attribution") {
+    const std::string V = Next();
+    if (V == "tree")
+      Opts.Attribution = core::AttributorKind::IntervalTree;
+    else if (V == "list")
+      Opts.Attribution = core::AttributorKind::List;
+    else {
+      std::fprintf(stderr, "error: unknown attribution '%s'\n", V.c_str());
+      std::exit(2);
+    }
+    return true;
+  }
+  if (Flag == "--adaptive-rt") {
+    Opts.AdaptiveRt = true;
+    return true;
+  }
+  if (Flag == "--miss-phases") {
+    Opts.MissPhases = true;
+    return true;
+  }
+  if (Flag == "--prune") {
+    Opts.PruneAfter = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--self-monitor") {
+    const std::string V = Next();
+    if (V == "off")
+      Opts.SelfMonitor = rto::SelfMonitorMode::Off;
+    else if (V == "oracle")
+      Opts.SelfMonitor = rto::SelfMonitorMode::GroundTruth;
+    else if (V == "observed")
+      Opts.SelfMonitor = rto::SelfMonitorMode::Observational;
+    else {
+      std::fprintf(stderr, "error: unknown self-monitor mode '%s'\n",
+                   V.c_str());
+      std::exit(2);
+    }
+    return true;
+  }
+  return false;
+}
+
+int cmdList() {
+  TextTable Table;
+  Table.header({"workload", "loops", "total work (Gcycles)"});
+  for (const std::string &Name : workloads::allNames()) {
+    const workloads::Workload W = workloads::make(Name);
+    Table.row({Name, TextTable::count(W.Prog.loops().size()),
+               TextTable::num(W.Script.totalWork() / 1e9, 1)});
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdGpd(const Options &Opts) {
+  const workloads::Workload W = workloads::make(Opts.Workload);
+  sim::Engine Engine(W.Prog, W.Script, Opts.Seed);
+  sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+  gpd::CentroidPhaseDetector Detector;
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Detector.observeInterval(Buffer);
+  });
+  std::printf("%s @ %llu cycles/interrupt (GPD)\n", Opts.Workload.c_str(),
+              static_cast<unsigned long long>(Opts.Period));
+  std::printf("  intervals:      %llu\n",
+              static_cast<unsigned long long>(Detector.intervals()));
+  std::printf("  phase changes:  %llu\n",
+              static_cast<unsigned long long>(Detector.phaseChanges()));
+  std::printf("  %% time stable:  %.1f%%\n",
+              Detector.stableFraction() * 100.0);
+  std::printf("  final state:    %s\n", gpd::toString(Detector.state()));
+  return 0;
+}
+
+int cmdMonitor(const Options &Opts) {
+  const workloads::Workload W = workloads::make(Opts.Workload);
+  sim::Engine Engine(W.Prog, W.Script, Opts.Seed);
+  sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+  sim::ProgramCodeMap Map(W.Prog);
+
+  core::RegionMonitorConfig Config;
+  Config.Similarity = Opts.Similarity;
+  Config.Attribution = Opts.Attribution;
+  Config.Lpd.AdaptiveThreshold = Opts.AdaptiveRt;
+  Config.TrackMissPhases = Opts.MissPhases;
+  if (Opts.PruneAfter) {
+    Config.PruneColdRegions = true;
+    Config.PruneAfterIdleIntervals = *Opts.PruneAfter;
+  }
+  core::RegionMonitor Monitor(Map, Config);
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor.observeInterval(Buffer);
+  });
+
+  std::printf("%s @ %llu cycles/interrupt (region monitoring)\n",
+              Opts.Workload.c_str(),
+              static_cast<unsigned long long>(Opts.Period));
+  std::printf("  intervals %llu, formation triggers %llu, last UCR %.1f%%\n\n",
+              static_cast<unsigned long long>(Monitor.intervals()),
+              static_cast<unsigned long long>(Monitor.formationTriggers()),
+              Monitor.lastUcrFraction() * 100.0);
+
+  TextTable Table;
+  std::vector<std::string> Header = {"region",   "samples", "changes",
+                                     "% stable", "last r",  "DPI"};
+  if (Opts.MissPhases)
+    Header.push_back("miss changes");
+  Table.header(std::move(Header));
+  for (core::RegionId Id : Monitor.activeRegionIds()) {
+    const core::Region &R = Monitor.regions()[Id];
+    const core::RegionStats &S = Monitor.stats(Id);
+    std::vector<std::string> Row = {
+        R.Name,
+        TextTable::count(S.TotalSamples),
+        TextTable::count(S.PhaseChanges),
+        TextTable::percent(S.stableFraction()),
+        TextTable::num(Monitor.detector(Id).lastR(), 3),
+        TextTable::percent(S.missFraction())};
+    if (Opts.MissPhases)
+      Row.push_back(TextTable::count(S.MissPhaseChanges));
+    Table.row(std::move(Row));
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdRto(const Options &Opts) {
+  const workloads::Workload W = workloads::make(Opts.Workload);
+  const rto::OptimizationModel Model = W.model();
+  rto::RtoConfig Config;
+  Config.Sampling.PeriodCycles = Opts.Period;
+  Config.SelfMonitor = Opts.SelfMonitor;
+
+  const rto::RtoResult Unopt =
+      rto::runUnoptimized(W.Prog, W.Script, Opts.Seed, Config);
+  const rto::RtoResult Orig =
+      rto::runOriginal(W.Prog, W.Script, Model, Opts.Seed, Config);
+  const rto::RtoResult Lpd =
+      rto::runLocal(W.Prog, W.Script, Model, Opts.Seed, Config);
+
+  TextTable Table;
+  Table.header({"system", "cycles", "vs unoptimized", "stable%", "patches",
+                "unpatches", "self-undos"});
+  const auto Gain = [&](const rto::RtoResult &R) {
+    return TextTable::percent(static_cast<double>(Unopt.TotalCycles) /
+                                      static_cast<double>(R.TotalCycles) -
+                                  1.0,
+                              2);
+  };
+  Table.row({"unoptimized", TextTable::count(Unopt.TotalCycles), "0.00%",
+             "", "0", "0", "0"});
+  Table.row({"RTO-ORIG", TextTable::count(Orig.TotalCycles), Gain(Orig),
+             TextTable::percent(Orig.StableFraction),
+             TextTable::count(Orig.Patches),
+             TextTable::count(Orig.Unpatches), "0"});
+  Table.row({"RTO-LPD", TextTable::count(Lpd.TotalCycles), Gain(Lpd),
+             TextTable::percent(Lpd.StableFraction),
+             TextTable::count(Lpd.Patches),
+             TextTable::count(Lpd.Unpatches),
+             TextTable::count(Lpd.SelfUndos)});
+  std::printf("%s\nLPD speedup over ORIG: %.2f%%\n", Table.render().c_str(),
+              rto::speedupPercent(Orig, Lpd));
+  return 0;
+}
+
+int cmdSweep(const Options &Opts) {
+  TextTable Table;
+  Table.header({"period", "GPD changes", "GPD stable%", "LPD changes",
+                "regions", "median region stable%"});
+  for (const Cycles Period : {45'000u, 450'000u, 900'000u}) {
+    const workloads::Workload W = workloads::make(Opts.Workload);
+    sim::Engine Engine(W.Prog, W.Script, Opts.Seed);
+    sampling::Sampler Sampler(Engine, {Period, 2032});
+    sim::ProgramCodeMap Map(W.Prog);
+    core::RegionMonitor Monitor(Map);
+    gpd::CentroidPhaseDetector Gpd;
+    Sampler.run([&](std::span<const Sample> Buffer) {
+      Monitor.observeInterval(Buffer);
+      Gpd.observeInterval(Buffer);
+    });
+    std::uint64_t LpdChanges = 0;
+    std::vector<double> Stable;
+    for (core::RegionId Id : Monitor.activeRegionIds()) {
+      LpdChanges += Monitor.stats(Id).PhaseChanges;
+      Stable.push_back(Monitor.stats(Id).stableFraction());
+    }
+    Table.row({TextTable::count(Period),
+               TextTable::count(Gpd.phaseChanges()),
+               TextTable::percent(Gpd.stableFraction()),
+               TextTable::count(LpdChanges),
+               TextTable::count(Monitor.activeRegionIds().size()),
+               TextTable::percent(median(Stable))});
+  }
+  std::printf("%s (GPD vs LPD across sampling periods)\n%s",
+              Opts.Workload.c_str(), Table.render().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  Options Opts;
+  Opts.Command = Argv[1];
+  if (Opts.Command == "list")
+    return cmdList();
+
+  if (Argc < 3)
+    return usage(Argv[0]);
+  Opts.Workload = Argv[2];
+  if (!workloads::exists(Opts.Workload)) {
+    std::fprintf(stderr, "error: unknown workload '%s' (try 'list')\n",
+                 Opts.Workload.c_str());
+    return 2;
+  }
+  for (int I = 3; I < Argc; ++I) {
+    if (!parseFlag(Argc, Argv, I, Opts)) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Argv[I]);
+      return usage(Argv[0]);
+    }
+  }
+
+  if (Opts.Command == "gpd")
+    return cmdGpd(Opts);
+  if (Opts.Command == "monitor")
+    return cmdMonitor(Opts);
+  if (Opts.Command == "rto")
+    return cmdRto(Opts);
+  if (Opts.Command == "sweep")
+    return cmdSweep(Opts);
+  return usage(Argv[0]);
+}
