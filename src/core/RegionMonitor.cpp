@@ -44,6 +44,50 @@ std::vector<RegionId> RegionMonitor::activeRegionIds() const {
   return Out;
 }
 
+std::size_t RegionMonitor::activeRegionCount() const {
+  std::size_t N = 0;
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    N += Active[Id] ? 1 : 0;
+  return N;
+}
+
+std::uint64_t RegionMonitor::totalPhaseChanges() const {
+  std::uint64_t N = 0;
+  for (const RegionStats &S : Stats)
+    N += S.PhaseChanges;
+  return N;
+}
+
+std::uint64_t RegionMonitor::totalSamples() const {
+  std::uint64_t N = 0;
+  for (const RegionStats &S : Stats)
+    N += S.TotalSamples;
+  return N;
+}
+
+void RegionMonitor::reset() {
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    if (Active[Id])
+      Attrib->remove(Id, Regions[Id].Start, Regions[Id].End);
+  assert(Attrib->size() == 0 && "attribution index out of sync");
+  Regions.clear();
+  Active.clear();
+  CurrHists.clear();
+  CurrMissHists.clear();
+  Detectors.clear();
+  MissDetectors.clear();
+  Stats.clear();
+  LastSampledInterval.clear();
+  CumulativeMisses.clear();
+  RecentMiss.clear();
+  SampleTimelines.clear();
+  RTimelines.clear();
+  StateTimelines.clear();
+  UcrHistory.clear();
+  Intervals = 0;
+  FormationTriggers = 0;
+}
+
 const LocalPhaseDetector &RegionMonitor::detector(RegionId Id) const {
   assert(Id < Detectors.size() && "unknown region");
   return *Detectors[Id];

@@ -159,6 +159,9 @@ public:
   bool isActive(RegionId Id) const;
   /// Returns the ids of currently monitored regions, in formation order.
   std::vector<RegionId> activeRegionIds() const;
+  /// Returns the number of currently monitored regions. Allocation-free
+  /// (unlike \ref activeRegionIds), for per-interval stats publication.
+  std::size_t activeRegionCount() const;
   /// Returns the local phase detector of region \p Id.
   const LocalPhaseDetector &detector(RegionId Id) const;
   /// Returns aggregated statistics of region \p Id.
@@ -188,6 +191,20 @@ public:
 
   /// TrackMissPhases only: the miss-channel detector of region \p Id.
   const LocalPhaseDetector &missDetector(RegionId Id) const;
+
+  /// Returns the total local phase changes summed over all regions ever
+  /// formed (pruned regions included) -- the per-stream scalar the
+  /// multi-stream service publishes.
+  std::uint64_t totalPhaseChanges() const;
+  /// Returns the total samples attributed to any region, summed over all
+  /// regions ever formed. Overlapping regions count a sample once each.
+  std::uint64_t totalSamples() const;
+
+  /// Returns the monitor to its freshly constructed state (no regions, no
+  /// history), keeping the configuration and CodeMap. Lets a service
+  /// shard reuse a monitor for a new stream without reallocating the
+  /// attribution index.
+  void reset();
 
   /// Returns the number of intervals observed.
   std::uint64_t intervals() const { return Intervals; }

@@ -30,6 +30,15 @@ bool Sampler::fillBuffer(std::vector<Sample> &Buffer) {
   return true;
 }
 
+std::vector<std::vector<Sample>>
+Sampler::collectIntervals(std::size_t MaxIntervals) {
+  std::vector<std::vector<Sample>> Out;
+  std::vector<Sample> Buffer;
+  while (Out.size() < MaxIntervals && fillBuffer(Buffer))
+    Out.push_back(Buffer);
+  return Out;
+}
+
 std::size_t Sampler::run(const OverflowHandler &Handler) {
   std::vector<Sample> Buffer;
   while (fillBuffer(Buffer))

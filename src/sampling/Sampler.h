@@ -23,6 +23,7 @@
 #include "support/Types.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -58,6 +59,14 @@ public:
   /// Collects exactly one full buffer into \p Buffer. Returns false (with
   /// \p Buffer holding any partial data) once the program ends.
   bool fillBuffer(std::vector<Sample> &Buffer);
+
+  /// Records up to \p MaxIntervals complete intervals (all of them by
+  /// default), one vector per interval, discarding a trailing partial
+  /// buffer like \ref run. A pre-recorded stream can be replayed through
+  /// many detector configurations -- or submitted as SampleBatches to the
+  /// multi-stream monitoring service -- on identical inputs.
+  std::vector<std::vector<Sample>>
+  collectIntervals(std::size_t MaxIntervals = SIZE_MAX);
 
   /// Returns the number of complete intervals delivered so far.
   std::size_t intervals() const { return Intervals; }

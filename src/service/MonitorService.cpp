@@ -1,0 +1,176 @@
+//===- service/MonitorService.cpp - Sharded multi-stream monitor ----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/MonitorService.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace regmon;
+using namespace regmon::service;
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates dense stream ids from shard indices
+/// so that id patterns (all-even cores, strided assignment) cannot pile
+/// every stream onto one shard.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+MonitorService::MonitorService(ServiceConfig Config) : Config(Config) {
+  assert(Config.Workers > 0 && "service needs at least one worker");
+  assert(Config.QueueCapacity > 0 && "shard queues need capacity");
+  Shards.reserve(Config.Workers);
+  for (std::size_t I = 0; I < Config.Workers; ++I)
+    Shards.push_back(
+        std::make_unique<Shard>(Config.QueueCapacity, Config.Policy));
+}
+
+MonitorService::~MonitorService() { stop(); }
+
+StreamId MonitorService::addStream(const core::CodeMap &Map,
+                                   core::RegionMonitorConfig MonitorConfig) {
+  assert(!Started && "streams must be registered before start()");
+  const auto Id = static_cast<StreamId>(Streams.size());
+  auto State = std::make_unique<StreamState>();
+  State->Map = &Map;
+  State->Shard = static_cast<std::size_t>(mix64(Id) % Shards.size());
+  State->Monitor = std::make_unique<core::RegionMonitor>(Map, MonitorConfig);
+  Streams.push_back(std::move(State));
+  return Id;
+}
+
+std::size_t MonitorService::shardOf(StreamId Stream) const {
+  assert(Stream < Streams.size() && "unknown stream");
+  return Streams[Stream]->Shard;
+}
+
+void MonitorService::start() {
+  assert(!Started && "MonitorService supports one start/stop cycle");
+  Started = true;
+  Running.store(true, std::memory_order_release);
+  for (auto &S : Shards)
+    S->Worker = std::thread([this, Raw = S.get()] { workerLoop(*Raw); });
+}
+
+void MonitorService::stop() {
+  if (Stopped)
+    return;
+  Stopped = true;
+  for (auto &S : Shards)
+    S->Queue.close();
+  if (Started)
+    for (auto &S : Shards)
+      if (S->Worker.joinable())
+        S->Worker.join();
+  Running.store(false, std::memory_order_release);
+}
+
+bool MonitorService::submit(SampleBatch Batch) {
+  assert(Batch.Stream < Streams.size() && "unknown stream");
+  Shard &S = *Shards[Streams[Batch.Stream]->Shard];
+  // Count before pushing: once the push lands, a worker may process the
+  // batch immediately, and a snapshot must never observe more processed
+  // than submitted. A rejected push is uncounted again.
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!S.Queue.push(std::move(Batch))) {
+    Submitted.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void MonitorService::workerLoop(Shard &S) {
+  SampleBatch Batch;
+  while (S.Queue.pop(Batch)) {
+    process(Batch);
+    S.BatchesProcessed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MonitorService::process(const SampleBatch &Batch) {
+  StreamState &St = *Streams[Batch.Stream];
+  assert(St.Shard == shardOf(Batch.Stream) && "batch routed to wrong shard");
+  if (!Batch.Samples.empty()) {
+    core::RegionMonitor &Monitor = *St.Monitor;
+    Monitor.observeInterval(Batch.Samples);
+    // lastUcrFraction() is k/n of this interval, so the product recovers
+    // the exact unattributed-sample count.
+    const auto Ucr = static_cast<std::uint64_t>(std::llround(
+        Monitor.lastUcrFraction() *
+        static_cast<double>(Batch.Samples.size())));
+    St.IntervalsProcessed.fetch_add(1, std::memory_order_relaxed);
+    St.TotalSamples.fetch_add(Batch.Samples.size(),
+                              std::memory_order_relaxed);
+    St.UcrSamples.fetch_add(Ucr, std::memory_order_relaxed);
+    St.PhaseChanges.store(Monitor.totalPhaseChanges(),
+                          std::memory_order_relaxed);
+    St.FormationTriggers.store(Monitor.formationTriggers(),
+                               std::memory_order_relaxed);
+    St.RegionsFormed.store(Monitor.regions().size(),
+                           std::memory_order_relaxed);
+    St.ActiveRegions.store(Monitor.activeRegionCount(),
+                           std::memory_order_relaxed);
+  }
+  // Release-publish the batch count last so a snapshot that observes it
+  // also observes this batch's other counters.
+  St.BatchesProcessed.fetch_add(1, std::memory_order_release);
+}
+
+ServiceSnapshot MonitorService::snapshot() const {
+  ServiceSnapshot Snap;
+  Snap.Shards.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    ShardSnapshot Sh;
+    Sh.QueueDepth = S->Queue.size();
+    Sh.BatchesProcessed = S->BatchesProcessed.load(std::memory_order_relaxed);
+    Sh.BatchesDropped = S->Queue.dropped();
+    Snap.QueueDepth += Sh.QueueDepth;
+    Snap.BatchesDropped += Sh.BatchesDropped;
+    Snap.Shards.push_back(Sh);
+  }
+  Snap.Streams.reserve(Streams.size());
+  for (StreamId Id = 0; Id < Streams.size(); ++Id) {
+    const StreamState &St = *Streams[Id];
+    StreamSnapshot Out;
+    Out.Stream = Id;
+    Out.Shard = St.Shard;
+    Out.BatchesProcessed = St.BatchesProcessed.load(std::memory_order_acquire);
+    Out.IntervalsProcessed =
+        St.IntervalsProcessed.load(std::memory_order_relaxed);
+    Out.PhaseChanges = St.PhaseChanges.load(std::memory_order_relaxed);
+    Out.FormationTriggers =
+        St.FormationTriggers.load(std::memory_order_relaxed);
+    Out.RegionsFormed = St.RegionsFormed.load(std::memory_order_relaxed);
+    Out.ActiveRegions = St.ActiveRegions.load(std::memory_order_relaxed);
+    Out.TotalSamples = St.TotalSamples.load(std::memory_order_relaxed);
+    Out.UcrSamples = St.UcrSamples.load(std::memory_order_relaxed);
+    Snap.BatchesProcessed += Out.BatchesProcessed;
+    Snap.IntervalsProcessed += Out.IntervalsProcessed;
+    Snap.PhaseChanges += Out.PhaseChanges;
+    Snap.TotalSamples += Out.TotalSamples;
+    Snap.UcrSamples += Out.UcrSamples;
+    Snap.Streams.push_back(Out);
+  }
+  // Submitted is read last: every batch counted processed or dropped
+  // above was pre-counted in Submitted before its push (and the acquire
+  // loads above order this load after them), so a snapshot always
+  // satisfies processed + dropped <= submitted.
+  Snap.BatchesSubmitted = Submitted.load(std::memory_order_relaxed);
+  return Snap;
+}
+
+const core::RegionMonitor &MonitorService::monitor(StreamId Stream) const {
+  assert(Stream < Streams.size() && "unknown stream");
+  assert(!running() && "monitors are only inspectable while stopped");
+  return *Streams[Stream]->Monitor;
+}

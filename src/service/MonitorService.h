@@ -1,0 +1,220 @@
+//===- service/MonitorService.h - Sharded multi-stream monitor -*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's region monitor serves one hardware sample stream inside one
+/// optimizer. Production deployments -- hierarchical per-core monitoring,
+/// fleet-wide regression hunting -- face N independent streams at once.
+/// MonitorService scales the single-stream monitor out without touching
+/// its algorithms:
+///
+///  * every registered stream owns a private RegionMonitor (streams never
+///    share detector state, so per-stream results are bit-identical to a
+///    sequential run over the same batches);
+///  * streams are hash-routed to a fixed pool of shards, each shard being
+///    one worker thread plus one bounded MPSC ring buffer (\ref
+///    RingBuffer), so a stream's batches are always processed by the same
+///    thread in submission order -- the monitors need no locks;
+///  * ingestion applies a backpressure policy per shard: Block (lossless,
+///    producers absorb overload) or DropOldest (bounded producer latency,
+///    the stream goes gappy like a real HPM buffer on overflow);
+///  * per-stream and aggregate statistics are published through a
+///    lock-free snapshot API: workers publish into atomics, readers never
+///    touch the data-path locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SERVICE_MONITORSERVICE_H
+#define REGMON_SERVICE_MONITORSERVICE_H
+
+#include "core/CodeMap.h"
+#include "core/RegionMonitor.h"
+#include "service/RingBuffer.h"
+#include "support/Types.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace regmon::service {
+
+/// Identifies one registered sample stream (e.g. one core or one
+/// monitored process). Assigned densely by \ref MonitorService::addStream.
+using StreamId = std::uint32_t;
+
+/// One interval's worth of samples from one stream -- the unit of
+/// ingestion. Mirrors the sampling front-end's buffer-overflow delivery.
+struct SampleBatch {
+  StreamId Stream = 0;
+  std::vector<Sample> Samples;
+};
+
+/// Service-wide tunables.
+struct ServiceConfig {
+  /// Shard count == worker thread count. Streams are hash-partitioned
+  /// across shards.
+  std::size_t Workers = 4;
+  /// Per-shard ring-buffer capacity, in batches.
+  std::size_t QueueCapacity = 64;
+  /// What a full shard queue does to an incoming batch.
+  OverflowPolicy Policy = OverflowPolicy::Block;
+};
+
+/// Point-in-time statistics of one stream. All counters are published by
+/// the stream's worker after each batch; a snapshot is internally
+/// consistent per stream up to the last fully processed batch.
+struct StreamSnapshot {
+  StreamId Stream = 0;
+  std::size_t Shard = 0;
+  std::uint64_t BatchesProcessed = 0;
+  /// Batches that carried samples (empty batches are counted processed
+  /// but observe no interval).
+  std::uint64_t IntervalsProcessed = 0;
+  std::uint64_t PhaseChanges = 0;
+  std::uint64_t FormationTriggers = 0;
+  std::uint64_t RegionsFormed = 0;
+  std::uint64_t ActiveRegions = 0;
+  std::uint64_t TotalSamples = 0;
+  std::uint64_t UcrSamples = 0;
+
+  /// Lifetime fraction of the stream's samples left unattributed.
+  double ucrFraction() const {
+    return TotalSamples == 0 ? 0.0
+                             : static_cast<double>(UcrSamples) /
+                                   static_cast<double>(TotalSamples);
+  }
+};
+
+/// Point-in-time statistics of one shard (queue + worker).
+struct ShardSnapshot {
+  std::size_t QueueDepth = 0;
+  std::uint64_t BatchesProcessed = 0;
+  /// Batches evicted by the DropOldest policy before processing.
+  std::uint64_t BatchesDropped = 0;
+};
+
+/// Aggregate + per-stream + per-shard statistics.
+struct ServiceSnapshot {
+  std::uint64_t BatchesSubmitted = 0;
+  std::uint64_t BatchesProcessed = 0;
+  std::uint64_t BatchesDropped = 0;
+  std::uint64_t IntervalsProcessed = 0;
+  std::uint64_t PhaseChanges = 0;
+  std::uint64_t TotalSamples = 0;
+  std::uint64_t UcrSamples = 0;
+  std::size_t QueueDepth = 0; ///< Sum over shards.
+  std::vector<ShardSnapshot> Shards;
+  std::vector<StreamSnapshot> Streams;
+
+  /// Aggregate UCR fraction, sample-weighted across streams.
+  double ucrFraction() const {
+    return TotalSamples == 0 ? 0.0
+                             : static_cast<double>(UcrSamples) /
+                                   static_cast<double>(TotalSamples);
+  }
+};
+
+/// Owns a pool of sharded RegionMonitors and the worker threads that feed
+/// them. Lifecycle: register streams (\ref addStream), \ref start, submit
+/// batches from any number of threads, \ref stop (drains every queued
+/// batch), then inspect per-stream monitors. One start/stop cycle per
+/// instance.
+class MonitorService {
+public:
+  explicit MonitorService(ServiceConfig Config = {});
+  ~MonitorService();
+
+  MonitorService(const MonitorService &) = delete;
+  MonitorService &operator=(const MonitorService &) = delete;
+
+  /// Registers a stream resolving region candidates through \p Map (which
+  /// must outlive the service) and monitoring with \p MonitorConfig.
+  /// Returns the stream's id. Must not be called after \ref start.
+  StreamId addStream(const core::CodeMap &Map,
+                     core::RegionMonitorConfig MonitorConfig = {});
+
+  /// Returns the shard (worker) that processes \p Stream's batches.
+  std::size_t shardOf(StreamId Stream) const;
+
+  /// Spawns the worker pool. Batches submitted before start are buffered
+  /// (up to each shard's queue capacity) and processed once workers run.
+  void start();
+
+  /// Closes every shard queue, drains all queued batches, and joins the
+  /// workers. Idempotent. After stop, per-stream monitors are quiescent
+  /// and may be inspected through \ref monitor.
+  void stop();
+
+  /// Returns true between \ref start and \ref stop.
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// Routes \p Batch to its stream's shard under the configured
+  /// backpressure policy. Thread-safe. Returns false once the service has
+  /// been stopped (the batch is discarded). Empty batches are legal and
+  /// count as processed without observing an interval.
+  bool submit(SampleBatch Batch);
+
+  /// Publishes current statistics. Never blocks on the data path: all
+  /// fields are read from atomics (each internally consistent; the
+  /// cross-field view is a point-in-time sample, e.g. BatchesSubmitted
+  /// may lead BatchesProcessed + BatchesDropped + QueueDepth by in-flight
+  /// batches).
+  ServiceSnapshot snapshot() const;
+
+  /// Returns \p Stream's monitor for inspection. Only safe while the
+  /// service is not running (before \ref start or after \ref stop).
+  const core::RegionMonitor &monitor(StreamId Stream) const;
+
+  /// Returns the number of registered streams.
+  std::size_t streamCount() const { return Streams.size(); }
+
+  /// Returns the service configuration.
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  /// Per-stream state. Monitor and counters are written only by the
+  /// owning shard's worker while running.
+  struct StreamState {
+    const core::CodeMap *Map = nullptr;
+    std::size_t Shard = 0;
+    std::unique_ptr<core::RegionMonitor> Monitor;
+    std::atomic<std::uint64_t> BatchesProcessed{0};
+    std::atomic<std::uint64_t> IntervalsProcessed{0};
+    std::atomic<std::uint64_t> PhaseChanges{0};
+    std::atomic<std::uint64_t> FormationTriggers{0};
+    std::atomic<std::uint64_t> RegionsFormed{0};
+    std::atomic<std::uint64_t> ActiveRegions{0};
+    std::atomic<std::uint64_t> TotalSamples{0};
+    std::atomic<std::uint64_t> UcrSamples{0};
+  };
+
+  /// One shard: a bounded queue drained by one worker thread.
+  struct Shard {
+    Shard(std::size_t Capacity, OverflowPolicy Policy)
+        : Queue(Capacity, Policy) {}
+    RingBuffer<SampleBatch> Queue;
+    std::atomic<std::uint64_t> BatchesProcessed{0};
+    std::thread Worker;
+  };
+
+  void workerLoop(Shard &S);
+  void process(const SampleBatch &Batch);
+
+  ServiceConfig Config;
+  std::vector<std::unique_ptr<StreamState>> Streams;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<std::uint64_t> Submitted{0};
+  std::atomic<bool> Running{false};
+  bool Started = false;
+  bool Stopped = false;
+};
+
+} // namespace regmon::service
+
+#endif // REGMON_SERVICE_MONITORSERVICE_H

@@ -1,0 +1,171 @@
+//===- service/RingBuffer.h - Bounded MPSC batch queue ----------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity ring buffer connecting sample producers to a shard's
+/// worker thread. Multiple producers may push concurrently; one consumer
+/// drains (MPSC). The real system's analogue is the per-core HPM sample
+/// buffer between the kernel's overflow interrupt handler and the dynamic
+/// optimizer thread: bounded memory, and an explicit policy for what
+/// happens when the optimizer falls behind the hardware.
+///
+/// Two backpressure policies:
+///
+///  * Block      -- push waits until the consumer frees a slot. Lossless;
+///                  producer latency absorbs the overload. Required for
+///                  deterministic replay (every batch is processed).
+///  * DropOldest -- push evicts the oldest unconsumed element and never
+///                  blocks. Bounded producer latency; the monitor sees a
+///                  gappy stream, as real HPM buffers do on overflow.
+///
+/// FIFO order is preserved per producer: if one thread pushes a, then b,
+/// the consumer pops a before b (unless DropOldest evicted a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SERVICE_RINGBUFFER_H
+#define REGMON_SERVICE_RINGBUFFER_H
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace regmon::service {
+
+/// What a full queue does to an incoming push.
+enum class OverflowPolicy : std::uint8_t {
+  Block,      ///< Wait for free space (lossless).
+  DropOldest, ///< Evict the oldest unconsumed element (bounded latency).
+};
+
+/// Returns a short identifier for reports ("block" / "drop-oldest").
+inline const char *toString(OverflowPolicy Policy) {
+  return Policy == OverflowPolicy::Block ? "block" : "drop-oldest";
+}
+
+/// Bounded multi-producer single-consumer queue with a configurable
+/// overflow policy. \ref size and \ref dropped are wait-free so that a
+/// monitoring thread can observe queue depth without contending with the
+/// data path.
+template <typename T> class RingBuffer {
+public:
+  explicit RingBuffer(std::size_t Capacity,
+                      OverflowPolicy Policy = OverflowPolicy::Block)
+      : Policy(Policy), Slots(Capacity) {
+    assert(Capacity > 0 && "ring buffer needs at least one slot");
+  }
+
+  RingBuffer(const RingBuffer &) = delete;
+  RingBuffer &operator=(const RingBuffer &) = delete;
+
+  /// Enqueues \p Value according to the overflow policy. Returns false
+  /// (and discards \p Value) once the queue has been closed; a push
+  /// blocked on a full queue is woken and rejected by \ref close.
+  bool push(T Value) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Policy == OverflowPolicy::Block) {
+      NotFull.wait(Lock, [&] { return Count < Slots.size() || Shut; });
+    } else if (Count == Slots.size() && !Shut) {
+      Head = (Head + 1) % Slots.size();
+      --Count;
+      // Release so an observer of the drop also observes everything the
+      // submitting thread did before this push (its accounting).
+      DroppedCount.fetch_add(1, std::memory_order_release);
+    }
+    if (Shut)
+      return false;
+    Slots[(Head + Count) % Slots.size()] = std::move(Value);
+    ++Count;
+    Depth.store(Count, std::memory_order_relaxed);
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest element into \p Out, waiting while the queue is
+  /// open and empty. Returns false only when the queue is closed *and*
+  /// drained, so a consumer loop `while (Q.pop(B))` processes every
+  /// element enqueued before \ref close.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return Count > 0 || Shut; });
+    if (Count == 0)
+      return false;
+    Out = std::move(Slots[Head]);
+    Head = (Head + 1) % Slots.size();
+    --Count;
+    Depth.store(Count, std::memory_order_relaxed);
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Non-blocking \ref pop. Returns false when the queue is currently
+  /// empty, whether or not it is closed.
+  bool tryPop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Count == 0)
+      return false;
+    Out = std::move(Slots[Head]);
+    Head = (Head + 1) % Slots.size();
+    --Count;
+    Depth.store(Count, std::memory_order_relaxed);
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes every blocked producer and
+  /// consumer. Elements already enqueued remain poppable. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Shut = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  /// Returns true once \ref close has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Shut;
+  }
+
+  /// Current queue depth. Wait-free (reads a mirror updated under the
+  /// lock), so values are a snapshot that may lag the data path by one
+  /// operation.
+  std::size_t size() const { return Depth.load(std::memory_order_relaxed); }
+
+  /// Maximum number of buffered elements.
+  std::size_t capacity() const { return Slots.size(); }
+
+  /// Elements evicted by the DropOldest policy. Wait-free.
+  std::uint64_t dropped() const {
+    return DroppedCount.load(std::memory_order_acquire);
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  const OverflowPolicy Policy;
+  std::vector<T> Slots;
+  std::size_t Head = 0;  ///< Index of the oldest element.
+  std::size_t Count = 0; ///< Number of buffered elements.
+  bool Shut = false;
+  std::atomic<std::size_t> Depth{0};
+  std::atomic<std::uint64_t> DroppedCount{0};
+};
+
+} // namespace regmon::service
+
+#endif // REGMON_SERVICE_RINGBUFFER_H

@@ -121,6 +121,115 @@ TEST(CosineSimilarity, OrthogonalVectorsScoreZero) {
   EXPECT_DOUBLE_EQ(C.compare(A, B), 0.0);
 }
 
+//===----------------------------------------------------------------------===//
+// Property-based tests for the paper's metric: seeded-random histograms
+// checking the algebraic identities Pearson's r must satisfy. Each
+// property sweeps many random inputs, so a violation anywhere in the
+// sampled space fails with the offending seed in the message.
+//===----------------------------------------------------------------------===//
+
+/// A random histogram guaranteed non-constant (variance > 0), so r is
+/// never in the degenerate zero-variance regime unless a test wants it.
+std::vector<std::uint32_t> randomVaryingHist(Rng &Random, std::size_t N) {
+  std::vector<std::uint32_t> H = randomHist(Random, N);
+  H[0] = 1;
+  H[1] = 200; // two fixed unequal bins force nonzero variance
+  return H;
+}
+
+class PearsonPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+  PearsonSimilarity P;
+  Rng Random{GetParam()};
+};
+
+TEST_P(PearsonPropertyTest, RandomPairsStayInClosedUnitInterval) {
+  for (int Trial = 0; Trial < 64; ++Trial) {
+    const std::size_t N = 2 + Random.nextBelow(64);
+    const auto A = randomHist(Random, N);
+    const auto B = randomHist(Random, N);
+    const double R = P.compare(A, B);
+    ASSERT_GE(R, -1.0 - 1e-12) << "trial " << Trial << " size " << N;
+    ASSERT_LE(R, 1.0 + 1e-12) << "trial " << Trial << " size " << N;
+  }
+}
+
+TEST_P(PearsonPropertyTest, SymmetricUnderArgumentSwap) {
+  for (int Trial = 0; Trial < 64; ++Trial) {
+    const std::size_t N = 2 + Random.nextBelow(48);
+    const auto A = randomHist(Random, N);
+    const auto B = randomHist(Random, N);
+    ASSERT_NEAR(P.compare(A, B), P.compare(B, A), 1e-12)
+        << "trial " << Trial;
+  }
+}
+
+TEST_P(PearsonPropertyTest, ScaleInvariantAgainstScaledSelf) {
+  // r(a, k*a) == 1 for every k > 0: uniformly more samples of the same
+  // shape is not a phase change (paper section 3.2.1).
+  for (const std::uint32_t K : {2u, 3u, 7u, 25u}) {
+    const std::size_t N = 4 + Random.nextBelow(32);
+    const auto A = randomVaryingHist(Random, N);
+    std::vector<std::uint32_t> Scaled(A.size());
+    for (std::size_t I = 0; I < A.size(); ++I)
+      Scaled[I] = A[I] * K;
+    ASSERT_NEAR(P.compare(A, Scaled), 1.0, 1e-9) << "k = " << K;
+  }
+}
+
+TEST_P(PearsonPropertyTest, MeanShiftInvariantAgainstOffsetSelf) {
+  // r(a, a + c) == 1: Pearson subtracts the mean, so a uniform additive
+  // offset (e.g. background sampling noise in every bin) is invisible.
+  for (const std::uint32_t C : {1u, 10u, 1000u}) {
+    const std::size_t N = 4 + Random.nextBelow(32);
+    const auto A = randomVaryingHist(Random, N);
+    std::vector<std::uint32_t> Shifted(A.size());
+    for (std::size_t I = 0; I < A.size(); ++I)
+      Shifted[I] = A[I] + C;
+    ASSERT_NEAR(P.compare(A, Shifted), 1.0, 1e-9) << "c = " << C;
+  }
+}
+
+TEST_P(PearsonPropertyTest, AffineNegationScoresMinusOne) {
+  // b = M - a is a perfect anti-correlation: r must be exactly -1.
+  const std::size_t N = 4 + Random.nextBelow(32);
+  const auto A = randomVaryingHist(Random, N);
+  constexpr std::uint32_t M = 1000;
+  std::vector<std::uint32_t> B(A.size());
+  for (std::size_t I = 0; I < A.size(); ++I)
+    B[I] = M - A[I];
+  ASSERT_NEAR(P.compare(A, B), -1.0, 1e-9);
+}
+
+TEST_P(PearsonPropertyTest, ConstantAgainstVaryingIsZero) {
+  // Zero variance on one side: r is undefined mathematically; the
+  // implementation defines it as 0 (a flat profile against a varying one
+  // is a shape change).
+  const std::size_t N = 4 + Random.nextBelow(32);
+  const auto A = randomVaryingHist(Random, N);
+  for (const std::uint32_t C : {0u, 5u, 100u}) {
+    const std::vector<std::uint32_t> Flat(N, C);
+    ASSERT_DOUBLE_EQ(P.compare(Flat, A), 0.0) << "constant " << C;
+    ASSERT_DOUBLE_EQ(P.compare(A, Flat), 0.0) << "constant " << C;
+  }
+}
+
+TEST_P(PearsonPropertyTest, ConstantAgainstConstantIsOne) {
+  // Both sides degenerate: identical flat shapes, defined as r = 1 (no
+  // behaviour change), including the all-zero histograms of an interval
+  // in which a region drew no samples.
+  const std::size_t N = 2 + Random.nextBelow(32);
+  const std::uint32_t C1 = static_cast<std::uint32_t>(Random.nextBelow(50));
+  const std::uint32_t C2 = static_cast<std::uint32_t>(Random.nextBelow(50));
+  ASSERT_DOUBLE_EQ(
+      P.compare(std::vector<std::uint32_t>(N, C1),
+                std::vector<std::uint32_t>(N, C2)),
+      1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonPropertyTest,
+                         ::testing::Range<std::uint64_t>(1000, 1008));
+
 TEST(Similarity, FactoryNames) {
   EXPECT_STREQ(makeSimilarity(SimilarityKind::Pearson)->name(), "pearson");
   EXPECT_STREQ(makeSimilarity(SimilarityKind::Cosine)->name(), "cosine");

@@ -1,0 +1,203 @@
+//===- tests/ServiceRingBufferTest.cpp - Bounded MPSC queue ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RingBuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace regmon::service;
+
+namespace {
+
+TEST(RingBuffer, CapacityOnePushPop) {
+  RingBuffer<int> Q(1);
+  EXPECT_EQ(Q.capacity(), 1u);
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_TRUE(Q.push(42));
+  EXPECT_EQ(Q.size(), 1u);
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 42);
+  EXPECT_EQ(Q.size(), 0u);
+}
+
+TEST(RingBuffer, WraparoundPreservesFifo) {
+  RingBuffer<int> Q(3);
+  int V = 0;
+  // Cycle the head index through the storage several times.
+  for (int Round = 0; Round < 10; ++Round) {
+    EXPECT_TRUE(Q.push(3 * Round));
+    EXPECT_TRUE(Q.push(3 * Round + 1));
+    ASSERT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, 3 * Round);
+    EXPECT_TRUE(Q.push(3 * Round + 2));
+    ASSERT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, 3 * Round + 1);
+    ASSERT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, 3 * Round + 2);
+  }
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_EQ(Q.dropped(), 0u);
+}
+
+TEST(RingBuffer, TryPopOnEmptyReturnsFalse) {
+  RingBuffer<int> Q(2);
+  int V = 0;
+  EXPECT_FALSE(Q.tryPop(V));
+  EXPECT_TRUE(Q.push(7));
+  EXPECT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 7);
+  EXPECT_FALSE(Q.tryPop(V));
+}
+
+TEST(RingBuffer, BlockPolicyWaitsForConsumer) {
+  RingBuffer<int> Q(1);
+  ASSERT_TRUE(Q.push(1));
+  // The second push must block until the consumer frees the slot; the
+  // consumer side runs in this thread, so pop before joining.
+  std::thread Producer([&] { EXPECT_TRUE(Q.push(2)); });
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  Producer.join();
+  EXPECT_EQ(Q.dropped(), 0u);
+}
+
+TEST(RingBuffer, DropOldestEvictsAndCounts) {
+  RingBuffer<int> Q(2, OverflowPolicy::DropOldest);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Q.push(I)) << "drop-oldest never blocks or rejects";
+  EXPECT_EQ(Q.size(), 2u);
+  EXPECT_EQ(Q.dropped(), 3u);
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 3) << "the oldest survivors are the last two pushed";
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 4);
+}
+
+TEST(RingBuffer, CloseRejectsPushesButDrainsPops) {
+  RingBuffer<int> Q(4);
+  EXPECT_TRUE(Q.push(1));
+  EXPECT_TRUE(Q.push(2));
+  Q.close();
+  EXPECT_TRUE(Q.closed());
+  EXPECT_FALSE(Q.push(3)) << "pushes after close fail";
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.pop(V)) << "closed and drained";
+}
+
+TEST(RingBuffer, CloseWakesBlockedProducer) {
+  RingBuffer<int> Q(1);
+  ASSERT_TRUE(Q.push(1));
+  std::thread Producer([&] { EXPECT_FALSE(Q.push(2)); });
+  Q.close();
+  Producer.join();
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V)) << "the pre-close element survives";
+  EXPECT_EQ(V, 1);
+}
+
+TEST(RingBuffer, CloseWakesBlockedConsumer) {
+  RingBuffer<int> Q(1);
+  std::thread Consumer([&] {
+    int V = 0;
+    EXPECT_FALSE(Q.pop(V));
+  });
+  Q.close();
+  Consumer.join();
+}
+
+TEST(RingBuffer, DropOldestPolicyAfterCloseRejects) {
+  RingBuffer<int> Q(1, OverflowPolicy::DropOldest);
+  ASSERT_TRUE(Q.push(1));
+  Q.close();
+  EXPECT_FALSE(Q.push(2));
+  EXPECT_EQ(Q.dropped(), 0u) << "a rejected push is not a drop";
+}
+
+/// Multi-producer interleaving: all producers released simultaneously by
+/// a std::barrier, pushing through a queue much smaller than the item
+/// count. Every item must arrive exactly once and each producer's items
+/// must arrive in that producer's push order.
+TEST(RingBuffer, MultiProducerInterleavingKeepsPerProducerOrder) {
+  constexpr std::uint32_t Producers = 4;
+  constexpr std::uint32_t PerProducer = 250;
+  RingBuffer<std::uint32_t> Q(8);
+
+  std::barrier Start(Producers);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Producers);
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      Start.arrive_and_wait();
+      for (std::uint32_t I = 0; I < PerProducer; ++I)
+        ASSERT_TRUE(Q.push(P << 16 | I));
+    });
+
+  std::vector<std::uint32_t> Received;
+  Received.reserve(Producers * PerProducer);
+  std::uint32_t V = 0;
+  for (std::uint32_t N = 0; N < Producers * PerProducer; ++N) {
+    ASSERT_TRUE(Q.pop(V));
+    Received.push_back(V);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_EQ(Q.dropped(), 0u);
+
+  // Per-producer subsequences are strictly increasing sequence numbers.
+  std::vector<std::uint32_t> NextSeq(Producers, 0);
+  for (std::uint32_t Item : Received) {
+    const std::uint32_t P = Item >> 16, Seq = Item & 0xffff;
+    ASSERT_LT(P, Producers);
+    EXPECT_EQ(Seq, NextSeq[P]) << "producer " << P << " reordered";
+    ++NextSeq[P];
+  }
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    EXPECT_EQ(NextSeq[P], PerProducer);
+}
+
+/// Same stress under DropOldest: no push ever blocks, and every submitted
+/// item is either received or counted dropped.
+TEST(RingBuffer, MultiProducerDropOldestConservesItems) {
+  constexpr std::uint32_t Producers = 4;
+  constexpr std::uint32_t PerProducer = 250;
+  RingBuffer<std::uint32_t> Q(4, OverflowPolicy::DropOldest);
+
+  std::barrier Start(Producers);
+  std::vector<std::thread> Threads;
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      Start.arrive_and_wait();
+      for (std::uint32_t I = 0; I < PerProducer; ++I)
+        ASSERT_TRUE(Q.push(P << 16 | I));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  std::uint64_t Received = 0;
+  std::uint32_t V = 0;
+  while (Q.tryPop(V))
+    ++Received;
+  EXPECT_EQ(Received + Q.dropped(), Producers * PerProducer);
+  EXPECT_LE(Received, Q.capacity());
+}
+
+} // namespace

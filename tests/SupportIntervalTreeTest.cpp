@@ -120,6 +120,62 @@ TEST(IntervalTree, FunctionVisitorVariant) {
   EXPECT_EQ(Seen, (std::vector<std::uint32_t>{1, 2}));
 }
 
+TEST(IntervalTree, EmptyTreeBoundaryQueries) {
+  IntervalTree T;
+  EXPECT_TRUE(stabSorted(T, 0).empty());
+  EXPECT_TRUE(stabSorted(T, ~Addr{0}).empty());
+  std::size_t Visits = 0;
+  T.stab(42, [&Visits](std::uint32_t) { ++Visits; });
+  EXPECT_EQ(Visits, 0u);
+  EXPECT_FALSE(T.erase(0, 1, 0)) << "nothing to erase in an empty tree";
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+TEST(IntervalTree, FullyOverlappingRegionsAllReported) {
+  // Identical spans plus concentric nesting: a stab in the common core
+  // reports every region, as overlapping-region attribution requires.
+  IntervalTree T;
+  for (std::uint32_t I = 0; I < 8; ++I)
+    T.insert(100, 200, I); // eight identical spans
+  for (std::uint32_t I = 0; I < 4; ++I)
+    T.insert(100 + 10 * I, 200 - 10 * I, 8 + I); // concentric shells
+  std::vector<std::uint32_t> Want;
+  for (std::uint32_t I = 0; I < 12; ++I)
+    Want.push_back(I);
+  EXPECT_EQ(stabSorted(T, 150), Want);
+  // Outside the innermost shell only the enclosing ones remain.
+  EXPECT_EQ(stabSorted(T, 105),
+            (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+TEST(IntervalTree, PointIntervalBoundaries) {
+  // The narrowest legal interval is one instruction wide: [lo, lo + 1).
+  // Its single point stabs; both neighbours miss.
+  IntervalTree T;
+  T.insert(100, 101, 1);
+  EXPECT_EQ(stabSorted(T, 100), std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(stabSorted(T, 99).empty());
+  EXPECT_TRUE(stabSorted(T, 101).empty());
+
+  // Adjacent point intervals tile without overlap: lo == hi of the
+  // previous interval belongs to the next one only.
+  T.insert(101, 102, 2);
+  EXPECT_EQ(stabSorted(T, 101), std::vector<std::uint32_t>{2});
+  EXPECT_EQ(stabSorted(T, 100), std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(stabSorted(T, 102).empty());
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+#ifndef NDEBUG
+TEST(IntervalTreeDeathTest, DegenerateEmptyIntervalRejected) {
+  // lo == hi denotes an empty half-open interval; the tree's contract
+  // (Start < End) rejects it rather than storing an unstabbable entry.
+  IntervalTree T;
+  EXPECT_DEATH_IF_SUPPORTED(T.insert(100, 100, 1), "non-empty");
+}
+#endif
+
 /// Property sweep: against a naive reference over random interval sets,
 /// with interleaved random erasures, every stab agrees and the AVL/max-end
 /// invariants hold throughout.

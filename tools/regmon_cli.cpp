@@ -15,6 +15,9 @@
 //   regmon-cli rto <workload> [--period N] [--seed N]
 //                  [--self-monitor off|oracle|observed]
 //   regmon-cli sweep <workload> [--seed N]
+//   regmon-cli serve <workload> [--streams N] [--workers N] [--period N]
+//                    [--seed N] [--queue N] [--policy block|drop]
+//                    [--intervals N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +25,7 @@
 #include "gpd/CentroidPhaseDetector.h"
 #include "rto/Harness.h"
 #include "sampling/Sampler.h"
+#include "service/MonitorService.h"
 #include "sim/Engine.h"
 #include "sim/ProgramCodeMap.h"
 #include "support/TextTable.h"
@@ -30,8 +34,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace regmon;
@@ -49,6 +55,11 @@ struct Options {
   bool MissPhases = false;
   std::optional<std::uint64_t> PruneAfter;
   rto::SelfMonitorMode SelfMonitor = rto::SelfMonitorMode::Observational;
+  std::size_t Streams = 8;
+  std::size_t Workers = 4;
+  std::size_t QueueCapacity = 64;
+  service::OverflowPolicy Policy = service::OverflowPolicy::Block;
+  std::size_t MaxIntervals = SIZE_MAX;
 };
 
 int usage(const char *Prog) {
@@ -60,11 +71,14 @@ int usage(const char *Prog) {
       "  monitor <workload>        run region monitoring (LPD)\n"
       "  rto <workload>            compare RTO-ORIG vs RTO-LPD\n"
       "  sweep <workload>          GPD + LPD summary at 45K/450K/900K\n"
+      "  serve <workload>          multi-stream monitoring service\n"
       "common flags: --period N --seed N\n"
       "monitor flags: --similarity pearson|cosine|overlap "
       "--attribution tree|list\n"
       "               --adaptive-rt --miss-phases --prune N\n"
-      "rto flags: --self-monitor off|oracle|observed\n",
+      "rto flags: --self-monitor off|oracle|observed\n"
+      "serve flags: --streams N --workers N --queue N "
+      "--policy block|drop --intervals N\n",
       Prog);
   return 2;
 }
@@ -122,6 +136,34 @@ bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
   }
   if (Flag == "--prune") {
     Opts.PruneAfter = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--streams") {
+    Opts.Streams = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--workers") {
+    Opts.Workers = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--queue") {
+    Opts.QueueCapacity = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--intervals") {
+    Opts.MaxIntervals = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--policy") {
+    const std::string V = Next();
+    if (V == "block")
+      Opts.Policy = service::OverflowPolicy::Block;
+    else if (V == "drop")
+      Opts.Policy = service::OverflowPolicy::DropOldest;
+    else {
+      std::fprintf(stderr, "error: unknown policy '%s'\n", V.c_str());
+      std::exit(2);
+    }
     return true;
   }
   if (Flag == "--self-monitor") {
@@ -298,6 +340,86 @@ int cmdSweep(const Options &Opts) {
   return 0;
 }
 
+int cmdServe(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+
+  // Each stream runs a private copy of the workload, seeded differently,
+  // with its own code map -- N independent cores executing the program.
+  struct Stream {
+    std::unique_ptr<workloads::Workload> W;
+    std::unique_ptr<sim::ProgramCodeMap> Map;
+  };
+  std::vector<Stream> Streams;
+  Streams.reserve(Opts.Streams);
+  for (std::size_t I = 0; I < Opts.Streams; ++I) {
+    Stream S;
+    S.W = std::make_unique<workloads::Workload>(
+        workloads::make(Opts.Workload));
+    S.Map = std::make_unique<sim::ProgramCodeMap>(S.W->Prog);
+    Streams.push_back(std::move(S));
+  }
+
+  service::MonitorService Service(
+      {Opts.Workers, Opts.QueueCapacity, Opts.Policy});
+  for (const Stream &S : Streams)
+    Service.addStream(*S.Map);
+  Service.start();
+
+  // One live producer per stream: sample the engine and submit each
+  // buffer overflow as a batch, exactly as per-core HPM drivers would.
+  std::vector<std::thread> Producers;
+  Producers.reserve(Streams.size());
+  for (service::StreamId Id = 0; Id < Streams.size(); ++Id)
+    Producers.emplace_back([&, Id] {
+      const Stream &S = Streams[Id];
+      sim::Engine Engine(S.W->Prog, S.W->Script, Opts.Seed + Id);
+      sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+      std::vector<Sample> Buffer;
+      std::size_t Sent = 0;
+      while (Sent < Opts.MaxIntervals && Sampler.fillBuffer(Buffer)) {
+        if (!Service.submit({Id, Buffer}))
+          break;
+        ++Sent;
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Service.stop();
+
+  const service::ServiceSnapshot Snap = Service.snapshot();
+  std::printf("%s x %zu streams @ %llu cycles/interrupt "
+              "(%zu workers, queue %zu, policy %s)\n",
+              Opts.Workload.c_str(), Opts.Streams,
+              static_cast<unsigned long long>(Opts.Period), Opts.Workers,
+              Opts.QueueCapacity, service::toString(Opts.Policy));
+  std::printf("  batches: %llu submitted, %llu processed, %llu dropped\n",
+              static_cast<unsigned long long>(Snap.BatchesSubmitted),
+              static_cast<unsigned long long>(Snap.BatchesProcessed),
+              static_cast<unsigned long long>(Snap.BatchesDropped));
+  std::printf("  aggregate: %llu intervals, %llu phase changes, "
+              "UCR %.1f%%\n\n",
+              static_cast<unsigned long long>(Snap.IntervalsProcessed),
+              static_cast<unsigned long long>(Snap.PhaseChanges),
+              Snap.ucrFraction() * 100.0);
+
+  TextTable Table;
+  Table.header({"stream", "shard", "intervals", "regions", "changes",
+                "triggers", "UCR%"});
+  for (const service::StreamSnapshot &St : Snap.Streams)
+    Table.row({TextTable::count(St.Stream), TextTable::count(St.Shard),
+               TextTable::count(St.IntervalsProcessed),
+               TextTable::count(St.ActiveRegions),
+               TextTable::count(St.PhaseChanges),
+               TextTable::count(St.FormationTriggers),
+               TextTable::percent(St.ucrFraction())});
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -331,5 +453,7 @@ int main(int Argc, char **Argv) {
     return cmdRto(Opts);
   if (Opts.Command == "sweep")
     return cmdSweep(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
   return usage(Argv[0]);
 }

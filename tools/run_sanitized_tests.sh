@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+#===- tools/run_sanitized_tests.sh - TSan/ASan test sweeps ---------------===#
+#
+# Part of the regmon project. Distributed under the MIT license.
+#
+# Builds the repo with -DREGMON_SANITIZER=<san> and runs the test suite
+# under each requested sanitizer. The concurrency suite
+# (ServiceConcurrencyTest / ServiceRingBufferTest) is the primary
+# customer: TSan proves the service's shard pinning and snapshot
+# publication race-free, ASan guards the batch hand-off paths.
+#
+# usage: tools/run_sanitized_tests.sh [thread] [address] [-R <ctest-regex>]
+#
+#   no sanitizer args  run both TSan and ASan sweeps
+#   -R <regex>         restrict to matching tests, e.g. -R 'Service|RingBuffer'
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/), so
+# sweeps are incremental across invocations.
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sans=()
+regex=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    thread|address) sans+=("$1"); shift ;;
+    -R) [[ $# -ge 2 ]] || { echo "error: -R needs a regex" >&2; exit 2; }
+        regex="$2"; shift 2 ;;
+    *) echo "usage: $0 [thread] [address] [-R <ctest-regex>]" >&2; exit 2 ;;
+  esac
+done
+[[ ${#sans[@]} -gt 0 ]] || sans=(thread address)
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for san in "${sans[@]}"; do
+  case "$san" in
+    thread)  build="build-tsan" ;;
+    address) build="build-asan" ;;
+  esac
+  echo "=== ${san} sanitizer: configuring ${build}/ ==="
+  cmake -B "$build" -S . -DREGMON_SANITIZER="$san" >/dev/null
+  echo "=== ${san} sanitizer: building ==="
+  cmake --build "$build" -j "$jobs"
+  echo "=== ${san} sanitizer: running tests ==="
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" \
+    ${regex:+-R "$regex"}
+  echo "=== ${san} sanitizer: OK ==="
+done
