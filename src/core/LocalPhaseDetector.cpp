@@ -26,9 +26,9 @@ const char *regmon::core::toString(LocalPhaseState S) {
 }
 
 LocalPhaseDetector::LocalPhaseDetector(std::size_t InstrCount,
-                                       const SimilarityMetric &Metric,
-                                       LocalDetectorConfig Config)
-    : Metric(Metric), Config(Config), PrevHist(InstrCount, 0) {
+                                       const SimilarityMetric &Sim,
+                                       LocalDetectorConfig Cfg)
+    : Metric(Sim), Config(Cfg), PrevHist(InstrCount, 0) {
   assert(InstrCount > 0 && "region must contain instructions");
   EffRt = Config.Rt;
   if (Config.AdaptiveThreshold && InstrCount > Config.AdaptiveBaseInstrs) {

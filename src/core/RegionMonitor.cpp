@@ -13,8 +13,8 @@
 using namespace regmon;
 using namespace regmon::core;
 
-RegionMonitor::RegionMonitor(const CodeMap &Map, RegionMonitorConfig Config)
-    : Map(Map), Config(Config),
+RegionMonitor::RegionMonitor(const CodeMap &CM, RegionMonitorConfig Cfg)
+    : Map(CM), Config(Cfg),
       Attrib(makeAttributor(Config.Attribution)),
       Metric(makeSimilarity(Config.Similarity)) {
   assert(Config.UcrTriggerFraction >= 0 && Config.UcrTriggerFraction <= 1 &&

@@ -23,8 +23,8 @@ const char *regmon::gpd::toString(GlobalPhaseState S) {
   return "?";
 }
 
-CentroidPhaseDetector::CentroidPhaseDetector(CentroidConfig Config)
-    : Config(Config), History(Config.HistoryLength) {
+CentroidPhaseDetector::CentroidPhaseDetector(CentroidConfig Cfg)
+    : Config(Cfg), History(Config.HistoryLength) {
   assert(Config.Th1 <= Config.Th2 && Config.Th2 <= Config.Th3 &&
          Config.Th3 <= Config.Th4 && "thresholds must be ordered");
   assert(Config.TimerIntervals > 0 && "timer must require >= 1 interval");

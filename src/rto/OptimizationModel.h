@@ -46,8 +46,8 @@ struct LoopOpportunity {
 class OptimizationModel {
 public:
   /// Creates a model with one opportunity entry per LoopId of the program.
-  explicit OptimizationModel(std::vector<LoopOpportunity> PerLoop)
-      : PerLoop(std::move(PerLoop)) {}
+  explicit OptimizationModel(std::vector<LoopOpportunity> Opportunities)
+      : PerLoop(std::move(Opportunities)) {}
 
   /// Returns the opportunity table.
   std::span<const LoopOpportunity> opportunities() const { return PerLoop; }

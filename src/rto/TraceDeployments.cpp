@@ -11,14 +11,12 @@
 using namespace regmon;
 using namespace regmon::rto;
 
-TraceDeployments::TraceDeployments(sim::Engine &Eng,
-                                   const OptimizationModel &Model,
-                                   double PatchOverheadCycles,
-                                   double PrefetchMissCover)
-    : Eng(Eng), Model(Model), PatchOverheadCycles(PatchOverheadCycles),
-      PrefetchMissCover(PrefetchMissCover),
-      Trained(Eng.program().loops().size()),
-      HarmStreak(Eng.program().loops().size(), 0) {
+TraceDeployments::TraceDeployments(sim::Engine &E,
+                                   const OptimizationModel &M,
+                                   double PatchOverhead, double MissCover)
+    : Eng(E), Model(M), PatchOverheadCycles(PatchOverhead),
+      PrefetchMissCover(MissCover), Trained(E.program().loops().size()),
+      HarmStreak(E.program().loops().size(), 0) {
   assert(Model.opportunities().size() == Trained.size() &&
          "optimization model does not cover every loop");
   assert(PrefetchMissCover >= 0 && PrefetchMissCover <= 1 &&

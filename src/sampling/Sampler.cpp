@@ -11,8 +11,7 @@
 using namespace regmon;
 using namespace regmon::sampling;
 
-Sampler::Sampler(sim::Engine &Eng, SamplingConfig Config)
-    : Eng(Eng), Config(Config) {
+Sampler::Sampler(sim::Engine &E, SamplingConfig Cfg) : Eng(E), Config(Cfg) {
   assert(Config.PeriodCycles > 0 && "sampling period must be positive");
   assert(Config.BufferSize > 0 && "buffer must hold at least one sample");
 }

@@ -26,7 +26,7 @@ std::uint64_t mix64(std::uint64_t X) {
 
 } // namespace
 
-MonitorService::MonitorService(ServiceConfig Config) : Config(Config) {
+MonitorService::MonitorService(ServiceConfig Cfg) : Config(Cfg) {
   assert(Config.Workers > 0 && "service needs at least one worker");
   assert(Config.QueueCapacity > 0 && "shard queues need capacity");
   Shards.reserve(Config.Workers);

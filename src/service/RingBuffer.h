@@ -58,8 +58,8 @@ inline const char *toString(OverflowPolicy Policy) {
 template <typename T> class RingBuffer {
 public:
   explicit RingBuffer(std::size_t Capacity,
-                      OverflowPolicy Policy = OverflowPolicy::Block)
-      : Policy(Policy), Slots(Capacity) {
+                      OverflowPolicy OnOverflow = OverflowPolicy::Block)
+      : Policy(OnOverflow), Slots(Capacity) {
     assert(Capacity > 0 && "ring buffer needs at least one slot");
   }
 

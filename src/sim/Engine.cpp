@@ -13,12 +13,11 @@
 using namespace regmon;
 using namespace regmon::sim;
 
-Engine::Engine(const Program &Prog, const PhaseScript &Script,
-               std::uint64_t Seed)
-    : Prog(Prog), Script(Script), Random(Seed),
+Engine::Engine(const Program &P, const PhaseScript &S, std::uint64_t Seed)
+    : Prog(P), Script(S), Random(Seed),
       MissRandom(Seed ^ 0x6d697373ULL), // independent "miss" stream
-      Speedups(Prog.loops().size(), 1.0),
-      MissScales(Prog.loops().size(), 1.0) {
+      Speedups(P.loops().size(), 1.0),
+      MissScales(P.loops().size(), 1.0) {
   assert(Script.validateAgainst(Prog) &&
          "phase script references loops/profiles the program lacks");
 }

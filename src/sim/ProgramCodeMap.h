@@ -24,8 +24,8 @@ namespace regmon::sim {
 /// CodeMap implementation over a synthetic program's loop table.
 class ProgramCodeMap final : public core::CodeMap {
 public:
-  /// Creates a map over \p Prog, which must outlive the map.
-  explicit ProgramCodeMap(const Program &Prog) : Prog(Prog) {}
+  /// Creates a map over \p P, which must outlive the map.
+  explicit ProgramCodeMap(const Program &P) : Prog(P) {}
 
   std::optional<core::CodeRegionInfo> regionFor(Addr Pc) const override;
 

@@ -25,8 +25,8 @@ namespace regmon {
 /// Renders a stacked chart of per-series values over intervals.
 class StackedChart {
 public:
-  /// Creates a chart \p Height character rows tall.
-  explicit StackedChart(unsigned Height = 16) : Height(Height) {}
+  /// Creates a chart \p Rows character rows tall.
+  explicit StackedChart(unsigned Rows = 16) : Height(Rows) {}
 
   /// Adds one series named \p Name with one value per interval. All series
   /// must have the same length.

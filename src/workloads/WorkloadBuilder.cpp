@@ -11,8 +11,8 @@
 using namespace regmon;
 using namespace regmon::workloads;
 
-WorkloadBuilder::WorkloadBuilder(std::string Name)
-    : Name(Name), Prog(Name) {}
+WorkloadBuilder::WorkloadBuilder(std::string WorkloadName)
+    : Name(std::move(WorkloadName)), Prog(Name) {}
 
 std::uint32_t WorkloadBuilder::proc(std::string ProcName, Addr Start,
                                     Addr End) {

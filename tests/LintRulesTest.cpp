@@ -1,0 +1,282 @@
+//===- tests/LintRulesTest.cpp - regmon-lint rules engine tests -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the regmon-lint rules engine over the fixture snippets in
+/// tests/lint_fixtures/. Every rule gets at least one violating and one
+/// conforming fixture, plus layer-gating, inline-suppression and
+/// baseline round-trip coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Baseline.h"
+#include "Driver.h"
+#include "Lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using namespace regmon::lint;
+
+std::string readFixture(const std::string &Name) {
+  std::string Path = std::string(REGMON_LINT_FIXTURE_DIR) + "/" + Name;
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture: " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<Diagnostic> lintFixture(const std::string &Name, Layer L) {
+  FileContext FC = buildContext("fixture/" + Name, readFixture(Name), L);
+  return runRules(FC);
+}
+
+int countRule(const std::vector<Diagnostic> &Diags, std::string_view Rule) {
+  int N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == Rule)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// R1: nondeterminism
+//===----------------------------------------------------------------------===//
+
+TEST(NondeterminismRule, FlagsClocksAndLibcRand) {
+  auto Diags = lintFixture("nondet_bad.cpp", Layer::Deterministic);
+  // srand, rand, time(), steady_clock::now, random_device.
+  EXPECT_EQ(countRule(Diags, "nondeterminism"), 5);
+}
+
+TEST(NondeterminismRule, AcceptsRngAndLookalikes) {
+  auto Diags = lintFixture("nondet_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "nondeterminism"), 0);
+}
+
+TEST(NondeterminismRule, BenchLayerMayUseClocks) {
+  auto Diags = lintFixture("nondet_bad.cpp", Layer::Bench);
+  EXPECT_EQ(countRule(Diags, "nondeterminism"), 0);
+}
+
+TEST(NondeterminismRule, RandomDeviceBannedOutsideSupportRng) {
+  // Even the support layer may not draw entropy — only support/Rng may.
+  auto Diags = lintFixture("nondet_bad.cpp", Layer::Support);
+  EXPECT_EQ(countRule(Diags, "nondeterminism"), 1); // random_device only
+  FileContext AsRng = buildContext(
+      "src/support/Rng.cpp", readFixture("nondet_bad.cpp"), Layer::Support);
+  EXPECT_EQ(countRule(runRules(AsRng), "nondeterminism"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// R2a: concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrencyRule, FlagsPrimitivesOutsideService) {
+  auto Diags = lintFixture("concurrency_bad.cpp", Layer::Deterministic);
+  // <mutex>, <thread>, std::mutex, std::thread, std::lock_guard,
+  // std::mutex again in the lock_guard's template argument.
+  EXPECT_EQ(countRule(Diags, "concurrency"), 6);
+}
+
+TEST(ConcurrencyRule, AcceptsSequentialCode) {
+  auto Diags = lintFixture("concurrency_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "concurrency"), 0);
+}
+
+TEST(ConcurrencyRule, ServiceAndTestsAreExempt) {
+  EXPECT_EQ(countRule(lintFixture("concurrency_bad.cpp", Layer::Service),
+                      "concurrency"),
+            0);
+  EXPECT_EQ(countRule(lintFixture("concurrency_bad.cpp", Layer::Tests),
+                      "concurrency"),
+            0);
+}
+
+//===----------------------------------------------------------------------===//
+// R2b: memory-order
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryOrderRule, FlagsDefaultedOrdering) {
+  auto Diags = lintFixture("memory_order_bad.cpp", Layer::Service);
+  EXPECT_EQ(countRule(Diags, "memory-order"), 3); // fetch_add, store, load
+}
+
+TEST(MemoryOrderRule, AcceptsExplicitOrdering) {
+  auto Diags = lintFixture("memory_order_good.cpp", Layer::Service);
+  EXPECT_EQ(countRule(Diags, "memory-order"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// R3: iteration-order
+//===----------------------------------------------------------------------===//
+
+TEST(IterationOrderRule, FlagsUnorderedIterationFeedingOutput) {
+  auto Diags = lintFixture("iteration_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "iteration-order"), 2);
+}
+
+TEST(IterationOrderRule, AcceptsOrderedOrFoldingLoops) {
+  auto Diags = lintFixture("iteration_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "iteration-order"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// R4a: header-hygiene
+//===----------------------------------------------------------------------===//
+
+TEST(HeaderHygieneRule, FlagsMissingGuardAndNamespaceLeak) {
+  auto Diags = lintFixture("hygiene_bad.h", Layer::Support);
+  EXPECT_EQ(countRule(Diags, "header-hygiene"), 2);
+}
+
+TEST(HeaderHygieneRule, AcceptsGuardedHeaders) {
+  EXPECT_EQ(
+      countRule(lintFixture("hygiene_good.h", Layer::Support),
+                "header-hygiene"),
+      0);
+  EXPECT_EQ(
+      countRule(lintFixture("hygiene_pragma.h", Layer::Support),
+                "header-hygiene"),
+      0);
+}
+
+TEST(HeaderHygieneRule, IgnoresNonHeaders) {
+  // Same content, .cpp extension: rule does not apply.
+  FileContext FC = buildContext("fixture/hygiene_bad.cpp",
+                                readFixture("hygiene_bad.h"), Layer::Support);
+  EXPECT_EQ(countRule(runRules(FC), "header-hygiene"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// R4b: assert-side-effects
+//===----------------------------------------------------------------------===//
+
+TEST(AssertSideEffectsRule, FlagsMutationInsideAssert) {
+  auto Diags = lintFixture("assert_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "assert-side-effects"), 2);
+}
+
+TEST(AssertSideEffectsRule, AcceptsPureAsserts) {
+  auto Diags = lintFixture("assert_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "assert-side-effects"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Inline suppressions
+//===----------------------------------------------------------------------===//
+
+TEST(Suppressions, AllowCommentSilencesNamedRuleOnly) {
+  auto Diags = lintFixture("suppressed.cpp", Layer::Deterministic);
+  // The include and DemoLock are allowed; UnsuppressedLock is not.
+  EXPECT_EQ(countRule(Diags, "concurrency"), 1);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Snippet.find("UnsuppressedLock"), std::string::npos);
+}
+
+TEST(Suppressions, WildcardAllSilencesEveryRule) {
+  FileContext FC = buildContext(
+      "fixture/wildcard.cpp",
+      "#include <mutex> // regmon-lint: allow(all)\n", Layer::Deterministic);
+  EXPECT_TRUE(runRules(FC).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(Baseline, RoundTripSuppressesExactlyOnce) {
+  auto Diags = lintFixture("concurrency_bad.cpp", Layer::Deterministic);
+  ASSERT_FALSE(Diags.empty());
+  std::string Text = Baseline::render(Diags);
+
+  Baseline B = Baseline::parse(Text);
+  EXPECT_TRUE(B.errors().empty());
+  EXPECT_EQ(B.size(), Diags.size());
+  EXPECT_EQ(B.apply(Diags), Diags.size());
+  for (const Diagnostic &D : Diags)
+    EXPECT_TRUE(D.Baselined);
+  EXPECT_TRUE(B.unconsumed().empty());
+
+  // A second identical violation is NOT covered by a single entry.
+  auto Fresh = lintFixture("concurrency_bad.cpp", Layer::Deterministic);
+  Baseline B2 = Baseline::parse(Text);
+  B2.apply(Fresh);
+  auto Again = lintFixture("concurrency_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(B2.apply(Again), 0u);
+}
+
+TEST(Baseline, ReportsStaleAndMalformedEntries) {
+  Baseline B = Baseline::parse("# comment\n"
+                               "concurrency|src/x.cpp|std::mutex M;\n"
+                               "not a valid entry\n");
+  EXPECT_EQ(B.errors().size(), 1u);
+  std::vector<Diagnostic> None;
+  B.apply(None);
+  EXPECT_EQ(B.unconsumed().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Path classification and normalization
+//===----------------------------------------------------------------------===//
+
+TEST(Classify, LayerMatrixMatchesTree) {
+  EXPECT_EQ(classifyPath("src/core/RegionMonitor.cpp"),
+            Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/sim/Engine.cpp"), Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/gpd/CentroidPhaseDetector.h"),
+            Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/sampling/Sampler.cpp"), Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/service/MonitorService.cpp"), Layer::Service);
+  EXPECT_EQ(classifyPath("src/support/Rng.cpp"), Layer::Support);
+  EXPECT_EQ(classifyPath("src/rto/Harness.cpp"), Layer::Support);
+  EXPECT_EQ(classifyPath("tools/regmon_cli.cpp"), Layer::Tools);
+  EXPECT_EQ(classifyPath("bench/BenchSupport.cpp"), Layer::Bench);
+  EXPECT_EQ(classifyPath("tests/CoreLpdTest.cpp"), Layer::Tests);
+  EXPECT_EQ(classifyPath("examples/quickstart.cpp"), Layer::Other);
+}
+
+TEST(Normalize, CollapsesWhitespace) {
+  EXPECT_EQ(normalizeLine("  std::mutex\t M;  "), "std::mutex M;");
+  EXPECT_EQ(normalizeLine(""), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer robustness: banned names inside comments/strings never match.
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, LiteralsAndCommentsAreOpaque) {
+  FileContext FC = buildContext("src/core/x.cpp",
+                                "// calls std::rand() and time(nullptr)\n"
+                                "const char *Doc = \"std::rand()\";\n"
+                                "/* steady_clock::now() */\n",
+                                Layer::Deterministic);
+  EXPECT_TRUE(runRules(FC).empty());
+}
+
+TEST(Driver, RunsOverFixtureTreeAndSortsDiagnostics) {
+  DriverOptions Options;
+  Options.Root = REGMON_LINT_FIXTURE_DIR;
+  Options.Paths = {"."};
+  Options.UseBaseline = false;
+  RunResult R = runLint(Options);
+  EXPECT_GT(R.FilesScanned, 10u);
+  EXPECT_TRUE(R.Errors.empty());
+  // Fixtures classify as Layer::Other (outside src/), so only the
+  // layer-independent rules fire here; sorted by path then line.
+  for (std::size_t I = 1; I < R.Diags.size(); ++I) {
+    const Diagnostic &A = R.Diags[I - 1], &B = R.Diags[I];
+    EXPECT_TRUE(A.Path < B.Path || (A.Path == B.Path && A.Line <= B.Line));
+  }
+}
+
+} // namespace

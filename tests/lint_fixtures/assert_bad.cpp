@@ -1,0 +1,9 @@
+// Fixture: asserts whose expressions vanish under NDEBUG (R4b).
+#include <cassert>
+
+int consume(int *Cursor, int Limit) {
+  assert(*Cursor++ < Limit);   // violation: increment inside assert
+  int Mode = 0;
+  assert((Mode = Limit) != 0); // violation: assignment inside assert
+  return Mode;
+}

@@ -1,0 +1,8 @@
+// Fixture: side-effect-free asserts — clean for R4b.
+#include <cassert>
+
+int consume(const int *Cursor, int Limit) {
+  assert(*Cursor < Limit);
+  assert(Limit >= 0 && *Cursor != -1); // comparisons are not assignments
+  return *Cursor;
+}

@@ -1,0 +1,11 @@
+// Fixture: concurrency primitives outside src/service (R2a).
+#include <mutex>   // violation: include
+#include <thread>  // violation: include
+#include <vector>
+
+std::mutex CacheLock; // violation: std::mutex
+
+void warmCaches() {
+  std::vector<std::thread> Pool; // violation: std::thread
+  std::lock_guard<std::mutex> G(CacheLock); // violations: lock_guard, mutex
+}

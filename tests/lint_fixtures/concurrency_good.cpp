@@ -1,0 +1,16 @@
+// Fixture: plain sequential code plus look-alike names — clean for R2a.
+#include <vector>
+
+namespace sim {
+struct thread {}; // a local type named thread is not std::thread
+} // namespace sim
+
+int countRegions(const std::vector<int> &Ids) {
+  sim::thread T;
+  (void)T;
+  int N = 0;
+  for (int Id : Ids)
+    if (Id > 0)
+      ++N;
+  return N;
+}

@@ -1,0 +1,6 @@
+// Fixture: header without an include guard and with a namespace leak (R4a).
+#include <string>
+
+using namespace std; // violation: using namespace in a header
+
+inline string describe() { return "unguarded"; }

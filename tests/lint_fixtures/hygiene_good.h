@@ -1,0 +1,11 @@
+// Fixture: guarded header with no namespace leak — clean for R4a.
+#ifndef REGMON_TESTS_LINT_FIXTURES_HYGIENE_GOOD_H
+#define REGMON_TESTS_LINT_FIXTURES_HYGIENE_GOOD_H
+
+#include <string>
+
+namespace regmon {
+inline std::string describe() { return "guarded"; }
+} // namespace regmon
+
+#endif // REGMON_TESTS_LINT_FIXTURES_HYGIENE_GOOD_H

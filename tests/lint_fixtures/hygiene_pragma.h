@@ -1,0 +1,6 @@
+// Fixture: #pragma once also satisfies the guard requirement (R4a).
+#pragma once
+
+namespace regmon {
+inline int answer() { return 42; }
+} // namespace regmon

@@ -1,0 +1,19 @@
+// Fixture: unordered iteration feeding result-bearing output (R3).
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> collectCounts(
+    const std::unordered_map<std::string, int> &Counts) {
+  std::vector<int> Out;
+  for (const auto &KV : Counts)  // violation: push_back in body
+    Out.push_back(KV.second);
+  return Out;
+}
+
+void dumpIds(const std::unordered_set<int> &Ids) {
+  for (int Id : Ids)             // violation: stream output in body
+    std::cout << Id << "\n";
+}

@@ -1,0 +1,21 @@
+// Fixture: order-safe iteration patterns — clean for R3.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Ordered container feeding output: fine.
+std::vector<int> collectCounts(const std::map<std::string, int> &Counts) {
+  std::vector<int> Out;
+  for (const auto &KV : Counts)
+    Out.push_back(KV.second);
+  return Out;
+}
+
+// Unordered iteration is fine when the fold is order-insensitive.
+int totalCount(const std::unordered_map<std::string, int> &Histogram) {
+  int Sum = 0;
+  for (const auto &KV : Histogram)
+    Sum += KV.second;
+  return Sum;
+}

@@ -1,0 +1,14 @@
+// Fixture: atomic accesses with defaulted (implicit seq_cst) ordering (R2b).
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> Processed{0};
+
+void record(std::atomic<std::uint64_t> *Slot) {
+  Processed.fetch_add(1);      // violation: no memory_order
+  Slot->store(7);              // violation: no memory_order
+}
+
+std::uint64_t read() {
+  return Processed.load();     // violation: no memory_order
+}

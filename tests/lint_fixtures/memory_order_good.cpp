@@ -1,0 +1,20 @@
+// Fixture: every atomic access spells out its ordering — clean for R2b.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+std::atomic<std::uint64_t> Processed{0};
+
+void record(std::atomic<std::uint64_t> *Slot) {
+  Processed.fetch_add(1, std::memory_order_relaxed);
+  Slot->store(7, std::memory_order_release);
+}
+
+std::uint64_t read() {
+  return Processed.load(std::memory_order_acquire);
+}
+
+// Non-atomic member calls that happen to be named like atomic ops are
+// only flagged when order is missing; unqualified free calls never are.
+std::vector<int> store(int X) { return std::vector<int>(1, X); }
+void driver() { (void)store(3); }

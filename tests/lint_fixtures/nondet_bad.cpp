@@ -1,0 +1,23 @@
+// Fixture: every form of nondeterminism R1 bans in deterministic layers.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int sampleWeight() {
+  std::srand(42);                      // violation: srand
+  int Raw = std::rand() % 100;         // violation: rand
+  return Raw;
+}
+
+long stampInterval() {
+  long Now = std::time(nullptr);       // violation: time()
+  auto Tick = std::chrono::steady_clock::now(); // violation: clock now
+  (void)Tick;
+  return Now;
+}
+
+unsigned seedFromEntropy() {
+  std::random_device Dev;              // violation: random_device
+  return Dev();
+}

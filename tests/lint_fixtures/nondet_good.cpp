@@ -1,0 +1,16 @@
+// Fixture: deterministic randomness and explicit simulated time — clean.
+#include "support/Rng.h"
+
+int sampleWeight(regmon::Rng &Rng) {
+  return static_cast<int>(Rng.nextBelow(100));
+}
+
+// Identifiers that merely resemble banned names must not trip R1.
+struct Runtime {
+  long time() const { return Ticks; } // member named time: fine
+  long Ticks = 0;
+};
+
+long stampInterval(const Runtime &RT) {
+  return RT.time(); // member call, not ::time()
+}

@@ -1,0 +1,8 @@
+// Fixture: inline suppressions silence exactly the named rule (R2a here).
+#include <mutex> // regmon-lint: allow(concurrency)
+#include <vector>
+
+// regmon-lint: allow(concurrency)
+std::mutex DemoLock; // suppressed by the comment on the previous line
+
+std::mutex UnsuppressedLock; // still a violation: no allow() nearby

@@ -1,0 +1,88 @@
+//===- tools/lint/Baseline.cpp - Violation baseline -----------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace regmon::lint {
+
+std::string Baseline::key(const Diagnostic &D) {
+  return D.Rule + "|" + D.Path + "|" + D.Snippet;
+}
+
+Baseline Baseline::parse(std::string_view Text) {
+  Baseline B;
+  std::size_t Start = 0;
+  int LineNo = 0;
+  while (Start <= Text.size()) {
+    std::size_t End = Text.find('\n', Start);
+    std::string_view Raw = End == std::string_view::npos
+                               ? Text.substr(Start)
+                               : Text.substr(Start, End - Start);
+    ++LineNo;
+    std::string Line = normalizeLine(Raw);
+    if (!Line.empty() && Line[0] != '#') {
+      // rule|path|snippet — snippet may itself contain '|', so split on
+      // the first two separators only.
+      std::size_t P1 = Line.find('|');
+      std::size_t P2 = P1 == std::string::npos ? std::string::npos
+                                               : Line.find('|', P1 + 1);
+      if (P2 == std::string::npos) {
+        B.Errors.push_back("baseline line " + std::to_string(LineNo) +
+                           ": expected 'rule|path|snippet', got '" + Line +
+                           "'");
+      } else {
+        ++B.Entries[Line];
+        ++B.Total;
+      }
+    }
+    if (End == std::string_view::npos)
+      break;
+    Start = End + 1;
+  }
+  return B;
+}
+
+std::string Baseline::render(const std::vector<Diagnostic> &Diags) {
+  std::vector<std::string> Keys;
+  Keys.reserve(Diags.size());
+  for (const Diagnostic &D : Diags)
+    Keys.push_back(key(D));
+  std::sort(Keys.begin(), Keys.end());
+  std::ostringstream Out;
+  Out << "# regmon-lint baseline — grandfathered violations.\n"
+      << "# Format: rule|path|normalized source line. Keep each entry\n"
+      << "# justified with a comment; delete entries when the code is\n"
+      << "# fixed (the tool warns about stale ones).\n";
+  for (const std::string &K : Keys)
+    Out << K << "\n";
+  return Out.str();
+}
+
+std::size_t Baseline::apply(std::vector<Diagnostic> &Diags) {
+  std::size_t Consumed = 0;
+  for (Diagnostic &D : Diags) {
+    auto It = Entries.find(key(D));
+    if (It != Entries.end() && It->second > 0) {
+      --It->second;
+      D.Baselined = true;
+      ++Consumed;
+    }
+  }
+  return Consumed;
+}
+
+std::vector<std::string> Baseline::unconsumed() const {
+  std::vector<std::string> Out;
+  for (const auto &[Key, Count] : Entries)
+    for (int I = 0; I < Count; ++I)
+      Out.push_back(Key);
+  return Out;
+}
+
+} // namespace regmon::lint

@@ -1,0 +1,61 @@
+//===- tools/lint/Baseline.h - Violation baseline ---------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checked-in baseline (tools/lint/baseline.txt) grandfathers known,
+/// justified violations so the lint gate can be strict for new code from
+/// day one. An entry is `rule|path|normalized source line`; matching on
+/// the normalized line text (not the line number) keeps entries stable
+/// across unrelated edits. Entries are multiset-counted: two identical
+/// violations need two identical entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_BASELINE_H
+#define REGMON_TOOLS_LINT_BASELINE_H
+
+#include "Lint.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace regmon::lint {
+
+class Baseline {
+public:
+  /// Parses baseline text. Lines that are empty or start with '#' are
+  /// comments. Malformed lines are collected in errors().
+  static Baseline parse(std::string_view Text);
+
+  /// Renders the given diagnostics as baseline entries (sorted, with a
+  /// file header comment), suitable for writing back to baseline.txt.
+  static std::string render(const std::vector<Diagnostic> &Diags);
+
+  /// Marks diagnostics that match a remaining baseline entry as
+  /// Baselined, consuming one entry per match. Returns the number of
+  /// entries consumed.
+  std::size_t apply(std::vector<Diagnostic> &Diags);
+
+  /// Baseline entries that no diagnostic consumed — stale entries the
+  /// owner should delete (reported as a warning, not an error).
+  std::vector<std::string> unconsumed() const;
+
+  const std::vector<std::string> &errors() const { return Errors; }
+  std::size_t size() const { return Total; }
+
+private:
+  static std::string key(const Diagnostic &D);
+
+  std::map<std::string, int> Entries; ///< key -> remaining count
+  std::vector<std::string> Errors;
+  std::size_t Total = 0;
+};
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_BASELINE_H

@@ -1,0 +1,216 @@
+//===- tools/lint/Driver.cpp - Tree walk, reporting, exit codes -----------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Driver.h"
+
+#include "Baseline.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace regmon::lint {
+
+namespace {
+
+bool isSourceFile(const fs::path &P) {
+  std::string Ext = P.extension().string();
+  return Ext == ".h" || Ext == ".hpp" || Ext == ".hh" || Ext == ".cpp" ||
+         Ext == ".cc" || Ext == ".cxx";
+}
+
+/// Returns P relative to Root with forward slashes; falls back to P as
+/// spelled when it is not under Root.
+std::string relPath(const fs::path &P, const fs::path &Root) {
+  std::error_code EC;
+  fs::path Rel = fs::relative(P, Root, EC);
+  fs::path Use = (EC || Rel.empty() || *Rel.begin() == "..") ? P : Rel;
+  return Use.generic_string();
+}
+
+bool readFile(const fs::path &P, std::string &Out, std::string &Error) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In) {
+    Error = "cannot open " + P.generic_string();
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void jsonEscape(std::ostream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char *Hex = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xf] << Hex[C & 0xf];
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+RunResult runLint(const DriverOptions &Options) {
+  RunResult R;
+  fs::path Root = Options.Root;
+
+  std::vector<std::string> Paths = Options.Paths;
+  if (Paths.empty())
+    Paths = {"src", "tools", "bench"};
+
+  // Gather files, sorted for reproducible reports and baselines.
+  std::vector<fs::path> Files;
+  for (const std::string &P : Paths) {
+    fs::path Abs = Root / P;
+    std::error_code EC;
+    if (fs::is_directory(Abs, EC)) {
+      for (fs::recursive_directory_iterator
+               It(Abs, fs::directory_options::skip_permission_denied, EC),
+           End;
+           It != End; It.increment(EC)) {
+        if (EC)
+          break;
+        if (It->is_regular_file(EC) && isSourceFile(It->path()))
+          Files.push_back(It->path());
+      }
+    } else if (fs::is_regular_file(Abs, EC)) {
+      Files.push_back(Abs);
+    } else {
+      R.Errors.push_back("no such file or directory: " + Abs.generic_string());
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
+
+  for (const fs::path &File : Files) {
+    std::string Source, Error;
+    if (!readFile(File, Source, Error)) {
+      R.Errors.push_back(Error);
+      continue;
+    }
+    ++R.FilesScanned;
+    FileContext FC = buildContext(relPath(File, Root), Source);
+    std::vector<Diagnostic> Diags = runRules(FC);
+    R.Diags.insert(R.Diags.end(), Diags.begin(), Diags.end());
+  }
+
+  std::stable_sort(R.Diags.begin(), R.Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Path != B.Path)
+                       return A.Path < B.Path;
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     return A.Rule < B.Rule;
+                   });
+
+  if (Options.UseBaseline && !Options.WriteBaseline) {
+    fs::path BasePath = Options.BaselinePath.empty()
+                            ? Root / "tools" / "lint" / "baseline.txt"
+                            : fs::path(Options.BaselinePath);
+    std::error_code EC;
+    if (fs::is_regular_file(BasePath, EC)) {
+      std::string Text, Error;
+      if (!readFile(BasePath, Text, Error)) {
+        R.Errors.push_back(Error);
+      } else {
+        Baseline B = Baseline::parse(Text);
+        for (const std::string &E : B.errors())
+          R.Errors.push_back(BasePath.generic_string() + ": " + E);
+        B.apply(R.Diags);
+        R.Stale = B.unconsumed();
+      }
+    } else if (!Options.BaselinePath.empty()) {
+      R.Errors.push_back("baseline not found: " + BasePath.generic_string());
+    }
+  }
+
+  for (const Diagnostic &D : R.Diags)
+    D.Baselined ? ++R.BaselinedCount : ++R.NewCount;
+  return R;
+}
+
+void printHuman(const RunResult &R, std::ostream &OS) {
+  for (const std::string &E : R.Errors)
+    OS << "regmon-lint: error: " << E << "\n";
+  for (const Diagnostic &D : R.Diags) {
+    if (D.Baselined)
+      continue;
+    OS << D.Path << ":" << D.Line << ": error: " << D.Message << " ["
+       << D.Rule << "]\n";
+    if (!D.Snippet.empty())
+      OS << "    " << D.Snippet << "\n";
+  }
+  for (const std::string &S : R.Stale)
+    OS << "regmon-lint: warning: stale baseline entry (violation no longer "
+          "present): "
+       << S << "\n";
+  OS << "regmon-lint: " << R.FilesScanned << " files, " << R.NewCount
+     << " new violation" << (R.NewCount == 1 ? "" : "s") << ", "
+     << R.BaselinedCount << " baselined\n";
+}
+
+void printJson(const RunResult &R, std::ostream &OS) {
+  OS << "{\n  \"version\": 1,\n  \"files_scanned\": " << R.FilesScanned
+     << ",\n  \"new\": " << R.NewCount
+     << ",\n  \"baselined\": " << R.BaselinedCount << ",\n  \"errors\": [";
+  for (std::size_t I = 0; I < R.Errors.size(); ++I) {
+    OS << (I ? ", " : "") << "\"";
+    jsonEscape(OS, R.Errors[I]);
+    OS << "\"";
+  }
+  OS << "],\n  \"stale_baseline\": [";
+  for (std::size_t I = 0; I < R.Stale.size(); ++I) {
+    OS << (I ? ", " : "") << "\"";
+    jsonEscape(OS, R.Stale[I]);
+    OS << "\"";
+  }
+  OS << "],\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : R.Diags) {
+    OS << (First ? "" : ",") << "\n    {\"rule\": \"";
+    jsonEscape(OS, D.Rule);
+    OS << "\", \"file\": \"";
+    jsonEscape(OS, D.Path);
+    OS << "\", \"line\": " << D.Line << ", \"baselined\": "
+       << (D.Baselined ? "true" : "false") << ", \"message\": \"";
+    jsonEscape(OS, D.Message);
+    OS << "\", \"snippet\": \"";
+    jsonEscape(OS, D.Snippet);
+    OS << "\"}";
+    First = false;
+  }
+  OS << "\n  ]\n}\n";
+}
+
+int exitCode(const RunResult &R) {
+  if (!R.Errors.empty())
+    return 2;
+  return R.NewCount == 0 ? 0 : 1;
+}
+
+} // namespace regmon::lint

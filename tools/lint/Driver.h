@@ -1,0 +1,54 @@
+//===- tools/lint/Driver.h - Tree walk, reporting, exit codes ---*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_DRIVER_H
+#define REGMON_TOOLS_LINT_DRIVER_H
+
+#include "Lint.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace regmon::lint {
+
+struct DriverOptions {
+  std::string Root = ".";          ///< repo root; rel paths resolve here
+  std::vector<std::string> Paths;  ///< dirs/files relative to Root;
+                                   ///< empty = {"src","tools","bench"}
+  std::string BaselinePath;        ///< empty = Root/tools/lint/baseline.txt
+                                   ///< when that file exists
+  bool UseBaseline = true;
+  bool Json = false;
+  bool WriteBaseline = false;
+};
+
+struct RunResult {
+  std::vector<Diagnostic> Diags;      ///< sorted by (path, line, rule)
+  std::vector<std::string> Stale;     ///< unconsumed baseline entries
+  std::vector<std::string> Errors;    ///< IO/baseline parse errors
+  std::size_t FilesScanned = 0;
+  std::size_t NewCount = 0;           ///< non-baselined diagnostics
+  std::size_t BaselinedCount = 0;
+};
+
+/// Collects the C++ sources under Options.Paths (sorted, so output and
+/// baselines are reproducible), lints each file, and applies the baseline.
+RunResult runLint(const DriverOptions &Options);
+
+/// Renders \p R human-readable (default) to \p OS.
+void printHuman(const RunResult &R, std::ostream &OS);
+
+/// Renders \p R as a stable JSON document to \p OS.
+void printJson(const RunResult &R, std::ostream &OS);
+
+/// Exit code policy: 0 clean (baselined-only is clean), 1 new violations,
+/// 2 usage or IO errors.
+int exitCode(const RunResult &R);
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_DRIVER_H

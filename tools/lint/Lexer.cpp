@@ -1,0 +1,391 @@
+//===- tools/lint/Lexer.cpp - Lightweight C++ scanner ---------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes C++ source for the lint rules: comments and literals are
+/// reduced to opaque tokens (so banned names inside strings never match),
+/// preprocessor logical lines become single Directive tokens with
+/// backslash continuations spliced, and multi-character operators are
+/// emitted whole so rules can tell `=` from `==` and `:` from `::`.
+/// Suppression comments (`// regmon-lint: allow(rule,...)`) are collected
+/// per line while lexing: a comment sharing a line with code suppresses
+/// that line, a comment on its own line suppresses the next line.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace regmon::lint {
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::array<std::string_view, 24> MultiPunct = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",
+};
+
+struct Scanner {
+  std::string_view Src;
+  std::size_t Pos = 0;
+  int Line = 1;
+  FileContext &FC;
+  /// Last line that produced a non-directive token; used to decide whether
+  /// an allow() comment guards its own line or the next one.
+  int LastCodeLine = 0;
+
+  explicit Scanner(std::string_view S, FileContext &Ctx) : Src(S), FC(Ctx) {}
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(std::size_t Off = 0) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+
+  void emit(TokenKind K, std::string Text, int AtLine) {
+    if (K != TokenKind::Directive)
+      LastCodeLine = AtLine;
+    FC.Tokens.push_back(Token{K, std::move(Text), AtLine});
+  }
+
+  /// Records `regmon-lint: allow(a,b)` markers found in comment text.
+  void recordSuppressions(std::string_view Comment, int CommentLine,
+                          bool SharesLineWithCode) {
+    static constexpr std::string_view Marker = "regmon-lint:";
+    std::size_t At = Comment.find(Marker);
+    if (At == std::string_view::npos)
+      return;
+    std::size_t Open = Comment.find("allow(", At);
+    if (Open == std::string_view::npos)
+      return;
+    std::size_t Close = Comment.find(')', Open);
+    if (Close == std::string_view::npos)
+      return;
+    std::string_view List =
+        Comment.substr(Open + 6, Close - (Open + 6));
+    int Target = SharesLineWithCode ? CommentLine : CommentLine + 1;
+    std::set<std::string> &Rules = FC.Allowed[Target];
+    std::string Name;
+    for (char C : List) {
+      if (C == ',') {
+        if (!Name.empty())
+          Rules.insert(Name);
+        Name.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(C))) {
+        Name.push_back(C);
+      }
+    }
+    if (!Name.empty())
+      Rules.insert(Name);
+  }
+
+  void skipLineComment() {
+    int StartLine = Line;
+    bool Shares = LastCodeLine == StartLine;
+    std::size_t Begin = Pos;
+    while (!atEnd() && peek() != '\n')
+      ++Pos;
+    recordSuppressions(Src.substr(Begin, Pos - Begin), StartLine, Shares);
+  }
+
+  void skipBlockComment() {
+    int StartLine = Line;
+    bool Shares = LastCodeLine == StartLine;
+    std::size_t Begin = Pos;
+    while (!atEnd()) {
+      if (peek() == '*' && peek(1) == '/') {
+        recordSuppressions(Src.substr(Begin, Pos - Begin), StartLine, Shares);
+        Pos += 2;
+        return;
+      }
+      advance();
+    }
+  }
+
+  void skipQuoted(char Quote) {
+    while (!atEnd()) {
+      char C = advance();
+      if (C == '\\' && !atEnd())
+        advance();
+      else if (C == Quote || C == '\n')
+        return; // unterminated-at-newline: recover at EOL
+    }
+  }
+
+  /// R"delim( ... )delim" — needed so raw strings containing banned names
+  /// (e.g. in this tool's own tests) stay opaque.
+  void skipRawString() {
+    std::string Delim;
+    while (!atEnd() && peek() != '(' && Delim.size() < 16)
+      Delim.push_back(advance());
+    if (!atEnd())
+      advance(); // '('
+    std::string Close = ")" + Delim + "\"";
+    std::size_t End = Src.find(Close, Pos);
+    if (End == std::string_view::npos) {
+      Pos = Src.size();
+      return;
+    }
+    for (std::size_t I = Pos; I < End + Close.size(); ++I)
+      if (Src[I] == '\n')
+        ++Line;
+    Pos = End + Close.size();
+  }
+
+  void lexDirective() {
+    int StartLine = Line;
+    std::string Text;
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '\n') {
+        if (!Text.empty() && Text.back() == '\\') {
+          Text.back() = ' ';
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (C == '/' && peek(1) == '/') {
+        LastCodeLine = Line; // the directive is code on this line
+        skipLineComment();
+        break;
+      }
+      if (C == '/' && peek(1) == '*') {
+        LastCodeLine = Line;
+        Pos += 2;
+        skipBlockComment();
+        Text.push_back(' ');
+        continue;
+      }
+      Text.push_back(advance());
+    }
+    emit(TokenKind::Directive, normalizeLine(Text), StartLine);
+  }
+
+  void lexNumber() {
+    int StartLine = Line;
+    std::string Text;
+    while (!atEnd()) {
+      char C = peek();
+      bool ExpSign = (C == '+' || C == '-') && !Text.empty() &&
+                     (Text.back() == 'e' || Text.back() == 'E' ||
+                      Text.back() == 'p' || Text.back() == 'P');
+      if (isIdentChar(C) || C == '.' || C == '\'' || ExpSign)
+        Text.push_back(advance());
+      else
+        break;
+    }
+    emit(TokenKind::Literal, std::move(Text), StartLine);
+  }
+
+  void run() {
+    bool LineHasToken = false; // directives must be first on their line
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '\n') {
+        LineHasToken = false;
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        Pos += 2;
+        skipLineComment();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        Pos += 2;
+        skipBlockComment();
+        continue;
+      }
+      if (C == '#' && !LineHasToken) {
+        advance();
+        lexDirective();
+        LineHasToken = true;
+        continue;
+      }
+      LineHasToken = true;
+      if (C == '"') {
+        int StartLine = Line;
+        advance();
+        skipQuoted('"');
+        emit(TokenKind::Literal, "\"\"", StartLine);
+        continue;
+      }
+      if (C == '\'') {
+        int StartLine = Line;
+        advance();
+        skipQuoted('\'');
+        emit(TokenKind::Literal, "''", StartLine);
+        continue;
+      }
+      if (C == 'R' && peek(1) == '"') {
+        int StartLine = Line;
+        Pos += 2;
+        skipRawString();
+        emit(TokenKind::Literal, "\"\"", StartLine);
+        continue;
+      }
+      if (isIdentStart(C)) {
+        int StartLine = Line;
+        std::string Text;
+        while (!atEnd() && isIdentChar(peek()))
+          Text.push_back(advance());
+        // Raw/encoded string prefixes glued to a quote: u8"...", L"..."
+        if (peek() == '"' &&
+            (Text == "u8" || Text == "u" || Text == "U" || Text == "L")) {
+          advance();
+          skipQuoted('"');
+          emit(TokenKind::Literal, "\"\"", StartLine);
+        } else {
+          emit(TokenKind::Identifier, std::move(Text), StartLine);
+        }
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C)) ||
+          (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lexNumber();
+        continue;
+      }
+      // Punctuation, longest match first.
+      bool Matched = false;
+      for (std::string_view Op : MultiPunct) {
+        if (Src.substr(Pos, Op.size()) == Op) {
+          emit(TokenKind::Punct, std::string(Op), Line);
+          Pos += Op.size();
+          Matched = true;
+          break;
+        }
+      }
+      if (!Matched) {
+        emit(TokenKind::Punct, std::string(1, C), Line);
+        advance();
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::string normalizeLine(std::string_view S) {
+  std::string Out;
+  bool PendingSpace = false;
+  for (char C : S) {
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      PendingSpace = !Out.empty();
+    } else {
+      if (PendingSpace)
+        Out.push_back(' ');
+      PendingSpace = false;
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+Layer classifyPath(std::string_view RelPath) {
+  auto StartsWith = [&](std::string_view Prefix) {
+    return RelPath.substr(0, Prefix.size()) == Prefix;
+  };
+  if (StartsWith("src/core/") || StartsWith("src/sim/") ||
+      StartsWith("src/gpd/") || StartsWith("src/sampling/"))
+    return Layer::Deterministic;
+  if (StartsWith("src/service/"))
+    return Layer::Service;
+  if (StartsWith("src/"))
+    return Layer::Support;
+  if (StartsWith("tools/"))
+    return Layer::Tools;
+  if (StartsWith("bench/"))
+    return Layer::Bench;
+  if (StartsWith("tests/"))
+    return Layer::Tests;
+  return Layer::Other;
+}
+
+std::string_view layerName(Layer L) {
+  switch (L) {
+  case Layer::Deterministic:
+    return "deterministic";
+  case Layer::Support:
+    return "support";
+  case Layer::Service:
+    return "service";
+  case Layer::Tools:
+    return "tools";
+  case Layer::Bench:
+    return "bench";
+  case Layer::Tests:
+    return "tests";
+  case Layer::Other:
+    return "other";
+  }
+  return "other";
+}
+
+std::string_view FileContext::line(int LineNo) const {
+  if (LineNo < 1 || static_cast<std::size_t>(LineNo) > Lines.size())
+    return {};
+  return Lines[static_cast<std::size_t>(LineNo) - 1];
+}
+
+static bool pathIsHeader(std::string_view Path) {
+  auto EndsWith = [&](std::string_view Suffix) {
+    return Path.size() >= Suffix.size() &&
+           Path.substr(Path.size() - Suffix.size()) == Suffix;
+  };
+  return EndsWith(".h") || EndsWith(".hpp") || EndsWith(".hh");
+}
+
+FileContext buildContext(std::string RelPath, std::string_view Source,
+                         Layer Override) {
+  FileContext FC;
+  FC.Path = std::move(RelPath);
+  FC.L = Override;
+  FC.IsHeader = pathIsHeader(FC.Path);
+  std::size_t Start = 0;
+  while (Start <= Source.size()) {
+    std::size_t End = Source.find('\n', Start);
+    if (End == std::string_view::npos) {
+      if (Start < Source.size())
+        FC.Lines.emplace_back(Source.substr(Start));
+      break;
+    }
+    FC.Lines.emplace_back(Source.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  Scanner S(Source, FC);
+  S.run();
+  return FC;
+}
+
+FileContext buildContext(std::string RelPath, std::string_view Source) {
+  Layer L = classifyPath(RelPath);
+  return buildContext(std::move(RelPath), Source, L);
+}
+
+} // namespace regmon::lint

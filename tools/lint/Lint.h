@@ -1,0 +1,125 @@
+//===- tools/lint/Lint.h - regmon-lint core types and rule API --*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core types for regmon-lint, the project-specific static analyzer that
+/// mechanically enforces the invariants the reproduction's correctness
+/// argument rests on: no wall-clock or libc-rand nondeterminism in the
+/// deterministic layers, concurrency primitives confined to src/service,
+/// explicit memory orders on every atomic access, no unordered-container
+/// iteration feeding result-bearing output, and basic header hygiene.
+///
+/// The analyzer is deliberately not a full C++ front end. It works on a
+/// comment/literal-stripped token stream (see Lexer.cpp), which is exact
+/// enough for the project's rules and keeps the tool dependency-free and
+/// fast. Escape hatches exist for the residual false positives: inline
+/// `// regmon-lint: allow(<rule>)` comments and the checked-in baseline
+/// (tools/lint/baseline.txt).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_LINT_H
+#define REGMON_TOOLS_LINT_LINT_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace regmon::lint {
+
+/// Which architectural layer a file belongs to. Rules opt in per layer;
+/// the mapping from path to layer is classifyPath().
+enum class Layer {
+  Deterministic, ///< src/core, src/sim, src/gpd, src/sampling: bit-identical
+                 ///< replay is a hard requirement here.
+  Support,       ///< src/support, src/rto, src/workloads: deterministic
+                 ///< libraries, but clocks are tolerated (none used today).
+  Service,       ///< src/service: the only production home for threads,
+                 ///< locks and atomics.
+  Tools,         ///< tools/: CLIs and this linter.
+  Bench,         ///< bench/: timing code, clocks and threads expected.
+  Tests,         ///< tests/: gtest suites, exempt from layer bans.
+  Other,         ///< anything else handed to the tool explicitly.
+};
+
+/// Maps a repo-relative path (forward slashes) to its layer.
+Layer classifyPath(std::string_view RelPath);
+
+/// Human-readable layer name (for --json and diagnostics).
+std::string_view layerName(Layer L);
+
+enum class TokenKind {
+  Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+  Literal,    ///< string, char or numeric literal (content not scanned)
+  Punct,      ///< operator/punctuator; multi-char ops are single tokens
+  Directive,  ///< a whole preprocessor logical line, continuations spliced
+};
+
+struct Token {
+  TokenKind Kind;
+  std::string Text;
+  int Line; ///< 1-based line of the token's first character.
+};
+
+/// A lexed file plus everything the rules need to judge it.
+struct FileContext {
+  std::string Path; ///< repo-relative, forward slashes
+  Layer L = Layer::Other;
+  bool IsHeader = false;
+  std::vector<std::string> Lines; ///< raw source lines, 0-based storage
+  std::vector<Token> Tokens;
+  /// Line -> rules allowed there via `// regmon-lint: allow(rule,...)`.
+  /// The wildcard "all" suppresses every rule on that line.
+  std::map<int, std::set<std::string>> Allowed;
+
+  /// Returns the raw source line (1-based), or "" when out of range.
+  std::string_view line(int LineNo) const;
+};
+
+/// Lexes \p Source into a FileContext. \p RelPath determines layer and
+/// header-ness unless \p Override is provided (tests use the override to
+/// pin fixture files to a specific layer).
+FileContext buildContext(std::string RelPath, std::string_view Source);
+FileContext buildContext(std::string RelPath, std::string_view Source,
+                         Layer Override);
+
+struct Diagnostic {
+  std::string Rule;
+  std::string Path;
+  int Line = 0;
+  std::string Message;
+  std::string Snippet;   ///< whitespace-normalized source line (baseline key)
+  bool Baselined = false;
+};
+
+/// Collapses whitespace runs to single spaces and trims; the baseline
+/// matches on this so diagnostics survive reformatting and line shifts.
+std::string normalizeLine(std::string_view S);
+
+/// A single lint rule. Implementations live in Rules.cpp; add new rules to
+/// allRules() there and document them in DESIGN.md §8.
+class Rule {
+public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void check(const FileContext &FC,
+                     std::vector<Diagnostic> &Out) const = 0;
+};
+
+/// The rule registry, in stable order.
+const std::vector<std::unique_ptr<Rule>> &allRules();
+
+/// Runs every registered rule over \p FC and filters inline-suppressed
+/// diagnostics. Results are ordered by (line, rule).
+std::vector<Diagnostic> runRules(const FileContext &FC);
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_LINT_H

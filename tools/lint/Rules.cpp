@@ -1,0 +1,485 @@
+//===- tools/lint/Rules.cpp - regmon-lint rule implementations ------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project rules. Each rule is a token-stream scan over one file; the
+/// layer matrix at the top of each check() encodes where the rule applies.
+/// To add a rule: implement the Rule interface, append it in allRules(),
+/// give it a fixture pair in tests/lint_fixtures/, and document it in
+/// DESIGN.md §8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Lint.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+namespace regmon::lint {
+
+namespace {
+
+bool isId(const Token &T, std::string_view S) {
+  return T.Kind == TokenKind::Identifier && T.Text == S;
+}
+
+bool isPunct(const Token &T, std::string_view S) {
+  return T.Kind == TokenKind::Punct && T.Text == S;
+}
+
+bool oneOf(std::string_view S, std::initializer_list<std::string_view> Set) {
+  return std::find(Set.begin(), Set.end(), S) != Set.end();
+}
+
+/// True when Tokens[I] is written `std::<name>` or unqualified; false when
+/// it is a member access (`x.name`, `x->name`) or qualified by a namespace
+/// other than std (`mylib::name`).
+bool isStdOrUnqualified(const std::vector<Token> &Toks, std::size_t I) {
+  if (I == 0)
+    return true;
+  const Token &Prev = Toks[I - 1];
+  if (isPunct(Prev, ".") || isPunct(Prev, "->"))
+    return false;
+  if (isPunct(Prev, "::"))
+    return I >= 2 && isId(Toks[I - 2], "std");
+  return true;
+}
+
+/// True when Tokens[I] is written exactly `std::<name>`.
+bool isStdQualified(const std::vector<Token> &Toks, std::size_t I) {
+  return I >= 2 && isPunct(Toks[I - 1], "::") && isId(Toks[I - 2], "std");
+}
+
+bool nextIs(const std::vector<Token> &Toks, std::size_t I,
+            std::string_view Punct) {
+  return I + 1 < Toks.size() && isPunct(Toks[I + 1], Punct);
+}
+
+/// Distinguishes `time(...)` the call from `long time()` the declaration:
+/// a call site is preceded by punctuation (`=`, `(`, `,`, `;`, `{`, ...)
+/// or by `return`; a declaration is preceded by its return type.
+bool looksLikeCall(const std::vector<Token> &Toks, std::size_t I) {
+  if (I == 0)
+    return false;
+  const Token &Prev = Toks[I - 1];
+  if (Prev.Kind == TokenKind::Identifier)
+    return Prev.Text == "return" || Prev.Text == "co_return";
+  return Prev.Kind == TokenKind::Punct;
+}
+
+/// Index one past the closing delimiter matching Toks[Open] (which must be
+/// `(` `[` `{` or `<`). Returns Toks.size() when unbalanced.
+std::size_t skipBalanced(const std::vector<Token> &Toks, std::size_t Open,
+                         std::string_view OpenSym, std::string_view CloseSym) {
+  int Depth = 0;
+  for (std::size_t I = Open; I < Toks.size(); ++I) {
+    if (isPunct(Toks[I], OpenSym))
+      ++Depth;
+    else if (isPunct(Toks[I], CloseSym) && --Depth == 0)
+      return I + 1;
+    else if (OpenSym == "<" && isPunct(Toks[I], ">>")) {
+      Depth -= 2;
+      if (Depth <= 0)
+        return I + 1;
+    }
+  }
+  return Toks.size();
+}
+
+void addDiag(const FileContext &FC, std::vector<Diagnostic> &Out,
+             std::string_view RuleName, int Line, std::string Message) {
+  Out.push_back(Diagnostic{std::string(RuleName), FC.Path, Line,
+                           std::move(Message),
+                           normalizeLine(FC.line(Line)), false});
+}
+
+//===----------------------------------------------------------------------===//
+// R1: nondeterminism — wall clocks and libc randomness are banned in the
+// layers whose outputs must replay bit-identically.
+//===----------------------------------------------------------------------===//
+
+class NondeterminismRule final : public Rule {
+public:
+  std::string_view name() const override { return "nondeterminism"; }
+  std::string_view description() const override {
+    return "bans std::rand/time()/clock-now and std::random_device in the "
+           "deterministic layers (src/core, src/sim, src/gpd, src/sampling); "
+           "randomness must come from support/Rng";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    bool Deterministic = FC.L == Layer::Deterministic;
+    // random_device is additionally banned in every non-test production
+    // layer except support/Rng itself: a seed drawn from it anywhere
+    // upstream destroys replayability of whole experiments.
+    bool RdBanned = (Deterministic || FC.L == Layer::Support ||
+                     FC.L == Layer::Service || FC.L == Layer::Tools) &&
+                    FC.Path.find("support/Rng") == std::string::npos;
+    if (!Deterministic && !RdBanned)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind != TokenKind::Identifier)
+        continue;
+      const std::string &Name = T[I].Text;
+      if (RdBanned && Name == "random_device" &&
+          isStdOrUnqualified(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::random_device breaks replay determinism; seed a "
+                "regmon::Rng (support/Rng.h) explicitly instead");
+        continue;
+      }
+      if (!Deterministic)
+        continue;
+      if (oneOf(Name, {"rand", "srand", "rand_r", "drand48", "lrand48",
+                       "mrand48"}) &&
+          nextIs(T, I, "(") && isStdOrUnqualified(T, I) &&
+          looksLikeCall(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "libc randomness (" + Name +
+                    ") is nondeterministic across platforms; use "
+                    "regmon::Rng from support/Rng.h");
+        continue;
+      }
+      if (oneOf(Name, {"time", "clock", "gettimeofday", "clock_gettime",
+                       "localtime", "gmtime", "mktime", "ctime"}) &&
+          nextIs(T, I, "(") && isStdOrUnqualified(T, I) &&
+          looksLikeCall(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "wall-clock call (" + Name +
+                    ") in a deterministic layer; thread simulated time "
+                    "through explicitly");
+        continue;
+      }
+      if (oneOf(Name, {"steady_clock", "system_clock",
+                       "high_resolution_clock", "file_clock", "utc_clock"}) &&
+          I + 2 < T.size() && isPunct(T[I + 1], "::") &&
+          isId(T[I + 2], "now")) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::chrono::" + Name +
+                    "::now() in a deterministic layer; timing belongs in "
+                    "bench/ or src/service");
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R2a: concurrency — threads, locks and atomics live in src/service only
+// (tests and bench may use them freely to exercise the service).
+//===----------------------------------------------------------------------===//
+
+class ConcurrencyRule final : public Rule {
+public:
+  std::string_view name() const override { return "concurrency"; }
+  std::string_view description() const override {
+    return "confines std::thread/std::mutex/std::atomic and friends to "
+           "src/service (tests and bench exempt)";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.L != Layer::Deterministic && FC.L != Layer::Support &&
+        FC.L != Layer::Tools)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind == TokenKind::Directive) {
+        for (std::string_view Header :
+             {"<thread>", "<mutex>", "<shared_mutex>", "<condition_variable>",
+              "<atomic>", "<future>", "<semaphore>", "<barrier>", "<latch>",
+              "<stop_token>"}) {
+          if (T[I].Text.find("include") != std::string::npos &&
+              T[I].Text.find(Header) != std::string::npos) {
+            addDiag(FC, Out, name(), T[I].Line,
+                    "include of " + std::string(Header) +
+                        " outside src/service; concurrency is confined to "
+                        "the service layer");
+            break;
+          }
+        }
+        continue;
+      }
+      if (T[I].Kind != TokenKind::Identifier || !isStdQualified(T, I))
+        continue;
+      if (oneOf(T[I].Text,
+                {"thread", "jthread", "mutex", "recursive_mutex",
+                 "timed_mutex", "shared_mutex", "condition_variable",
+                 "condition_variable_any", "atomic", "atomic_flag",
+                 "atomic_ref", "future", "promise", "async", "lock_guard",
+                 "unique_lock", "scoped_lock", "shared_lock", "latch",
+                 "barrier", "counting_semaphore", "binary_semaphore"})) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::" + T[I].Text +
+                    " outside src/service; move the concurrency into the "
+                    "service layer or mark an explicit exception");
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R2b: memory-order — every atomic access spells out its ordering. The
+// service's snapshot-consistency argument (DESIGN.md §7) is written in
+// terms of explicit acquire/release pairs; a defaulted seq_cst access is
+// almost always an unreviewed one.
+//===----------------------------------------------------------------------===//
+
+class MemoryOrderRule final : public Rule {
+public:
+  std::string_view name() const override { return "memory-order"; }
+  std::string_view description() const override {
+    return "requires an explicit std::memory_order argument on every "
+           "atomic load/store/exchange/fetch_* call";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind != TokenKind::Identifier ||
+          !oneOf(T[I].Text,
+                 {"load", "store", "exchange", "fetch_add", "fetch_sub",
+                  "fetch_and", "fetch_or", "fetch_xor",
+                  "compare_exchange_weak", "compare_exchange_strong"}))
+        continue;
+      // Only member calls: `x.load(...)` / `p->fetch_add(...)`.
+      if (I == 0 || !(isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")))
+        continue;
+      if (!nextIs(T, I, "("))
+        continue;
+      std::size_t End = skipBalanced(T, I + 1, "(", ")");
+      bool HasOrder = false;
+      for (std::size_t J = I + 2; J + 1 < End; ++J)
+        if (T[J].Kind == TokenKind::Identifier &&
+            T[J].Text.find("memory_order") != std::string::npos) {
+          HasOrder = true;
+          break;
+        }
+      if (!HasOrder)
+        addDiag(FC, Out, name(), T[I].Line,
+                "atomic ." + T[I].Text +
+                    "() without an explicit std::memory_order; defaulted "
+                    "seq_cst hides the intended synchronization contract");
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R3: iteration-order — range-for over an unordered container whose body
+// appends to a result vector or stream makes output depend on hash-table
+// layout, which varies across libstdc++ versions and ASLR.
+//===----------------------------------------------------------------------===//
+
+class IterationOrderRule final : public Rule {
+public:
+  std::string_view name() const override { return "iteration-order"; }
+  std::string_view description() const override {
+    return "flags range-for loops over unordered containers whose bodies "
+           "append to result vectors or streams";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.L == Layer::Bench || FC.L == Layer::Tests)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    // Pass 1: names declared with an unordered container type.
+    std::set<std::string> UnorderedVars;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind != TokenKind::Identifier ||
+          !oneOf(T[I].Text, {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}))
+        continue;
+      if (!nextIs(T, I, "<"))
+        continue;
+      std::size_t J = skipBalanced(T, I + 1, "<", ">");
+      while (J < T.size() &&
+             (isPunct(T[J], "&") || isPunct(T[J], "*") || isId(T[J], "const")))
+        ++J;
+      if (J < T.size() && T[J].Kind == TokenKind::Identifier)
+        UnorderedVars.insert(T[J].Text);
+    }
+    // Pass 2: range-fors whose range names one of those variables (or an
+    // inline unordered temporary) and whose body emits results.
+    for (std::size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!isId(T[I], "for") || !isPunct(T[I + 1], "("))
+        continue;
+      std::size_t HeadEnd = skipBalanced(T, I + 1, "(", ")");
+      std::size_t Colon = 0;
+      int Depth = 0;
+      for (std::size_t J = I + 1; J + 1 < HeadEnd; ++J) {
+        if (isPunct(T[J], "(") || isPunct(T[J], "[") || isPunct(T[J], "{"))
+          ++Depth;
+        else if (isPunct(T[J], ")") || isPunct(T[J], "]") ||
+                 isPunct(T[J], "}"))
+          --Depth;
+        else if (Depth == 1 && isPunct(T[J], ":")) {
+          Colon = J;
+          break;
+        }
+      }
+      if (Colon == 0)
+        continue;
+      bool RangeUnordered = false;
+      for (std::size_t J = Colon + 1; J + 1 < HeadEnd; ++J) {
+        if (T[J].Kind == TokenKind::Identifier &&
+            (UnorderedVars.count(T[J].Text) != 0 ||
+             oneOf(T[J].Text, {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"}))) {
+          RangeUnordered = true;
+          break;
+        }
+      }
+      if (!RangeUnordered || HeadEnd >= T.size())
+        continue;
+      // Body: braced block or single statement.
+      std::size_t BodyBegin = HeadEnd, BodyEnd;
+      if (isPunct(T[BodyBegin], "{")) {
+        BodyEnd = skipBalanced(T, BodyBegin, "{", "}");
+      } else {
+        BodyEnd = BodyBegin;
+        while (BodyEnd < T.size() && !isPunct(T[BodyEnd], ";"))
+          ++BodyEnd;
+      }
+      for (std::size_t J = BodyBegin; J < BodyEnd; ++J) {
+        bool Emits =
+            (T[J].Kind == TokenKind::Identifier &&
+             oneOf(T[J].Text,
+                   {"push_back", "emplace_back", "emplace", "append"})) ||
+            isPunct(T[J], "<<");
+        if (Emits) {
+          addDiag(FC, Out, name(), T[I].Line,
+                  "range-for over an unordered container feeds "
+                  "result-bearing output; iterate a sorted copy or switch "
+                  "the container to std::map/std::set");
+          break;
+        }
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R4a: header-hygiene — guards and namespace leaks.
+//===----------------------------------------------------------------------===//
+
+class HeaderHygieneRule final : public Rule {
+public:
+  std::string_view name() const override { return "header-hygiene"; }
+  std::string_view description() const override {
+    return "headers need an include guard (#pragma once or "
+           "#ifndef/#define) and must not contain using namespace";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (!FC.IsHeader)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    bool Guarded = false;
+    std::string PendingMacro;
+    for (const Token &Tok : T) {
+      if (Tok.Kind != TokenKind::Directive)
+        continue;
+      if (Tok.Text.find("pragma once") != std::string::npos) {
+        Guarded = true;
+        break;
+      }
+      if (!PendingMacro.empty()) {
+        if (Tok.Text.find("define " + PendingMacro) != std::string::npos)
+          Guarded = true;
+        break; // only the first #ifndef/#define pair counts
+      }
+      std::size_t At = Tok.Text.find("ifndef ");
+      if (At != std::string::npos) {
+        PendingMacro = Tok.Text.substr(At + 7);
+        std::size_t Sp = PendingMacro.find(' ');
+        if (Sp != std::string::npos)
+          PendingMacro.resize(Sp);
+      }
+    }
+    if (!Guarded)
+      addDiag(FC, Out, name(), 1,
+              "header has no include guard (#pragma once or "
+              "#ifndef/#define pair)");
+    for (std::size_t I = 0; I + 1 < T.size(); ++I)
+      if (isId(T[I], "using") && isId(T[I + 1], "namespace"))
+        addDiag(FC, Out, name(), T[I].Line,
+                "using namespace in a header leaks into every includer");
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R4b: assert-side-effects — asserts compiled out under NDEBUG must not
+// change state, or release and debug builds diverge.
+//===----------------------------------------------------------------------===//
+
+class AssertSideEffectsRule final : public Rule {
+public:
+  std::string_view name() const override { return "assert-side-effects"; }
+  std::string_view description() const override {
+    return "bans ++/--/assignment inside assert(): the expression "
+           "disappears under NDEBUG";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (!isId(T[I], "assert") || !nextIs(T, I, "("))
+        continue;
+      if (I > 0 && (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->") ||
+                    isPunct(T[I - 1], "::")))
+        continue;
+      std::size_t End = skipBalanced(T, I + 1, "(", ")");
+      for (std::size_t J = I + 2; J + 1 < End; ++J) {
+        if (T[J].Kind == TokenKind::Punct &&
+            oneOf(T[J].Text, {"++", "--", "=", "+=", "-=", "*=", "/=", "%=",
+                              "&=", "|=", "^=", "<<=", ">>="})) {
+          addDiag(FC, Out, name(), T[I].Line,
+                  "side effect ('" + T[J].Text +
+                      "') inside assert(); the whole expression vanishes "
+                      "under NDEBUG");
+          break;
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<Rule>> &allRules() {
+  static const std::vector<std::unique_ptr<Rule>> Rules = [] {
+    std::vector<std::unique_ptr<Rule>> R;
+    R.push_back(std::make_unique<NondeterminismRule>());
+    R.push_back(std::make_unique<ConcurrencyRule>());
+    R.push_back(std::make_unique<MemoryOrderRule>());
+    R.push_back(std::make_unique<IterationOrderRule>());
+    R.push_back(std::make_unique<HeaderHygieneRule>());
+    R.push_back(std::make_unique<AssertSideEffectsRule>());
+    return R;
+  }();
+  return Rules;
+}
+
+std::vector<Diagnostic> runRules(const FileContext &FC) {
+  std::vector<Diagnostic> Out;
+  for (const std::unique_ptr<Rule> &R : allRules())
+    R->check(FC, Out);
+  // Drop inline-suppressed diagnostics.
+  std::erase_if(Out, [&FC](const Diagnostic &D) {
+    auto It = FC.Allowed.find(D.Line);
+    if (It == FC.Allowed.end())
+      return false;
+    return It->second.count(D.Rule) != 0 || It->second.count("all") != 0;
+  });
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     return A.Rule < B.Rule;
+                   });
+  return Out;
+}
+
+} // namespace regmon::lint

@@ -1,0 +1,117 @@
+//===- tools/lint/regmon_lint_main.cpp - regmon-lint CLI ------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// regmon-lint — the project's static analyzer for determinism and
+/// concurrency discipline. Registered as the LintCleanTest ctest, so the
+/// tier-1 `ctest` run fails on any new violation.
+///
+///   regmon-lint [options] [paths...]
+///
+///   --root <dir>        repo root (default: .); paths resolve against it
+///   --baseline <file>   baseline file (default: <root>/tools/lint/baseline.txt)
+///   --no-baseline       report grandfathered violations as errors too
+///   --write-baseline    rewrite the baseline from the current violations
+///   --json              machine-readable report on stdout
+///   --list-rules        print the rule registry and exit
+///
+/// Paths default to src, tools and bench. Exit codes: 0 clean, 1 new
+/// violations, 2 usage/IO error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Baseline.h"
+#include "Driver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+using namespace regmon::lint;
+
+namespace {
+
+int usage(std::ostream &OS, int Code) {
+  OS << "usage: regmon-lint [--root <dir>] [--baseline <file>] "
+        "[--no-baseline]\n"
+        "                   [--write-baseline] [--json] [--list-rules] "
+        "[paths...]\n";
+  return Code;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Options;
+  bool ListRules = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto NeedsValue = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        std::cerr << "regmon-lint: error: " << Arg << " needs a value\n";
+        return false;
+      }
+      Out = Argv[++I];
+      return true;
+    };
+    if (Arg == "--root") {
+      if (!NeedsValue(Options.Root))
+        return usage(std::cerr, 2);
+    } else if (Arg == "--baseline") {
+      if (!NeedsValue(Options.BaselinePath))
+        return usage(std::cerr, 2);
+    } else if (Arg == "--no-baseline") {
+      Options.UseBaseline = false;
+    } else if (Arg == "--write-baseline") {
+      Options.WriteBaseline = true;
+    } else if (Arg == "--json") {
+      Options.Json = true;
+    } else if (Arg == "--list-rules") {
+      ListRules = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "regmon-lint: error: unknown option " << Arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      Options.Paths.emplace_back(Arg);
+    }
+  }
+
+  if (ListRules) {
+    for (const auto &R : allRules())
+      std::cout << R->name() << "\n    " << R->description() << "\n";
+    return 0;
+  }
+
+  RunResult R = runLint(Options);
+
+  if (Options.WriteBaseline) {
+    namespace fs = std::filesystem;
+    fs::path BasePath = Options.BaselinePath.empty()
+                            ? fs::path(Options.Root) / "tools" / "lint" /
+                                  "baseline.txt"
+                            : fs::path(Options.BaselinePath);
+    std::ofstream Out(BasePath, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      std::cerr << "regmon-lint: error: cannot write "
+                << BasePath.generic_string() << "\n";
+      return 2;
+    }
+    Out << Baseline::render(R.Diags);
+    std::cerr << "regmon-lint: wrote " << R.Diags.size() << " entr"
+              << (R.Diags.size() == 1 ? "y" : "ies") << " to "
+              << BasePath.generic_string() << "\n";
+    return R.Errors.empty() ? 0 : 2;
+  }
+
+  if (Options.Json)
+    printJson(R, std::cout);
+  else
+    printHuman(R, std::cerr);
+  return exitCode(R);
+}

@@ -7,15 +7,18 @@
 # under each requested sanitizer. The concurrency suite
 # (ServiceConcurrencyTest / ServiceRingBufferTest) is the primary
 # customer: TSan proves the service's shard pinning and snapshot
-# publication race-free, ASan guards the batch hand-off paths.
+# publication race-free, ASan guards the batch hand-off paths, and UBSan
+# (with -fno-sanitize-recover=all) vetoes the undefined behavior that
+# would let the optimizer void the determinism argument entirely.
 #
-# usage: tools/run_sanitized_tests.sh [thread] [address] [-R <ctest-regex>]
+# usage: tools/run_sanitized_tests.sh [thread] [address] [undefined]
+#                                     [-R <ctest-regex>]
 #
-#   no sanitizer args  run both TSan and ASan sweeps
+#   no sanitizer args  run the TSan, ASan and UBSan sweeps
 #   -R <regex>         restrict to matching tests, e.g. -R 'Service|RingBuffer'
 #
-# Each sanitizer gets its own build tree (build-tsan/, build-asan/), so
-# sweeps are incremental across invocations.
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/,
+# build-ubsan/), so sweeps are incremental across invocations.
 #
 #===----------------------------------------------------------------------===#
 
@@ -27,20 +30,22 @@ sans=()
 regex=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    thread|address) sans+=("$1"); shift ;;
+    thread|address|undefined) sans+=("$1"); shift ;;
     -R) [[ $# -ge 2 ]] || { echo "error: -R needs a regex" >&2; exit 2; }
         regex="$2"; shift 2 ;;
-    *) echo "usage: $0 [thread] [address] [-R <ctest-regex>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [thread] [address] [undefined] [-R <ctest-regex>]" >&2
+       exit 2 ;;
   esac
 done
-[[ ${#sans[@]} -gt 0 ]] || sans=(thread address)
+[[ ${#sans[@]} -gt 0 ]] || sans=(thread address undefined)
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 for san in "${sans[@]}"; do
   case "$san" in
-    thread)  build="build-tsan" ;;
-    address) build="build-asan" ;;
+    thread)    build="build-tsan" ;;
+    address)   build="build-asan" ;;
+    undefined) build="build-ubsan" ;;
   esac
   echo "=== ${san} sanitizer: configuring ${build}/ ==="
   cmake -B "$build" -S . -DREGMON_SANITIZER="$san" >/dev/null

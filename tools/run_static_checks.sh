@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+#===- tools/run_static_checks.sh - one-shot static analysis driver -------===#
+#
+# Part of the regmon project. Distributed under the MIT license.
+#
+# Runs the full static-analysis stack in one command:
+#
+#   1. a -Werror build (REGMON_WERROR=ON is the default) into
+#      build-checks/, which also produces the regmon-lint binary,
+#   2. regmon-lint over src/, tools/ and bench/ against the checked-in
+#      baseline (tools/lint/baseline.txt),
+#   3. clang-tidy via tools/run_clang_tidy.sh (skipped with a notice when
+#      clang-tidy is not installed).
+#
+# usage: tools/run_static_checks.sh [--json]
+#
+#   --json   emit the regmon-lint report as JSON on stdout
+#
+# Exits nonzero on the first failing stage.
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+lint_args=()
+if [[ "${1:-}" == "--json" ]]; then
+  lint_args+=(--json)
+  shift
+fi
+[[ $# -eq 0 ]] || { echo "usage: $0 [--json]" >&2; exit 2; }
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== static checks: -Werror build (build-checks/) ==="
+cmake -B build-checks -S . -DREGMON_WERROR=ON >/dev/null
+cmake --build build-checks -j "$jobs"
+
+echo "=== static checks: regmon-lint ==="
+./build-checks/tools/lint/regmon-lint --root . \
+  --baseline tools/lint/baseline.txt "${lint_args[@]}"
+
+echo "=== static checks: clang-tidy ==="
+tools/run_clang_tidy.sh
+
+echo "=== static checks: OK ==="
