@@ -63,7 +63,8 @@ std::vector<RecordedStream> recordStreams() {
 double runConfig(const std::vector<RecordedStream> &Streams,
                  std::size_t Workers, std::uint64_t &BatchesOut) {
   service::MonitorService Service(
-      {Workers, /*QueueCapacity=*/64, service::OverflowPolicy::Block});
+      {Workers, /*QueueCapacity=*/64, service::OverflowPolicy::Block,
+       /*ValidateBatches=*/true, {}});
   for (const RecordedStream &S : Streams)
     Service.addStream(*S.Map);
   Service.start();

@@ -43,6 +43,18 @@ LocalPhaseState
 LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
   assert(CurrHist.size() == PrevHist.size() &&
          "histogram does not match the region");
+  if (Config.MinObserveSamples > 0) {
+    std::uint64_t Total = 0;
+    for (std::uint32_t Bin : CurrHist)
+      Total += Bin;
+    if (Total < Config.MinObserveSamples) {
+      // Degraded mode: too little sample mass for r to mean anything.
+      // The machine holds, exactly as it does over an empty interval.
+      ++SkippedUndersampled;
+      LastWasChange = false;
+      return State;
+    }
+  }
   ++Observed;
   const LocalPhaseState Before = State;
 

@@ -74,6 +74,12 @@ struct LocalDetectorConfig {
   double AdaptiveSlope = 0.05;
   std::size_t AdaptiveBaseInstrs = 64;
   double AdaptiveMinRt = 0.55;
+  /// Degraded-mode gate: histograms carrying fewer than this many samples
+  /// do not advance the state machine (Pearson's r over a handful of
+  /// samples is noise, and a faulted stream must not register spurious
+  /// phase changes just because an interval arrived truncated). 0 -- the
+  /// paper's configuration -- disables the gate.
+  std::size_t MinObserveSamples = 0;
 };
 
 /// Per-region local phase detector (one instance per monitored region).
@@ -102,6 +108,9 @@ public:
   std::uint64_t phaseChanges() const { return PhaseChanges; }
   /// Returns the number of non-empty intervals observed.
   std::uint64_t observedIntervals() const { return Observed; }
+  /// Returns the number of observations discounted by the
+  /// MinObserveSamples gate (not counted in \ref observedIntervals).
+  std::uint64_t skippedUndersampled() const { return SkippedUndersampled; }
   /// Returns true if the most recent \ref observe changed phase.
   bool lastObservationChangedPhase() const { return LastWasChange; }
 
@@ -119,6 +128,7 @@ private:
   bool LastWasChange = false;
   std::uint64_t PhaseChanges = 0;
   std::uint64_t Observed = 0;
+  std::uint64_t SkippedUndersampled = 0;
 };
 
 } // namespace regmon::core

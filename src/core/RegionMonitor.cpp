@@ -86,6 +86,7 @@ void RegionMonitor::reset() {
   UcrHistory.clear();
   Intervals = 0;
   FormationTriggers = 0;
+  UndersampledIntervals = 0;
 }
 
 const LocalPhaseDetector &RegionMonitor::detector(RegionId Id) const {
@@ -186,8 +187,15 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
                              static_cast<double>(Samples.size());
   UcrHistory.push_back(UcrFraction);
 
+  // Degraded mode: an interval below the sample-mass gate is evidence of
+  // a faulty collector, not of the program. Its samples still count (they
+  // are real), but it neither forms regions nor advances any detector.
+  const bool Undersampled = Samples.size() < Config.MinIntervalSamples;
+  if (Undersampled)
+    ++UndersampledIntervals;
+
   // 2. Working-set change? Build regions for the new hot code.
-  if (UcrFraction > Config.UcrTriggerFraction)
+  if (!Undersampled && UcrFraction > Config.UcrTriggerFraction)
     triggerFormation(UcrScratch);
 
   // 3. Local phase detection, one region at a time. Regions formed in step
@@ -202,26 +210,32 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
     if (!Curr.empty()) {
       ++RS.ActiveIntervals;
       RS.TotalSamples += Curr.total();
-      Detectors[Id]->observe(Curr.bins());
       LastSampledInterval[Id] = Intervals;
-      if (Detectors[Id]->lastObservationChangedPhase())
-        emit(Detectors[Id]->state() == LocalPhaseState::Stable
-                 ? RegionEvent::Kind::BecameStable
-                 : RegionEvent::Kind::BecameUnstable,
-             Id);
+      if (!Undersampled) {
+        Detectors[Id]->observe(Curr.bins());
+        if (Detectors[Id]->lastObservationChangedPhase())
+          emit(Detectors[Id]->state() == LocalPhaseState::Stable
+                   ? RegionEvent::Kind::BecameStable
+                   : RegionEvent::Kind::BecameUnstable,
+               Id);
+      }
 
       // Performance characteristics: DPI accounting and delinquent loads.
+      // Miss counts are real samples, so they accrue even when degraded;
+      // only the windowed feedback signal (which drives unpatch
+      // decisions) is withheld from under-sampled evidence.
       const InstrHistogram &Misses = CurrMissHists[Id];
       RS.TotalMisses += Misses.total();
-      RecentMiss[Id].add(static_cast<double>(Misses.total()) /
-                         static_cast<double>(Curr.total()));
+      if (!Undersampled)
+        RecentMiss[Id].add(static_cast<double>(Misses.total()) /
+                           static_cast<double>(Curr.total()));
       if (!Misses.empty()) {
         std::span<const std::uint32_t> Bins = Misses.bins();
         std::vector<std::uint64_t> &Cum = CumulativeMisses[Id];
         for (std::size_t Bin = 0; Bin < Bins.size(); ++Bin)
           Cum[Bin] += Bins[Bin];
       }
-      if (Config.TrackMissPhases && !Misses.empty()) {
+      if (!Undersampled && Config.TrackMissPhases && !Misses.empty()) {
         MissDetectors[Id]->observe(Misses.bins());
         RS.MissPhaseChanges = MissDetectors[Id]->phaseChanges();
         if (MissDetectors[Id]->lastObservationChangedPhase() &&

@@ -67,6 +67,13 @@ struct RegionMonitorConfig {
   SimilarityKind Similarity = SimilarityKind::Pearson;
   /// Per-region detector parameters.
   LocalDetectorConfig Lpd;
+  /// Degraded-mode gate: intervals delivering fewer than this many
+  /// samples (truncated buffers, heavy sample loss) still have their
+  /// samples attributed and counted, but neither trigger region formation
+  /// nor advance any phase detector -- under-sampling must read as
+  /// missing evidence, not as behaviour change. 0 (the paper's
+  /// configuration) disables the gate.
+  std::size_t MinIntervalSamples = 0;
   /// Future-work feature: drop regions that received no samples for
   /// PruneAfterIdleIntervals consecutive intervals.
   bool PruneColdRegions = false;
@@ -208,6 +215,11 @@ public:
 
   /// Returns the number of intervals observed.
   std::uint64_t intervals() const { return Intervals; }
+  /// Returns the number of intervals discounted by the MinIntervalSamples
+  /// gate (still counted in \ref intervals).
+  std::uint64_t undersampledIntervals() const {
+    return UndersampledIntervals;
+  }
   /// Returns the number of region-formation triggers fired (Fig. 7's
   /// repeated triggers in 254.gap / 186.crafty).
   std::uint64_t formationTriggers() const { return FormationTriggers; }
@@ -258,6 +270,7 @@ private:
   std::vector<double> UcrHistory;
   std::uint64_t Intervals = 0;
   std::uint64_t FormationTriggers = 0;
+  std::uint64_t UndersampledIntervals = 0;
 
   // Reused scratch buffers (hot path).
   std::vector<RegionId> LookupScratch;

@@ -1,0 +1,169 @@
+//===- faults/FaultPlan.h - Deterministic fault injection -------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the sampling -> service -> RTO stack.
+///
+/// The paper's robustness claim -- LPD stays stable where centroid GPD
+/// thrashes as sampling conditions shift -- is only credible if the system
+/// survives the ways real HPM front-ends misbehave: lost and duplicated
+/// samples, wild program counters landing in unmapped address space,
+/// jittered interrupt periods, intervals cut short by buffer teardown, and
+/// a collection pipeline that occasionally delivers garbage or stalls
+/// outright. A \ref FaultPlan models all of these as *pure, seeded
+/// transformations* of a clean sample stream:
+///
+///  * every random decision is drawn from a \ref regmon::Rng derived from
+///    the plan seed, so the identical plan over the identical clean stream
+///    yields a bit-identical faulted stream on every replay;
+///  * per-stream injectors are derived by seed mixing, not by sharing one
+///    generator, so stream K's faults are independent of how many other
+///    streams exist or in which order injectors were created;
+///  * sample-level and batch-level decisions come from separate forked
+///    generators, so a dropped sample never shifts which batch gets
+///    poisoned.
+///
+/// The layer is deliberately free of threads and clocks: fault *timing* in
+/// the service (worker stalls) is expressed as a \ref BatchFault marker the
+/// test harness interprets, keeping this library in the deterministic
+/// world where ChaosTest can assert bit-identical replays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_FAULTS_FAULTPLAN_H
+#define REGMON_FAULTS_FAULTPLAN_H
+
+#include "support/Rng.h"
+#include "support/Types.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace regmon::faults {
+
+/// Service-level fate of one delivered batch, decided deterministically by
+/// the injector. Sample-level faults (drop/duplicate/corrupt/jitter/
+/// truncate) are applied by \ref StreamFaultInjector::apply regardless.
+enum class BatchFault : std::uint8_t {
+  None,   ///< Deliver normally.
+  Poison, ///< Deliver structurally malformed (see \ref poisonBatch).
+  Stall,  ///< Deliver normally, but the worker stalls on it (harness hook).
+};
+
+/// Returns a short human-readable name for \p F.
+const char *toString(BatchFault F);
+
+/// Fault rates and shapes. All rates are probabilities in [0, 1]; a
+/// default-constructed config injects nothing.
+struct FaultConfig {
+  /// Per-sample probability of the sample being lost (kernel buffer
+  /// overrun, interrupt coalescing).
+  double DropRate = 0;
+  /// Per-sample probability of the sample being delivered twice (replayed
+  /// DMA page, double interrupt).
+  double DuplicateRate = 0;
+  /// Per-sample probability of the PC being corrupted into unmapped
+  /// address space (wild interrupt PC). Corrupted PCs stay
+  /// instruction-aligned: they are *plausible* garbage the monitor must
+  /// absorb as UCR noise, not structural damage.
+  double CorruptRate = 0;
+  /// Base of the unmapped address window corrupted PCs land in. Must be
+  /// instruction-aligned and outside every monitored program's code.
+  Addr CorruptBase = 0x6000'0000;
+  /// Number of instruction slots in the corruption window.
+  std::uint64_t CorruptSpan = 4096;
+  /// Timestamp jitter as a fraction of the nominal inter-sample spacing
+  /// (sampling-period wobble). Monotonicity of timestamps is preserved.
+  double PeriodJitterFrac = 0;
+  /// Per-batch probability of the interval being truncated (optimizer
+  /// woken early, teardown racing the sampler).
+  double TruncateRate = 0;
+  /// A truncated batch keeps at least this fraction of its samples.
+  double TruncateMinFrac = 0.1;
+  /// Per-batch probability of the batch being structurally malformed
+  /// (see \ref poisonBatch); the service must reject it.
+  double PoisonRate = 0;
+  /// Per-batch probability of the worker stalling on the batch.
+  double StallRate = 0;
+};
+
+/// Counters of everything an injector did, for reports and invariants.
+struct FaultStats {
+  std::uint64_t SamplesSeen = 0;
+  std::uint64_t SamplesDropped = 0;
+  std::uint64_t SamplesDuplicated = 0;
+  std::uint64_t SamplesCorrupted = 0;
+  std::uint64_t BatchesSeen = 0;
+  std::uint64_t BatchesTruncated = 0;
+  std::uint64_t BatchesPoisoned = 0;
+  std::uint64_t BatchesStalled = 0;
+};
+
+/// Renders \p Batch structurally malformed in a deterministic,
+/// validation-detectable way: one PC loses its instruction alignment and,
+/// when the batch holds two or more samples, the first two timestamps are
+/// swapped out of order. The service's batch validation (see
+/// service/StreamHealth.h) must reject the result.
+void poisonBatch(std::vector<Sample> &Batch);
+
+/// Applies one stream's faults. Stateful: the K-th call transforms the
+/// K-th batch, so determinism requires calling \ref apply and
+/// \ref nextBatchFault once each per batch, in stream order.
+class StreamFaultInjector {
+public:
+  /// Creates an injector with its own derived generators. Prefer
+  /// \ref FaultPlan::forStream over calling this directly.
+  StreamFaultInjector(std::uint64_t Seed, FaultConfig Config);
+
+  /// Returns the faulted copy of \p Clean: drops, duplicates, PC
+  /// corruption, timestamp jitter and truncation applied in that order.
+  /// The result preserves non-decreasing timestamps and instruction
+  /// alignment -- sample-level faults are noise, not structural damage.
+  std::vector<Sample> apply(std::span<const Sample> Clean);
+
+  /// Decides the service-level fate of the next batch.
+  BatchFault nextBatchFault();
+
+  /// Returns the running fault counters.
+  const FaultStats &stats() const { return Stats; }
+
+  /// Returns the configuration in use.
+  const FaultConfig &config() const { return Config; }
+
+private:
+  FaultConfig Config;
+  Rng SampleRng; ///< per-sample decisions (drop/dup/corrupt/jitter)
+  Rng ShapeRng;  ///< per-batch shape decisions (truncation)
+  Rng BatchRng;  ///< per-batch delivery decisions (poison/stall)
+  FaultStats Stats;
+};
+
+/// A seeded, fully replayable composition of faults over any number of
+/// streams. The plan itself is immutable; \ref forStream derives the
+/// per-stream injector deterministically from (seed, stream id).
+class FaultPlan {
+public:
+  explicit FaultPlan(std::uint64_t PlanSeed, FaultConfig Cfg = {})
+      : Seed(PlanSeed), Config(Cfg) {}
+
+  /// Returns stream \p Id's injector. Pure in (plan seed, \p Id): the
+  /// result is independent of call order and of other streams.
+  StreamFaultInjector forStream(std::uint32_t Id) const;
+
+  /// Returns the plan seed.
+  std::uint64_t seed() const { return Seed; }
+  /// Returns the shared fault configuration.
+  const FaultConfig &config() const { return Config; }
+
+private:
+  std::uint64_t Seed;
+  FaultConfig Config;
+};
+
+} // namespace regmon::faults
+
+#endif // REGMON_FAULTS_FAULTPLAN_H

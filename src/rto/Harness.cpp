@@ -8,6 +8,7 @@
 
 #include "rto/TraceDeployments.h"
 #include "sim/ProgramCodeMap.h"
+#include "support/Rng.h"
 
 #include <cassert>
 #include <map>
@@ -38,6 +39,24 @@ private:
   std::map<std::pair<Addr, Addr>, sim::LoopId> ByBounds;
 };
 
+/// Owns the seeded decision stream for injected deployment failures and
+/// installs it on \p Traces when the config asks for injection. Failures
+/// are a function of (DeployFailureSeed, attempt index) only, so the same
+/// pattern replays across strategies and runs.
+class DeployFaultInjector {
+public:
+  DeployFaultInjector(TraceDeployments &Traces, const RtoConfig &Config)
+      : FaultRng(Config.DeployFailureSeed), Rate(Config.DeployFailureRate) {
+    if (Rate > 0)
+      Traces.setDeployFaultHook(
+          [this](sim::LoopId) { return FaultRng.nextDouble() < Rate; });
+  }
+
+private:
+  Rng FaultRng;
+  double Rate;
+};
+
 } // namespace
 
 RtoResult rto::runUnoptimized(const sim::Program &Prog,
@@ -63,6 +82,7 @@ RtoResult rto::runOriginal(const sim::Program &Prog,
   core::RegionMonitor Monitor(Map, Config.Monitor);
   gpd::CentroidPhaseDetector Gpd(Config.Gpd);
   TraceDeployments Traces(Eng, Model, Config.PatchOverheadCycles);
+  DeployFaultInjector Faults(Traces, Config);
   RegionLoopIndex Index(Prog);
 
   std::uint64_t StableIntervals = 0;
@@ -104,6 +124,7 @@ RtoResult rto::runOriginal(const sim::Program &Prog,
   Result.Intervals = Sampler.intervals();
   Result.Patches = Traces.patches();
   Result.Unpatches = Traces.unpatches();
+  Result.FailedPatches = Traces.failedPatches();
   Result.GlobalPhaseChanges = Gpd.phaseChanges();
   Result.StableFraction =
       Result.Intervals == 0
@@ -122,6 +143,7 @@ RtoResult rto::runLocal(const sim::Program &Prog,
   sim::ProgramCodeMap Map(Prog);
   core::RegionMonitor Monitor(Map, Config.Monitor);
   TraceDeployments Traces(Eng, Model, Config.PatchOverheadCycles);
+  DeployFaultInjector Faults(Traces, Config);
   RegionLoopIndex Index(Prog);
 
   std::uint64_t SelfUndos = 0;
@@ -226,6 +248,7 @@ RtoResult rto::runLocal(const sim::Program &Prog,
   Result.Intervals = Sampler.intervals();
   Result.Patches = Traces.patches();
   Result.Unpatches = Traces.unpatches();
+  Result.FailedPatches = Traces.failedPatches();
   Result.SelfUndos = SelfUndos;
   Result.StableFraction =
       Result.Intervals == 0

@@ -83,6 +83,14 @@ struct RtoConfig {
   /// Observational mode: regions with a baseline miss fraction below this
   /// are not worth judging (nothing to improve).
   double SelfMonitorMinBaselineMiss = 0.02;
+  /// Fault injection: probability that a trace deployment fails mid-patch
+  /// and is rolled back (see TraceDeployments::setDeployFaultHook).
+  /// Applies to both strategies. 0 disables injection.
+  double DeployFailureRate = 0;
+  /// Seed of the deployment-failure decision stream; independent of the
+  /// run seed so the same failure pattern can be replayed across
+  /// strategies and sweeps.
+  std::uint64_t DeployFailureSeed = 0;
 };
 
 /// Outcome of one optimizer run.
@@ -103,6 +111,8 @@ struct RtoResult {
   double StableFraction = 0;
   /// Traces undone by self-monitoring (LPD; 0 for ORIG).
   std::uint64_t SelfUndos = 0;
+  /// Deployments failed by fault injection, each fully rolled back.
+  std::uint64_t FailedPatches = 0;
 };
 
 /// Runs the program with no runtime optimizer: cycles == work. Useful as

@@ -36,6 +36,11 @@ TraceDeployments::activeProfile(sim::LoopId L) const {
   return std::nullopt;
 }
 
+void TraceDeployments::setDeployFaultHook(
+    std::function<bool(sim::LoopId)> Hook) {
+  DeployFaultHook = std::move(Hook);
+}
+
 bool TraceDeployments::deploy(sim::LoopId L) {
   assert(L < Trained.size() && "unknown loop");
   if (Trained[L])
@@ -48,6 +53,17 @@ bool TraceDeployments::deploy(sim::LoopId L) {
   Eng.setSpeedup(L, Model.factor(L, *Active, *Active));
   Eng.setMissScale(L, 1.0 - PrefetchMissCover);
   Eng.addOverheadCycles(PatchOverheadCycles);
+  if (DeployFaultHook && DeployFaultHook(L)) {
+    // Mid-patch failure: undo everything the patch did so the loop runs
+    // exactly as if the deployment had never been attempted -- except for
+    // the critical-path cost of trying and of backing out.
+    Trained[L].reset();
+    Eng.setSpeedup(L, 1.0);
+    Eng.setMissScale(L, 1.0);
+    Eng.addOverheadCycles(PatchOverheadCycles);
+    ++FailedPatches;
+    return false;
+  }
   ++Patches;
   return true;
 }

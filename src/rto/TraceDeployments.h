@@ -22,6 +22,7 @@
 #include "sim/Engine.h"
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -44,8 +45,18 @@ public:
 
   /// Deploys a trace on \p L, trained on the loop's currently active
   /// behaviour profile. Returns false (and deploys nothing) if the loop is
-  /// not executing right now -- there is no behaviour to train on.
+  /// not executing right now -- there is no behaviour to train on -- or if
+  /// the deploy-fault hook fails the patch (see \ref setDeployFaultHook);
+  /// in the latter case the trace is rolled back completely, so a failed
+  /// patch never leaves the loop half-optimized.
   bool deploy(sim::LoopId L);
+
+  /// Installs \p Hook, consulted on every deploy after the trace has been
+  /// applied; returning true models a mid-patch failure (code-cache
+  /// exhaustion, a guard tripping during installation). The deployment is
+  /// rolled back -- rate factors restored, training forgotten -- and both
+  /// the attempt and the rollback are charged to the critical path.
+  void setDeployFaultHook(std::function<bool(sim::LoopId)> Hook);
 
   /// Removes the trace from \p L (no-op if none).
   void unpatch(sim::LoopId L);
@@ -66,6 +77,9 @@ public:
   std::uint64_t patches() const { return Patches; }
   /// Returns the number of unpatch operations performed.
   std::uint64_t unpatches() const { return Unpatches; }
+  /// Returns the number of deployments failed by the fault hook (each one
+  /// fully rolled back; not counted in \ref patches).
+  std::uint64_t failedPatches() const { return FailedPatches; }
 
 private:
   /// Returns the profile of \p L active in the engine's current mix, or
@@ -78,8 +92,10 @@ private:
   double PrefetchMissCover;
   std::vector<std::optional<sim::ProfileId>> Trained; // per LoopId
   std::vector<unsigned> HarmStreak;
+  std::function<bool(sim::LoopId)> DeployFaultHook;
   std::uint64_t Patches = 0;
   std::uint64_t Unpatches = 0;
+  std::uint64_t FailedPatches = 0;
 };
 
 } // namespace regmon::rto

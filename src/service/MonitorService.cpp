@@ -6,6 +6,7 @@
 
 #include "service/MonitorService.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -29,10 +30,15 @@ std::uint64_t mix64(std::uint64_t X) {
 MonitorService::MonitorService(ServiceConfig Cfg) : Config(Cfg) {
   assert(Config.Workers > 0 && "service needs at least one worker");
   assert(Config.QueueCapacity > 0 && "shard queues need capacity");
+  assert(Config.Health.QuarantineBaseBatches > 0 &&
+         "quarantine backoff must start positive");
+  assert(Config.Health.QuarantineMaxBatches >=
+             Config.Health.QuarantineBaseBatches &&
+         "backoff ceiling below its base");
   Shards.reserve(Config.Workers);
   for (std::size_t I = 0; I < Config.Workers; ++I)
     Shards.push_back(
-        std::make_unique<Shard>(Config.QueueCapacity, Config.Policy));
+        std::make_unique<Shard>(I, Config.QueueCapacity, Config.Policy));
 }
 
 MonitorService::~MonitorService() { stop(); }
@@ -54,6 +60,12 @@ std::size_t MonitorService::shardOf(StreamId Stream) const {
   return Streams[Stream]->Shard;
 }
 
+void MonitorService::setWorkerHook(
+    std::function<void(std::size_t, const SampleBatch &)> Hook) {
+  assert(!Started && "worker hooks must be installed before start()");
+  WorkerHook = std::move(Hook);
+}
+
 void MonitorService::start() {
   assert(!Started && "MonitorService supports one start/stop cycle");
   Started = true;
@@ -66,6 +78,10 @@ void MonitorService::stop() {
   if (Stopped)
     return;
   Stopped = true;
+  // Raise the stop flag before closing the queues so a worker stalled in
+  // a hook (which must poll stopRequested()) resumes and drains; stop()
+  // is then bounded by the hook's polling period, not the stall length.
+  StopRequested.store(true, std::memory_order_release);
   for (auto &S : Shards)
     S->Queue.close();
   if (Started)
@@ -77,21 +93,129 @@ void MonitorService::stop() {
 
 bool MonitorService::submit(SampleBatch Batch) {
   assert(Batch.Stream < Streams.size() && "unknown stream");
-  Shard &S = *Shards[Streams[Batch.Stream]->Shard];
+  StreamState &St = *Streams[Batch.Stream];
+  Shard &S = *Shards[St.Shard];
+  // A batch arriving after stop() is refused at the door without
+  // advancing the stream's health: a closed queue says nothing about the
+  // collector's behaviour.
+  if (S.Queue.closed()) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (Config.ValidateBatches &&
+      !admit(St, structurallyValid(Batch.Samples)))
+    return false;
   // Count before pushing: once the push lands, a worker may process the
   // batch immediately, and a snapshot must never observe more processed
   // than submitted. A rejected push is uncounted again.
   Submitted.fetch_add(1, std::memory_order_relaxed);
   if (!S.Queue.push(std::move(Batch))) {
     Submitted.fetch_sub(1, std::memory_order_relaxed);
+    Rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
 }
 
+bool MonitorService::admit(StreamState &St, bool Valid) {
+  // Serialized per stream (see submit()); plain relaxed loads/stores are
+  // enough, atomics only keep concurrent snapshot readers tear-free.
+  const auto H = St.Health.load(std::memory_order_relaxed);
+  const auto CleanTo = [&](StreamHealth Next) {
+    const auto Streak =
+        St.CleanStreak.load(std::memory_order_relaxed) + 1;
+    if (Streak >= Config.Health.RecoveryCleanBatches) {
+      St.CleanStreak.store(0, std::memory_order_relaxed);
+      St.ConsecutivePoisoned.store(0, std::memory_order_relaxed);
+      // A full recovery also forgives the past: the next quarantine
+      // starts from the base backoff again.
+      St.QuarantineEpisodes.store(0, std::memory_order_relaxed);
+      St.Health.store(StreamHealth::Healthy, std::memory_order_relaxed);
+    } else {
+      St.CleanStreak.store(Streak, std::memory_order_relaxed);
+      St.Health.store(Next, std::memory_order_relaxed);
+    }
+  };
+
+  switch (H) {
+  case StreamHealth::Healthy:
+    if (Valid)
+      return true;
+    St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    St.ConsecutivePoisoned.store(1, std::memory_order_relaxed);
+    St.CleanStreak.store(0, std::memory_order_relaxed);
+    if (1 >= Config.Health.PoisonQuarantineThreshold)
+      quarantine(St);
+    else
+      St.Health.store(StreamHealth::Degraded, std::memory_order_relaxed);
+    return false;
+
+  case StreamHealth::Degraded:
+    if (Valid) {
+      CleanTo(StreamHealth::Degraded);
+      return true;
+    }
+    St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    St.CleanStreak.store(0, std::memory_order_relaxed);
+    if (St.ConsecutivePoisoned.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        Config.Health.PoisonQuarantineThreshold)
+      quarantine(St);
+    return false;
+
+  case StreamHealth::Quarantined: {
+    const auto Sat = St.QuarantineRejections.load(std::memory_order_relaxed);
+    if (Sat < St.Backoff.load(std::memory_order_relaxed)) {
+      St.QuarantineRejections.store(Sat + 1, std::memory_order_relaxed);
+      St.QuarantinedBatches.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Backoff served: this batch is the probe.
+    St.Readmissions.fetch_add(1, std::memory_order_relaxed);
+    if (Valid) {
+      St.ConsecutivePoisoned.store(0, std::memory_order_relaxed);
+      St.CleanStreak.store(1, std::memory_order_relaxed);
+      St.Health.store(StreamHealth::Recovering, std::memory_order_relaxed);
+      return true;
+    }
+    St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    quarantine(St);
+    return false;
+  }
+
+  case StreamHealth::Recovering:
+    if (Valid) {
+      CleanTo(StreamHealth::Recovering);
+      return true;
+    }
+    St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    quarantine(St);
+    return false;
+  }
+  return false;
+}
+
+void MonitorService::quarantine(StreamState &St) {
+  St.TimesQuarantined.fetch_add(1, std::memory_order_relaxed);
+  const auto Episode =
+      St.QuarantineEpisodes.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Saturating doubling per episode, capped at the configured ceiling.
+  std::uint64_t Backoff = Config.Health.QuarantineBaseBatches;
+  for (std::uint64_t I = 1;
+       I < Episode && Backoff < Config.Health.QuarantineMaxBatches; ++I)
+    Backoff *= 2;
+  St.Backoff.store(std::min(Backoff, Config.Health.QuarantineMaxBatches),
+                   std::memory_order_relaxed);
+  St.QuarantineRejections.store(0, std::memory_order_relaxed);
+  St.CleanStreak.store(0, std::memory_order_relaxed);
+  St.ConsecutivePoisoned.store(0, std::memory_order_relaxed);
+  St.Health.store(StreamHealth::Quarantined, std::memory_order_relaxed);
+}
+
 void MonitorService::workerLoop(Shard &S) {
   SampleBatch Batch;
   while (S.Queue.pop(Batch)) {
+    if (WorkerHook)
+      WorkerHook(S.Index, Batch);
     process(Batch);
     S.BatchesProcessed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -154,11 +278,21 @@ ServiceSnapshot MonitorService::snapshot() const {
     Out.ActiveRegions = St.ActiveRegions.load(std::memory_order_relaxed);
     Out.TotalSamples = St.TotalSamples.load(std::memory_order_relaxed);
     Out.UcrSamples = St.UcrSamples.load(std::memory_order_relaxed);
+    Out.Health = St.Health.load(std::memory_order_relaxed);
+    Out.PoisonedBatches =
+        St.PoisonedBatches.load(std::memory_order_relaxed);
+    Out.QuarantinedBatches =
+        St.QuarantinedBatches.load(std::memory_order_relaxed);
+    Out.TimesQuarantined =
+        St.TimesQuarantined.load(std::memory_order_relaxed);
+    Out.Readmissions = St.Readmissions.load(std::memory_order_relaxed);
     Snap.BatchesProcessed += Out.BatchesProcessed;
     Snap.IntervalsProcessed += Out.IntervalsProcessed;
     Snap.PhaseChanges += Out.PhaseChanges;
     Snap.TotalSamples += Out.TotalSamples;
     Snap.UcrSamples += Out.UcrSamples;
+    Snap.BatchesPoisoned += Out.PoisonedBatches;
+    Snap.BatchesQuarantined += Out.QuarantinedBatches;
     Snap.Streams.push_back(Out);
   }
   // Submitted is read last: every batch counted processed or dropped
@@ -166,6 +300,7 @@ ServiceSnapshot MonitorService::snapshot() const {
   // loads above order this load after them), so a snapshot always
   // satisfies processed + dropped <= submitted.
   Snap.BatchesSubmitted = Submitted.load(std::memory_order_relaxed);
+  Snap.BatchesRejected = Rejected.load(std::memory_order_relaxed);
   return Snap;
 }
 

@@ -33,11 +33,13 @@
 #include "core/CodeMap.h"
 #include "core/RegionMonitor.h"
 #include "service/RingBuffer.h"
+#include "service/StreamHealth.h"
 #include "support/Types.h"
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -64,6 +66,12 @@ struct ServiceConfig {
   std::size_t QueueCapacity = 64;
   /// What a full shard queue does to an incoming batch.
   OverflowPolicy Policy = OverflowPolicy::Block;
+  /// Structural batch validation plus the per-stream health state machine
+  /// (see service/StreamHealth.h), applied at submit time. When disabled
+  /// every batch is admitted and every stream stays Healthy.
+  bool ValidateBatches = true;
+  /// Health state machine tuning. Ignored unless ValidateBatches.
+  HealthConfig Health;
 };
 
 /// Point-in-time statistics of one stream. All counters are published by
@@ -82,6 +90,16 @@ struct StreamSnapshot {
   std::uint64_t ActiveRegions = 0;
   std::uint64_t TotalSamples = 0;
   std::uint64_t UcrSamples = 0;
+  /// Health machine state, as the submit side last left it.
+  StreamHealth Health = StreamHealth::Healthy;
+  /// Structurally malformed batches rejected at submit.
+  std::uint64_t PoisonedBatches = 0;
+  /// Batches rejected while the stream sat out a quarantine backoff.
+  std::uint64_t QuarantinedBatches = 0;
+  /// Times the stream entered quarantine.
+  std::uint64_t TimesQuarantined = 0;
+  /// Probe batches admitted after a quarantine backoff expired.
+  std::uint64_t Readmissions = 0;
 
   /// Lifetime fraction of the stream's samples left unattributed.
   double ucrFraction() const {
@@ -104,6 +122,15 @@ struct ServiceSnapshot {
   std::uint64_t BatchesSubmitted = 0;
   std::uint64_t BatchesProcessed = 0;
   std::uint64_t BatchesDropped = 0;
+  /// Batches refused at the door -- submitted after \ref
+  /// MonitorService::stop (or against a closed shard queue). Rejected
+  /// batches are not counted in BatchesSubmitted, so processed + dropped
+  /// == submitted still holds after stop.
+  std::uint64_t BatchesRejected = 0;
+  /// Sum of per-stream PoisonedBatches.
+  std::uint64_t BatchesPoisoned = 0;
+  /// Sum of per-stream QuarantinedBatches.
+  std::uint64_t BatchesQuarantined = 0;
   std::uint64_t IntervalsProcessed = 0;
   std::uint64_t PhaseChanges = 0;
   std::uint64_t TotalSamples = 0;
@@ -155,10 +182,34 @@ public:
   bool running() const { return Running.load(std::memory_order_acquire); }
 
   /// Routes \p Batch to its stream's shard under the configured
-  /// backpressure policy. Thread-safe. Returns false once the service has
-  /// been stopped (the batch is discarded). Empty batches are legal and
-  /// count as processed without observing an interval.
+  /// backpressure policy. Returns false once the service has been stopped
+  /// (the batch is discarded and counted in \ref
+  /// ServiceSnapshot::BatchesRejected), or when the health machine
+  /// refuses the batch (structurally malformed, or the stream is
+  /// quarantined). Empty batches are legal and count as processed without
+  /// observing an interval.
+  ///
+  /// Thread-safe across streams. Batches of *one* stream must be
+  /// submitted by one thread at a time -- the same external serialization
+  /// in-order delivery already requires -- which makes each stream's
+  /// admission decisions a deterministic function of its submission
+  /// sequence.
   bool submit(SampleBatch Batch);
+
+  /// Installs \p Hook, invoked by the owning worker with (shard index,
+  /// batch) immediately after dequeuing each batch, before processing.
+  /// Intended for fault-injection harnesses (e.g. stalling a worker).
+  /// Hooks that block must poll \ref stopRequested and return once it is
+  /// set, so \ref stop stays bounded by the polling period rather than
+  /// the stall length. Must be installed before \ref start.
+  void setWorkerHook(std::function<void(std::size_t, const SampleBatch &)> Hook);
+
+  /// True once \ref stop has been entered. The flag is raised before the
+  /// queues close, so a stalled worker hook observes it no later than its
+  /// next poll.
+  bool stopRequested() const {
+    return StopRequested.load(std::memory_order_acquire);
+  }
 
   /// Publishes current statistics. Never blocks on the data path: all
   /// fields are read from atomics (each internally consistent; the
@@ -178,8 +229,11 @@ public:
   const ServiceConfig &config() const { return Config; }
 
 private:
-  /// Per-stream state. Monitor and counters are written only by the
-  /// owning shard's worker while running.
+  /// Per-stream state. Monitor and the processing counters are written
+  /// only by the owning shard's worker while running; the health fields
+  /// are written only at submit time (serialized per stream, see \ref
+  /// submit). Everything cross-thread-readable is atomic so snapshots
+  /// never tear.
   struct StreamState {
     const core::CodeMap *Map = nullptr;
     std::size_t Shard = 0;
@@ -192,12 +246,27 @@ private:
     std::atomic<std::uint64_t> ActiveRegions{0};
     std::atomic<std::uint64_t> TotalSamples{0};
     std::atomic<std::uint64_t> UcrSamples{0};
+    // Health machine (submit side). Plain loads/stores: per-stream
+    // submissions are serialized, atomics only guard snapshot readers.
+    std::atomic<StreamHealth> Health{StreamHealth::Healthy};
+    std::atomic<std::uint64_t> PoisonedBatches{0};
+    std::atomic<std::uint64_t> QuarantinedBatches{0};
+    std::atomic<std::uint64_t> TimesQuarantined{0};
+    std::atomic<std::uint64_t> Readmissions{0};
+    /// Quarantine episodes since the last full recovery; drives the
+    /// exponential backoff, unlike the lifetime TimesQuarantined.
+    std::atomic<std::uint64_t> QuarantineEpisodes{0};
+    std::atomic<std::uint32_t> ConsecutivePoisoned{0};
+    std::atomic<std::uint32_t> CleanStreak{0};
+    std::atomic<std::uint64_t> Backoff{0};
+    std::atomic<std::uint64_t> QuarantineRejections{0};
   };
 
   /// One shard: a bounded queue drained by one worker thread.
   struct Shard {
-    Shard(std::size_t Capacity, OverflowPolicy Policy)
-        : Queue(Capacity, Policy) {}
+    Shard(std::size_t Idx, std::size_t Capacity, OverflowPolicy Policy)
+        : Index(Idx), Queue(Capacity, Policy) {}
+    const std::size_t Index;
     RingBuffer<SampleBatch> Queue;
     std::atomic<std::uint64_t> BatchesProcessed{0};
     std::thread Worker;
@@ -205,12 +274,20 @@ private:
 
   void workerLoop(Shard &S);
   void process(const SampleBatch &Batch);
+  /// Advances \p St's health machine for one batch whose structural
+  /// validity is \p Valid; returns true when the batch is admitted.
+  bool admit(StreamState &St, bool Valid);
+  /// Puts \p St into quarantine, doubling the backoff per episode.
+  void quarantine(StreamState &St);
 
   ServiceConfig Config;
   std::vector<std::unique_ptr<StreamState>> Streams;
   std::vector<std::unique_ptr<Shard>> Shards;
+  std::function<void(std::size_t, const SampleBatch &)> WorkerHook;
   std::atomic<std::uint64_t> Submitted{0};
+  std::atomic<std::uint64_t> Rejected{0};
   std::atomic<bool> Running{false};
+  std::atomic<bool> StopRequested{false};
   bool Started = false;
   bool Stopped = false;
 };

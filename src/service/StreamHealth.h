@@ -1,0 +1,112 @@
+//===- service/StreamHealth.h - Per-stream health tracking ------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-stream health for the MonitorService: structural batch validation
+/// plus the state machine that quarantines a misbehaving stream and
+/// re-admits it under exponential backoff.
+///
+/// The design splits "noise" from "damage". Sample-level faults -- lost,
+/// duplicated or wild-PC samples, jittered periods -- produce batches that
+/// are still *structurally plausible*: aligned PCs, non-decreasing
+/// timestamps. Those flow through to the monitor, whose region histograms
+/// absorb them as UCR noise (the paper's robustness claim). A *poisoned*
+/// batch is structurally impossible -- a misaligned PC, time running
+/// backwards -- and signals a broken collector rather than a noisy one.
+/// Feeding it to the monitor would corrupt attribution, so the service
+/// rejects it at the door and tracks the stream's health:
+///
+///   Healthy ──poisoned──▶ Degraded ──N consecutive──▶ Quarantined
+///      ▲                     │                            │
+///      │              clean streak                 backoff expires
+///      │                     ▼                            ▼
+///      └────────────── Recovering ◀──────valid probe──────┘
+///
+/// Quarantine rejects every batch for an exponentially growing backoff
+/// (doubling per quarantine episode, capped), then admits one probe batch;
+/// a valid probe moves the stream to Recovering, a poisoned one
+/// re-quarantines it with doubled backoff. A clean streak returns the
+/// stream to Healthy and resets the backoff to its base.
+///
+/// Health advances at *submit* time on the submitting thread. Because a
+/// stream's batches must already be submitted in order (one submitter at a
+/// time per stream -- the same contract ordered delivery requires),
+/// admission is a pure function of that stream's submission sequence,
+/// independent of worker scheduling: a replayed run takes bit-identical
+/// admission decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SERVICE_STREAMHEALTH_H
+#define REGMON_SERVICE_STREAMHEALTH_H
+
+#include "support/Types.h"
+
+#include <cstdint>
+#include <span>
+
+namespace regmon::service {
+
+/// Health machine states. See the file comment for the transition diagram.
+enum class StreamHealth : std::uint8_t {
+  Healthy,     ///< No recent structural damage; batches flow through.
+  Degraded,    ///< Recent poisoned batch; valid batches still admitted.
+  Quarantined, ///< Every batch rejected until the backoff expires.
+  Recovering,  ///< Re-admitted on probation; a clean streak heals.
+};
+
+/// Returns a short identifier for reports.
+inline const char *toString(StreamHealth H) {
+  switch (H) {
+  case StreamHealth::Healthy:
+    return "healthy";
+  case StreamHealth::Degraded:
+    return "degraded";
+  case StreamHealth::Quarantined:
+    return "quarantined";
+  case StreamHealth::Recovering:
+    return "recovering";
+  }
+  return "?";
+}
+
+/// Tuning of the health state machine. All thresholds count batches, not
+/// wall time: the machine must be deterministic under replay, and batch
+/// counts are the only clock every run shares.
+struct HealthConfig {
+  /// Consecutive poisoned batches (the first of which degrades the
+  /// stream) that quarantine it. 1 quarantines on the first offence.
+  std::uint32_t PoisonQuarantineThreshold = 3;
+  /// Rejected batches a first quarantine lasts before a probe is
+  /// admitted. Doubles per quarantine episode.
+  std::uint64_t QuarantineBaseBatches = 8;
+  /// Backoff ceiling: no quarantine rejects more than this many batches
+  /// before probing, however often the stream re-offends.
+  std::uint64_t QuarantineMaxBatches = 1024;
+  /// Consecutive valid batches (while Degraded or Recovering) that return
+  /// the stream to Healthy and reset the backoff to its base.
+  std::uint32_t RecoveryCleanBatches = 4;
+};
+
+/// Structural validation of one batch: every PC instruction-aligned and
+/// timestamps non-decreasing -- the invariants every real sampling
+/// front-end guarantees even when it loses or corrupts samples. A batch
+/// failing this is damage, not noise (see file comment).
+inline bool structurallyValid(std::span<const Sample> Samples) {
+  Cycles Prev = 0;
+  for (const Sample &S : Samples) {
+    if (S.Pc % InstrBytes != 0)
+      return false;
+    if (S.Time < Prev)
+      return false;
+    Prev = S.Time;
+  }
+  return true;
+}
+
+} // namespace regmon::service
+
+#endif // REGMON_SERVICE_STREAMHEALTH_H

@@ -172,6 +172,32 @@ TEST(AssertSideEffectsRule, AcceptsPureAsserts) {
 }
 
 //===----------------------------------------------------------------------===//
+// R5: swallowed-exception
+//===----------------------------------------------------------------------===//
+
+TEST(SwallowedExceptionRule, FlagsSilentCatchAll) {
+  auto Diags = lintFixture("exception_bad.cpp", Layer::Deterministic);
+  // empty body, state-patching body, bare return.
+  EXPECT_EQ(countRule(Diags, "swallowed-exception"), 3);
+  // The rule covers every src/ layer, the service included.
+  EXPECT_EQ(countRule(lintFixture("exception_bad.cpp", Layer::Service),
+                      "swallowed-exception"),
+            3);
+}
+
+TEST(SwallowedExceptionRule, AcceptsHandledCatchAll) {
+  auto Diags = lintFixture("exception_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "swallowed-exception"), 0);
+}
+
+TEST(SwallowedExceptionRule, TestsToolsAndBenchExempt) {
+  for (Layer L : {Layer::Tests, Layer::Tools, Layer::Bench})
+    EXPECT_EQ(countRule(lintFixture("exception_bad.cpp", L),
+                        "swallowed-exception"),
+              0);
+}
+
+//===----------------------------------------------------------------------===//
 // Inline suppressions
 //===----------------------------------------------------------------------===//
 
@@ -236,6 +262,7 @@ TEST(Classify, LayerMatrixMatchesTree) {
   EXPECT_EQ(classifyPath("src/gpd/CentroidPhaseDetector.h"),
             Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/sampling/Sampler.cpp"), Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/faults/FaultPlan.cpp"), Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/service/MonitorService.cpp"), Layer::Service);
   EXPECT_EQ(classifyPath("src/support/Rng.cpp"), Layer::Support);
   EXPECT_EQ(classifyPath("src/rto/Harness.cpp"), Layer::Support);

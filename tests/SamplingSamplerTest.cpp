@@ -79,6 +79,54 @@ TEST(Sampler, PaperDefaultBufferSize) {
   EXPECT_EQ(Config.PeriodCycles, 45'000u);
 }
 
+TEST(Sampler, CollectIntervalsDiscardsTrailingPartial) {
+  // 10'000 cycles at period 100 yields 100 samples: one full 64-sample
+  // buffer collected, 36 trailing samples discarded like run() does.
+  TestSetup T(10'000);
+  Engine E(T.Prog, T.Script, 7);
+  Sampler S(E, {100, 64});
+  const std::vector<std::vector<Sample>> Intervals = S.collectIntervals();
+  ASSERT_EQ(Intervals.size(), 1u);
+  EXPECT_EQ(Intervals[0].size(), 64u);
+  EXPECT_EQ(S.intervals(), 1u);
+}
+
+TEST(Sampler, CollectIntervalsExactMultipleLosesNothing) {
+  // 6'500 cycles at period 100 yields exactly 64 samples (the engine
+  // ends before the final period elapses): one full buffer, nothing to
+  // discard, and the program end is not an extra interval.
+  TestSetup T(6'500);
+  Engine E(T.Prog, T.Script, 8);
+  Sampler S(E, {100, 64});
+  const std::vector<std::vector<Sample>> Intervals = S.collectIntervals();
+  ASSERT_EQ(Intervals.size(), 1u);
+  EXPECT_EQ(Intervals[0].size(), 64u);
+}
+
+TEST(Sampler, CollectIntervalsHonorsMaxIntervals) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 9);
+  Sampler S(E, {100, 64});
+  const std::vector<std::vector<Sample>> Intervals = S.collectIntervals(3);
+  EXPECT_EQ(Intervals.size(), 3u);
+  for (const std::vector<Sample> &Interval : Intervals)
+    EXPECT_EQ(Interval.size(), 64u);
+}
+
+TEST(Sampler, FillBufferPartialFinalDataIsExposedButNotAnInterval) {
+  // The final partial buffer is reachable through fillBuffer (the caller
+  // decides), but never counts as a delivered interval.
+  TestSetup T(10'000);
+  Engine E(T.Prog, T.Script, 10);
+  Sampler S(E, {100, 64});
+  std::vector<Sample> Buffer;
+  ASSERT_TRUE(S.fillBuffer(Buffer));
+  EXPECT_EQ(S.intervals(), 1u);
+  EXPECT_FALSE(S.fillBuffer(Buffer));
+  EXPECT_EQ(Buffer.size(), 35u) << "99 samples total, 64 consumed";
+  EXPECT_EQ(S.intervals(), 1u) << "partial data is not an interval";
+}
+
 TEST(Sampler, SmallerPeriodMoreIntervals) {
   TestSetup T;
   std::size_t Coarse, Fine;

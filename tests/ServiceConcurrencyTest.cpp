@@ -113,7 +113,8 @@ TEST(ServiceConcurrency, DifferentialDeterminismAgainstSequentialMonitors) {
   // backpressure through deliberately tiny queues so producers block and
   // interleave constantly.
   MonitorService Service({/*Workers=*/4, /*QueueCapacity=*/4,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   for (const RecordedStream &S : Fleet)
     Service.addStream(*S.Map);
   Service.start();
@@ -176,7 +177,8 @@ TEST(ServiceConcurrency, RepeatedThreadedRunsAreIdentical) {
   const std::vector<RecordedStream> Fleet = recordFleet();
   auto RunOnce = [&Fleet] {
     MonitorService Service({/*Workers=*/3, /*QueueCapacity=*/2,
-                            OverflowPolicy::Block});
+                            OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
     for (const RecordedStream &S : Fleet)
       Service.addStream(*S.Map);
     Service.start();
@@ -204,7 +206,8 @@ TEST(ServiceConcurrency, SubmitBeforeStartIsBufferedAndDrained) {
   RecordedStream S = record("synthetic.steady", 11);
   ASSERT_GE(S.Intervals.size(), 3u);
   MonitorService Service({/*Workers=*/2, /*QueueCapacity=*/8,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   const StreamId Id = Service.addStream(*S.Map);
   for (std::size_t I = 0; I < 3; ++I)
     EXPECT_TRUE(Service.submit({Id, S.Intervals[I]}));
@@ -218,7 +221,8 @@ TEST(ServiceConcurrency, SubmitBeforeStartIsBufferedAndDrained) {
 TEST(ServiceConcurrency, SubmitAfterStopIsRejected) {
   RecordedStream S = record("synthetic.steady", 12);
   MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/4,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   const StreamId Id = Service.addStream(*S.Map);
   Service.start();
   Service.stop();
@@ -229,7 +233,8 @@ TEST(ServiceConcurrency, SubmitAfterStopIsRejected) {
 TEST(ServiceConcurrency, EmptyBatchesCountAsProcessedNotObserved) {
   RecordedStream S = record("synthetic.steady", 13);
   MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/8,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   const StreamId Id = Service.addStream(*S.Map);
   EXPECT_TRUE(Service.submit({Id, {}}));
   EXPECT_TRUE(Service.submit({Id, S.Intervals.front()}));
@@ -248,7 +253,8 @@ TEST(ServiceConcurrency, DropOldestAccountsEveryBatch) {
   RecordedStream S = record("synthetic.steady", 14);
   ASSERT_GE(S.Intervals.size(), 16u);
   MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/1,
-                          OverflowPolicy::DropOldest});
+                          OverflowPolicy::DropOldest, /*ValidateBatches=*/true,
+                          {}});
   const StreamId Id = Service.addStream(*S.Map);
   for (std::size_t I = 0; I < 16; ++I)
     EXPECT_TRUE(Service.submit({Id, S.Intervals[I]}))
@@ -271,7 +277,8 @@ TEST(ServiceConcurrency, ConcurrentSnapshotsAreSafeAndMonotonic) {
   // every observation. TSan guards the data-race side of this test.
   const RecordedStream S = record("synthetic.periodic", 15);
   MonitorService Service({/*Workers=*/2, /*QueueCapacity=*/4,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   const StreamId Id = Service.addStream(*S.Map);
   Service.start();
 
@@ -299,7 +306,8 @@ TEST(ServiceConcurrency, ConcurrentSnapshotsAreSafeAndMonotonic) {
 TEST(ServiceConcurrency, ShardRoutingIsStableAndInRange) {
   const RecordedStream S = record("synthetic.steady", 16);
   MonitorService Service({/*Workers=*/4, /*QueueCapacity=*/4,
-                          OverflowPolicy::Block});
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
   std::vector<std::size_t> Shards;
   for (StreamId Id = 0; Id < 16; ++Id) {
     Service.addStream(*S.Map);

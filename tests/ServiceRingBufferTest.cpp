@@ -6,6 +6,10 @@
 
 #include "service/RingBuffer.h"
 
+#include "service/MonitorService.h"
+#include "sim/ProgramCodeMap.h"
+#include "workloads/Workloads.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -174,6 +178,55 @@ TEST(RingBuffer, MultiProducerInterleavingKeepsPerProducerOrder) {
     EXPECT_EQ(NextSeq[P], PerProducer);
 }
 
+/// DropOldest at the capacity boundary with producers and a live
+/// consumer racing: conservation (received + dropped == pushed) and
+/// per-producer subsequence order must both survive concurrent eviction.
+TEST(RingBuffer, ConcurrentDropOldestAtCapacityKeepsOrderAndConservation) {
+  constexpr std::uint32_t Producers = 4;
+  constexpr std::uint32_t PerProducer = 500;
+  RingBuffer<std::uint32_t> Q(2, OverflowPolicy::DropOldest);
+
+  std::barrier Start(Producers);
+  std::vector<std::thread> Threads;
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      Start.arrive_and_wait();
+      for (std::uint32_t I = 0; I < PerProducer; ++I)
+        ASSERT_TRUE(Q.push(P << 16 | I));
+    });
+
+  // The consumer drains while producers storm the two-slot queue. It
+  // cannot know how many items will survive eviction, so it pops until
+  // the producers are done and the queue is empty.
+  std::vector<std::uint32_t> Received;
+  std::thread Consumer([&] {
+    std::uint32_t V = 0;
+    while (Received.size() + Q.dropped() < Producers * PerProducer) {
+      if (Q.tryPop(V))
+        Received.push_back(V);
+    }
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Consumer.join();
+
+  EXPECT_EQ(Received.size() + Q.dropped(), Producers * PerProducer);
+  EXPECT_EQ(Q.size(), 0u);
+  // Eviction drops from the front, so each producer's surviving items
+  // still arrive in that producer's push order.
+  std::vector<std::uint32_t> LastSeq(Producers, 0);
+  std::vector<bool> Seen(Producers, false);
+  for (std::uint32_t Item : Received) {
+    const std::uint32_t P = Item >> 16, Seq = Item & 0xffff;
+    ASSERT_LT(P, Producers);
+    if (Seen[P]) {
+      EXPECT_GT(Seq, LastSeq[P]) << "producer " << P << " reordered";
+    }
+    Seen[P] = true;
+    LastSeq[P] = Seq;
+  }
+}
+
 /// Same stress under DropOldest: no push ever blocks, and every submitted
 /// item is either received or counted dropped.
 TEST(RingBuffer, MultiProducerDropOldestConservesItems) {
@@ -198,6 +251,36 @@ TEST(RingBuffer, MultiProducerDropOldestConservesItems) {
     ++Received;
   EXPECT_EQ(Received + Q.dropped(), Producers * PerProducer);
   EXPECT_LE(Received, Q.capacity());
+}
+
+/// The service-level face of a closed queue: batches submitted after stop
+/// are discarded and surface as BatchesRejected, leaving the accounting
+/// invariant (processed + dropped == submitted) intact.
+TEST(ServiceAccounting, SubmitAfterStopCountsBatchesRejected) {
+  const regmon::workloads::Workload W =
+      regmon::workloads::make("synthetic.steady");
+  const regmon::sim::ProgramCodeMap Map(W.Prog);
+  MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/8,
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
+  const StreamId Id = Service.addStream(Map);
+  Service.start();
+  const SampleBatch Batch{Id, {{0x1000, 10, false}}};
+  ASSERT_TRUE(Service.submit(Batch));
+  Service.stop();
+
+  EXPECT_EQ(Service.snapshot().BatchesRejected, 0u);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(Service.submit(Batch));
+  const ServiceSnapshot Snap = Service.snapshot();
+  EXPECT_EQ(Snap.BatchesRejected, 5u);
+  EXPECT_EQ(Snap.BatchesSubmitted, 1u)
+      << "rejected batches are refused at the door, not submitted";
+  EXPECT_EQ(Snap.BatchesProcessed + Snap.BatchesDropped,
+            Snap.BatchesSubmitted);
+  // Rejection says nothing about the collector: health is untouched.
+  EXPECT_EQ(Snap.Streams[0].Health, StreamHealth::Healthy);
+  EXPECT_EQ(Snap.Streams[0].PoisonedBatches, 0u);
 }
 
 } // namespace

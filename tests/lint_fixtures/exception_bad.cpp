@@ -1,0 +1,30 @@
+// Fixture: catch (...) handlers that swallow the exception (R5).
+bool parse(int X);
+
+int drainQueue(int N) {
+  int Done = 0;
+  for (int I = 0; I < N; ++I) {
+    try {
+      parse(I);
+      ++Done;
+    } catch (...) { // violation: empty catch-all
+    }
+  }
+  return Done;
+}
+
+void resetState(int &Count) {
+  try {
+    Count = 7;
+  } catch (...) { // violation: patches state, error never surfaces
+    Count = 0;
+  }
+}
+
+void bestEffort() {
+  try {
+    parse(0);
+  } catch (...) { // violation: bare return propagates nothing
+    return;
+  }
+}

@@ -1,0 +1,48 @@
+// Fixture: catch handlers that rethrow, propagate or terminate — clean
+// for R5.
+#include <cstdlib>
+#include <exception>
+
+bool parse(int X);
+void log(const std::exception &E);
+
+bool tryParse(int X) {
+  try {
+    return parse(X);
+  } catch (...) {
+    return false; // propagates an error value
+  }
+}
+
+void cleanupThenRethrow(int &Count) {
+  try {
+    parse(Count);
+  } catch (...) {
+    Count = 0;
+    throw; // rethrown after cleanup
+  }
+}
+
+void hardStop() {
+  try {
+    parse(0);
+  } catch (...) {
+    std::abort(); // fatal is honest
+  }
+}
+
+void latch(std::exception_ptr &Err) {
+  try {
+    parse(1);
+  } catch (...) {
+    Err = std::current_exception(); // latched for the caller
+  }
+}
+
+void typedHandlerIsFine() {
+  try {
+    parse(2);
+  } catch (const std::exception &E) {
+    log(E); // names the error it claims to understand
+  }
+}

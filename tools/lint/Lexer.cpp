@@ -312,7 +312,8 @@ Layer classifyPath(std::string_view RelPath) {
     return RelPath.substr(0, Prefix.size()) == Prefix;
   };
   if (StartsWith("src/core/") || StartsWith("src/sim/") ||
-      StartsWith("src/gpd/") || StartsWith("src/sampling/"))
+      StartsWith("src/gpd/") || StartsWith("src/sampling/") ||
+      StartsWith("src/faults/"))
     return Layer::Deterministic;
   if (StartsWith("src/service/"))
     return Layer::Service;

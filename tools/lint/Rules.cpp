@@ -446,6 +446,63 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// R5: swallowed-exception — a catch (...) that neither rethrows nor
+// propagates an error turns every failure into silent state corruption.
+// The chaos suite injects faults on purpose; a handler that eats them
+// would make the fault-accounting counters lie.
+//===----------------------------------------------------------------------===//
+
+class SwallowedExceptionRule final : public Rule {
+public:
+  std::string_view name() const override { return "swallowed-exception"; }
+  std::string_view description() const override {
+    return "flags catch (...) handlers in src/ that neither rethrow nor "
+           "propagate an error value; silently swallowing an unknown "
+           "exception hides faults";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.L != Layer::Deterministic && FC.L != Layer::Support &&
+        FC.L != Layer::Service)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I + 2 < T.size(); ++I) {
+      if (!isId(T[I], "catch") || !nextIs(T, I, "("))
+        continue;
+      std::size_t HeadEnd = skipBalanced(T, I + 1, "(", ")");
+      // Only catch (...): a typed handler names the error it claims to
+      // understand; the catch-all by construction does not.
+      bool Ellipsis = false;
+      for (std::size_t J = I + 2; J + 1 < HeadEnd; ++J)
+        if (isPunct(T[J], "...")) {
+          Ellipsis = true;
+          break;
+        }
+      if (!Ellipsis || HeadEnd >= T.size() || !isPunct(T[HeadEnd], "{"))
+        continue;
+      std::size_t BodyEnd = skipBalanced(T, HeadEnd, "{", "}");
+      bool Handles = false;
+      for (std::size_t J = HeadEnd + 1; J + 1 < BodyEnd && !Handles; ++J) {
+        if (T[J].Kind != TokenKind::Identifier)
+          continue;
+        if (oneOf(T[J].Text, {"throw", "rethrow_exception", "terminate",
+                              "abort", "exit", "_Exit", "quick_exit",
+                              "current_exception"}))
+          Handles = true; // rethrown, latched, or fatal
+        else if (T[J].Text == "return" && J + 1 < BodyEnd &&
+                 !isPunct(T[J + 1], ";"))
+          Handles = true; // propagates an error value to the caller
+      }
+      if (!Handles)
+        addDiag(FC, Out, name(), T[I].Line,
+                "catch (...) swallows the exception; rethrow, propagate an "
+                "error value, or terminate -- silent absorption turns "
+                "failures into state corruption");
+    }
+  }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &allRules() {
@@ -457,6 +514,7 @@ const std::vector<std::unique_ptr<Rule>> &allRules() {
     R.push_back(std::make_unique<IterationOrderRule>());
     R.push_back(std::make_unique<HeaderHygieneRule>());
     R.push_back(std::make_unique<AssertSideEffectsRule>());
+    R.push_back(std::make_unique<SwallowedExceptionRule>());
     return R;
   }();
   return Rules;

@@ -364,7 +364,8 @@ int cmdServe(const Options &Opts) {
   }
 
   service::MonitorService Service(
-      {Opts.Workers, Opts.QueueCapacity, Opts.Policy});
+      {Opts.Workers, Opts.QueueCapacity, Opts.Policy,
+       /*ValidateBatches=*/true, {}});
   for (const Stream &S : Streams)
     Service.addStream(*S.Map);
   Service.start();
