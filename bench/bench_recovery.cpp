@@ -1,0 +1,202 @@
+//===- bench/bench_recovery.cpp - Warm vs cold restart cost ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the checkpoint/restore layer buys a dynamic optimizer: a
+// cold-started monitor must re-learn its regions and phase tables before
+// it can vouch for stability, while a warm restart resumes from the
+// snapshot already trained. Per workload we report intervals-to-first-
+// stable-phase for both starts (the optimizer cannot deploy anything
+// before that point), plus the wall-clock cost of restoring versus
+// replaying the full stream and the on-disk snapshot size.
+//
+// Emits one JSON document on stdout (CI tees it into BENCH_recovery.json);
+// the human-readable table goes to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "persist/Bytes.h"
+#include "persist/Checkpoint.h"
+#include "persist/Io.h"
+#include "persist/StateCodec.h"
+#include "sampling/Sampler.h"
+#include "service/MonitorService.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "support/TextTable.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+namespace {
+
+constexpr Cycles Period = 45'000;
+
+struct Result {
+  std::string Workload;
+  std::uint64_t ColdIntervals = 0; ///< intervals to first stable phase
+  std::uint64_t WarmIntervals = 0; ///< same, resuming from the snapshot
+  double ColdReplaySeconds = 0;    ///< full-stream replay wall clock
+  double RestoreSeconds = 0;       ///< snapshot + journal recovery wall clock
+  std::uint64_t SnapshotBytes = 0;
+  std::string Outcome;
+};
+
+bool anyStable(const core::RegionMonitor &M) {
+  for (const core::Region &R : M.regions())
+    if (M.detector(R.Id).state() == core::LocalPhaseState::Stable)
+      return true;
+  return false;
+}
+
+/// Feeds \p Intervals into \p M until some region reports a stable phase;
+/// returns how many intervals that took (all of them if never stable).
+std::uint64_t
+intervalsToStable(core::RegionMonitor &M,
+                  const std::vector<std::vector<Sample>> &Intervals) {
+  std::uint64_t Count = 0;
+  for (const std::vector<Sample> &Interval : Intervals) {
+    if (anyStable(M))
+      return Count;
+    M.observeInterval(Interval);
+    ++Count;
+  }
+  return Count;
+}
+
+Result runWorkload(const std::string &Name) {
+  Result Res;
+  Res.Workload = Name;
+
+  const workloads::Workload W = workloads::make(Name);
+  sim::ProgramCodeMap Map(W.Prog);
+  sim::Engine Engine(W.Prog, W.Script, BenchSeed);
+  sampling::Sampler Sampler(Engine, {Period, 2032});
+  const std::vector<std::vector<Sample>> Intervals =
+      Sampler.collectIntervals();
+
+  // Cold start: intervals until the monitor first vouches for stability.
+  {
+    core::RegionMonitor Cold(Map);
+    Res.ColdIntervals = intervalsToStable(Cold, Intervals);
+  }
+
+  // Train a persisted service on the full stream and checkpoint it.
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "regmon_bench_recovery")
+          .string() +
+      "_" + Name;
+  std::filesystem::remove_all(Dir);
+  const service::ServiceConfig Config{/*Workers=*/1, /*QueueCapacity=*/8,
+                                      service::OverflowPolicy::Block,
+                                      /*ValidateBatches=*/true, {}};
+  {
+    persist::CheckpointManager Store(Dir);
+    service::MonitorService Service(Config);
+    const service::StreamId Id = Service.addStream(Map);
+    Service.attachPersistence(Store);
+    Service.restore();
+    Service.start();
+    for (const std::vector<Sample> &Interval : Intervals)
+      Service.submit({Id, Interval});
+    Service.stop();
+    Service.checkpoint();
+  }
+  if (const auto Snap = persist::readFileBytes(Dir + "/snapshot.bin"))
+    Res.SnapshotBytes = Snap->size();
+
+  // Cold replay cost: what reaching the same trained state costs without
+  // the snapshot -- reprocessing the entire stream.
+  {
+    const auto Start = std::chrono::steady_clock::now();
+    core::RegionMonitor Replay(Map);
+    for (const std::vector<Sample> &Interval : Intervals)
+      Replay.observeInterval(Interval);
+    Res.ColdReplaySeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  }
+
+  // Warm restart: recover the trained service, then measure how long the
+  // restored monitor takes to vouch for stability on the resumed stream.
+  {
+    persist::CheckpointManager Store(Dir);
+    service::MonitorService Service(Config);
+    const service::StreamId Id = Service.addStream(Map);
+    Service.attachPersistence(Store);
+    const auto Start = std::chrono::steady_clock::now();
+    const service::RestoreOutcome Outcome = Service.restore();
+    Res.RestoreSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    Res.Outcome = service::toString(Outcome);
+    core::RegionMonitor Warm(Map);
+    {
+      // Clone the recovered monitor through the snapshot codec so the
+      // measurement runs on exactly what a restart would run on.
+      persist::ByteWriter Enc;
+      persist::StateCodec::encode(Enc, Service.monitor(Id));
+      persist::ByteReader Dec(Enc.data());
+      persist::StateCodec::decode(Dec, Warm);
+    }
+    Res.WarmIntervals = intervalsToStable(Warm, Intervals);
+  }
+  std::filesystem::remove_all(Dir);
+  return Res;
+}
+
+} // namespace
+
+int main() {
+  const char *Workloads[] = {"synthetic.steady", "synthetic.periodic",
+                             "synthetic.bottleneck", "synthetic.pollution"};
+  std::vector<Result> Results;
+  for (const char *Name : Workloads)
+    Results.push_back(runWorkload(Name));
+
+  TextTable Table;
+  Table.header({"workload", "cold ivals", "warm ivals", "cold replay ms",
+                "restore ms", "snapshot KiB", "outcome"});
+  for (const Result &R : Results)
+    Table.row({R.Workload, TextTable::count(R.ColdIntervals),
+               TextTable::count(R.WarmIntervals),
+               TextTable::num(R.ColdReplaySeconds * 1e3, 2),
+               TextTable::num(R.RestoreSeconds * 1e3, 2),
+               TextTable::num(static_cast<double>(R.SnapshotBytes) / 1024.0,
+                              1),
+               R.Outcome});
+  std::fprintf(stderr, "warm vs cold restart, time to first stable phase\n%s",
+               Table.render().c_str());
+
+  std::printf("{\n  \"bench\": \"recovery\",\n  \"period\": %llu,\n"
+              "  \"workloads\": [\n",
+              static_cast<unsigned long long>(Period));
+  for (std::size_t I = 0; I < Results.size(); ++I) {
+    const Result &R = Results[I];
+    std::printf("    {\"name\": \"%s\", \"cold_intervals_to_stable\": %llu, "
+                "\"warm_intervals_to_stable\": %llu, "
+                "\"cold_replay_seconds\": %.6f, \"restore_seconds\": %.6f, "
+                "\"snapshot_bytes\": %llu, \"restore_outcome\": \"%s\"}%s\n",
+                R.Workload.c_str(),
+                static_cast<unsigned long long>(R.ColdIntervals),
+                static_cast<unsigned long long>(R.WarmIntervals),
+                R.ColdReplaySeconds, R.RestoreSeconds,
+                static_cast<unsigned long long>(R.SnapshotBytes),
+                R.Outcome.c_str(), I + 1 < Results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -50,6 +50,10 @@
 #include <span>
 #include <vector>
 
+namespace regmon::persist {
+class StateCodec;
+} // namespace regmon::persist
+
 namespace regmon::core {
 
 /// Phase state of one region.
@@ -118,6 +122,10 @@ public:
   std::span<const std::uint32_t> stableSet() const { return PrevHist; }
 
 private:
+  /// Checkpointing serializes the state machine and the frozen stable set
+  /// (persist/StateCodec.h).
+  friend class persist::StateCodec;
+
   const SimilarityMetric &Metric;
   LocalDetectorConfig Config;
   double EffRt;

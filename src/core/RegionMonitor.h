@@ -47,6 +47,10 @@
 #include <span>
 #include <vector>
 
+namespace regmon::persist {
+class StateCodec;
+} // namespace regmon::persist
+
 namespace regmon::core {
 
 /// Tunable parameters of the region monitor.
@@ -241,6 +245,11 @@ public:
   const RegionMonitorConfig &config() const { return Config; }
 
 private:
+  /// Checkpointing serializes every learned field below (scratch buffers
+  /// and the event handler excluded) and re-inserts active regions into
+  /// the attribution index on decode (persist/StateCodec.h).
+  friend class persist::StateCodec;
+
   void triggerFormation(std::span<const Addr> UcrPcs);
   void pruneCold();
   void emit(RegionEvent::Kind K, RegionId Id);

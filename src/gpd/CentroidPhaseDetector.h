@@ -42,6 +42,10 @@
 #include <span>
 #include <vector>
 
+namespace regmon::persist {
+class StateCodec;
+} // namespace regmon::persist
+
 namespace regmon::gpd {
 
 /// The detector's observable phase state.
@@ -121,6 +125,10 @@ public:
   const CentroidConfig &config() const { return Config; }
 
 private:
+  /// Checkpointing serializes the centroid history, state machine, and
+  /// timeline (persist/StateCodec.h).
+  friend class persist::StateCodec;
+
   GlobalPhaseState step(double Centroid);
   void noteState();
 

@@ -1,0 +1,236 @@
+//===- persist/Bytes.h - Bounds-checked binary encoding --------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary encoding primitives for snapshot and journal
+/// payloads. The reader is the trust boundary of the whole durability
+/// layer: every field it hands out has been bounds-checked against the
+/// remaining input first, every length prefix is validated against the
+/// bytes actually present before a single element is allocated, and the
+/// first failed read latches a sticky failure flag that makes every later
+/// read return zero. Decoding arbitrary hostile bytes is therefore memory
+/// safe by construction -- corruption can only produce `ok() == false`,
+/// never an out-of-bounds access or an unbounded allocation.
+///
+/// All integers are serialized as fixed-width little-endian values and all
+/// doubles as their raw IEEE-754 bit patterns (recomputing a sum on load
+/// would change last-ulp accumulation and break bit-identical recovery).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_PERSIST_BYTES_H
+#define REGMON_PERSIST_BYTES_H
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace regmon::persist {
+
+/// Appends little-endian fields to a growable byte buffer.
+class ByteWriter {
+public:
+  void u8(std::uint8_t V) { Buf.push_back(V); }
+
+  void u32(std::uint32_t V) {
+    for (std::uint32_t I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(std::uint64_t V) {
+    for (std::uint32_t I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  }
+
+  void f64(double V) { u64(std::bit_cast<std::uint64_t>(V)); }
+
+  void boolean(bool V) { u8(V ? 1 : 0); }
+
+  void bytes(std::span<const std::uint8_t> Data) {
+    Buf.insert(Buf.end(), Data.begin(), Data.end());
+  }
+
+  /// Length-prefixed (u64) UTF-8/opaque string.
+  void str(std::string_view S) {
+    u64(S.size());
+    for (char C : S)
+      Buf.push_back(static_cast<std::uint8_t>(C));
+  }
+
+  /// Length-prefixed (u64 element count) vectors.
+  void vecU8(std::span<const std::uint8_t> V) {
+    u64(V.size());
+    bytes(V);
+  }
+  void vecU32(std::span<const std::uint32_t> V) {
+    u64(V.size());
+    for (std::uint32_t X : V)
+      u32(X);
+  }
+  void vecU64(std::span<const std::uint64_t> V) {
+    u64(V.size());
+    for (std::uint64_t X : V)
+      u64(X);
+  }
+  void vecF64(std::span<const double> V) {
+    u64(V.size());
+    for (double X : V)
+      f64(X);
+  }
+
+  std::span<const std::uint8_t> data() const { return Buf; }
+  std::uint64_t size() const { return Buf.size(); }
+  std::vector<std::uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<std::uint8_t> Buf;
+};
+
+/// Consumes little-endian fields from an immutable byte view. See the file
+/// comment for the safety contract; callers check \ref ok once after a
+/// group of reads rather than after every field.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> Data) : Buf(Data) {}
+
+  bool ok() const { return !Failed; }
+  /// Latches the sticky failure flag (also used by callers to reject
+  /// semantically invalid values mid-decode).
+  void fail() { Failed = true; }
+  std::uint64_t remaining() const { return Buf.size() - Pos; }
+  /// True when every byte has been consumed; decode routines require this
+  /// at the end so trailing garbage is rejected, not ignored.
+  bool atEnd() const { return !Failed && Pos == Buf.size(); }
+
+  std::uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return Buf[Pos - 1];
+  }
+
+  std::uint32_t u32() {
+    if (!take(4))
+      return 0;
+    std::uint32_t V = 0;
+    for (std::uint32_t I = 0; I < 4; ++I)
+      V |= static_cast<std::uint32_t>(Buf[Pos - 4 + I]) << (8 * I);
+    return V;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8))
+      return 0;
+    std::uint64_t V = 0;
+    for (std::uint32_t I = 0; I < 8; ++I)
+      V |= static_cast<std::uint64_t>(Buf[Pos - 8 + I]) << (8 * I);
+    return V;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// A serialized bool must be exactly 0 or 1; anything else is corruption.
+  bool boolean() {
+    const std::uint8_t V = u8();
+    if (V > 1)
+      fail();
+    return V == 1;
+  }
+
+  /// Length-prefixed string. The length is validated against the remaining
+  /// bytes before the string is built.
+  bool str(std::string &Out) {
+    const std::uint64_t Len = u64();
+    if (Failed || Len > remaining()) {
+      fail();
+      return false;
+    }
+    Out.assign(reinterpret_cast<const char *>(Buf.data() + Pos), Len);
+    Pos += Len;
+    return true;
+  }
+
+  bool vecU8(std::vector<std::uint8_t> &Out) {
+    const std::uint64_t Len = u64();
+    if (Failed || Len > remaining()) {
+      fail();
+      return false;
+    }
+    Out.assign(Buf.begin() + static_cast<std::int64_t>(Pos),
+               Buf.begin() + static_cast<std::int64_t>(Pos + Len));
+    Pos += Len;
+    return true;
+  }
+
+  bool vecU32(std::vector<std::uint32_t> &Out) {
+    const std::uint64_t Len = u64();
+    if (Failed || Len > remaining() / 4) {
+      fail();
+      return false;
+    }
+    Out.clear();
+    Out.reserve(Len);
+    for (std::uint64_t I = 0; I < Len; ++I)
+      Out.push_back(u32());
+    return ok();
+  }
+
+  bool vecU64(std::vector<std::uint64_t> &Out) {
+    const std::uint64_t Len = u64();
+    if (Failed || Len > remaining() / 8) {
+      fail();
+      return false;
+    }
+    Out.clear();
+    Out.reserve(Len);
+    for (std::uint64_t I = 0; I < Len; ++I)
+      Out.push_back(u64());
+    return ok();
+  }
+
+  bool vecF64(std::vector<double> &Out) {
+    const std::uint64_t Len = u64();
+    if (Failed || Len > remaining() / 8) {
+      fail();
+      return false;
+    }
+    Out.clear();
+    Out.reserve(Len);
+    for (std::uint64_t I = 0; I < Len; ++I)
+      Out.push_back(f64());
+    return ok();
+  }
+
+  /// Reads exactly Out.size() raw bytes.
+  bool bytes(std::span<std::uint8_t> Out) {
+    if (!take(Out.size()))
+      return false;
+    for (std::uint64_t I = 0; I < Out.size(); ++I)
+      Out[I] = Buf[Pos - Out.size() + I];
+    return true;
+  }
+
+private:
+  /// Advances past \p N bytes if present; latches failure otherwise.
+  bool take(std::uint64_t N) {
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return false;
+    }
+    Pos += N;
+    return true;
+  }
+
+  std::span<const std::uint8_t> Buf;
+  std::uint64_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace regmon::persist
+
+#endif // REGMON_PERSIST_BYTES_H

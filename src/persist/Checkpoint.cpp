@@ -1,0 +1,157 @@
+//===- persist/Checkpoint.cpp - Atomic snapshot commit + recovery ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Checkpoint.h"
+
+#include "persist/Bytes.h"
+#include "persist/Crc32.h"
+
+#include <utility>
+
+using namespace regmon::persist;
+
+CheckpointManager::CheckpointManager(std::string Dir) : Root(std::move(Dir)) {
+  Valid = ensureDir(Root);
+}
+
+std::string CheckpointManager::snapshotPath() const {
+  return Root + "/snapshot.bin";
+}
+std::string CheckpointManager::prevSnapshotPath() const {
+  return Root + "/snapshot.prev.bin";
+}
+std::string CheckpointManager::tmpSnapshotPath() const {
+  return Root + "/snapshot.tmp";
+}
+std::string CheckpointManager::journalPath() const {
+  return Root + "/journal.wal";
+}
+
+bool CheckpointManager::commitSnapshot(std::span<const std::uint8_t> Encoded,
+                                       std::uint64_t CompactThroughSeq) {
+  if (!Valid) {
+    ++Counters.CommitFailures;
+    return false;
+  }
+  // Compaction rewrites the journal file underneath the writer; release it
+  // (appendJournal reopens on demand).
+  Writer.close();
+
+  // Step 1: the complete new snapshot lands under a scratch name. A crash
+  // here leaves a torn tmp that recovery never reads.
+  {
+    FileSink Tmp(tmpSnapshotPath(), /*Append=*/false, Injected);
+    if (!Tmp.write(Encoded) || !Tmp.close()) {
+      ++Counters.CommitFailures;
+      return false;
+    }
+  }
+  // Step 2: demote the current snapshot to the fallback rung. A crash
+  // after this leaves no snapshot.bin; recovery falls to prev + journal.
+  if (fileExists(snapshotPath()) &&
+      !renameFile(snapshotPath(), prevSnapshotPath(), Injected)) {
+    ++Counters.CommitFailures;
+    return false;
+  }
+  // Step 3: promote the tmp atomically; this is the commit point.
+  if (!renameFile(tmpSnapshotPath(), snapshotPath(), Injected)) {
+    ++Counters.CommitFailures;
+    return false;
+  }
+  ++Counters.SnapshotsCommitted;
+  // Step 4: drop journal records already covered by the *fallback* rung.
+  // Failure (or a crash) here is harmless -- extra records are skipped by
+  // sequence number on replay -- so it does not fail the commit.
+  compactJournal(CompactThroughSeq);
+  return true;
+}
+
+bool CheckpointManager::compactJournal(std::uint64_t ThroughSeq) {
+  struct Kept {
+    std::uint64_t Seq;
+    std::vector<std::uint8_t> Payload;
+  };
+  std::vector<Kept> Records;
+  const JournalResult Scan = replayJournal(
+      journalPath(), ThroughSeq,
+      [&Records](std::uint64_t Seq, std::span<const std::uint8_t> Payload) {
+        Records.push_back(
+            {Seq, std::vector<std::uint8_t>(Payload.begin(), Payload.end())});
+        return true;
+      });
+  if (Scan.Missing)
+    return true;
+
+  ByteWriter W;
+  W.u32(JournalMagic);
+  W.u32(JournalVersion);
+  for (const Kept &Rec : Records) {
+    W.u64(Rec.Seq);
+    W.u32(static_cast<std::uint32_t>(Rec.Payload.size()));
+    W.u32(journalRecordCrc(Rec.Seq, Rec.Payload));
+    W.bytes(Rec.Payload);
+  }
+  const std::string Tmp = Root + "/journal.tmp";
+  {
+    FileSink Sink(Tmp, /*Append=*/false, Injected);
+    if (!Sink.write(W.data()) || !Sink.close())
+      return false;
+  }
+  return renameFile(Tmp, journalPath(), Injected);
+}
+
+std::optional<std::vector<SnapshotSection>>
+CheckpointManager::loadRung(Rung R) {
+  const std::string Path =
+      R == Rung::Current ? snapshotPath() : prevSnapshotPath();
+  const auto Data = readFileBytes(Path);
+  if (!Data) {
+    Counters.LastError = SnapshotError::FileMissing;
+    return std::nullopt;
+  }
+  ++Counters.LoadAttempts;
+  std::vector<SnapshotSection> Sections;
+  const SnapshotError Err = decodeSnapshot(*Data, Sections);
+  if (Err != SnapshotError::None) {
+    ++Counters.CorruptSnapshots;
+    Counters.LastError = Err;
+    return std::nullopt;
+  }
+  Counters.LastError = SnapshotError::None;
+  return Sections;
+}
+
+void CheckpointManager::noteDecodeFailure() { ++Counters.CorruptSnapshots; }
+
+bool CheckpointManager::appendJournal(std::uint64_t Seq,
+                                      std::span<const std::uint8_t> Payload) {
+  if (!Valid)
+    return false;
+  if (!Writer.ok() && !Writer.open(journalPath(), Injected))
+    return false;
+  return Writer.append(Seq, Payload);
+}
+
+JournalResult CheckpointManager::replayAndRepair(
+    std::uint64_t SkipThroughSeq,
+    const std::function<bool(std::uint64_t, std::span<const std::uint8_t>)>
+        &Replay) {
+  Writer.close();
+  JournalResult Res = replayJournal(journalPath(), SkipThroughSeq, Replay);
+  Counters.JournalRecordsReplayed += Res.RecordsReplayed;
+  Counters.JournalRecordsSkipped += Res.RecordsSkipped;
+  if (Res.Missing)
+    return Res;
+  if (Res.TornTail || Res.HeaderCorrupt) {
+    ++Counters.JournalTornTails;
+    // Cut the file back to its valid prefix (possibly zero bytes, in which
+    // case the next append rewrites the header) so new records extend a
+    // well-formed journal instead of hiding behind torn bytes.
+    if (truncateFile(journalPath(), Res.ValidBytes, nullptr))
+      ++Counters.JournalRepairs;
+  }
+  return Res;
+}

@@ -1,0 +1,151 @@
+//===- persist/Checkpoint.h - Atomic snapshot commit + recovery -*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates the durable files of one monitor instance inside one
+/// directory:
+///
+///     snapshot.bin        the newest committed snapshot
+///     snapshot.prev.bin   the one before it (the fallback rung)
+///     snapshot.tmp        in-flight commit scratch (ignored by recovery)
+///     journal.wal         write-ahead batch journal
+///
+/// Commit protocol (each step gated by the optional CrashPoint):
+///
+///     1. write + flush snapshot.tmp
+///     2. rename snapshot.bin     -> snapshot.prev.bin   (atomic)
+///     3. rename snapshot.tmp     -> snapshot.bin        (atomic)
+///     4. compact journal.wal, dropping records already covered by the
+///        *new* snapshot.prev.bin
+///
+/// The compaction in step 4 -- rather than truncating the journal to empty
+/// -- is what makes the fallback rung genuinely usable: the journal always
+/// retains every record after the previous snapshot's sequence number, so
+/// `snapshot.prev.bin + journal` reconstructs the exact same state as
+/// `snapshot.bin + journal`. A crash between any two steps leaves one of:
+///
+///     tmp torn, bin+prev+journal intact      -> recover from bin
+///     bin missing, prev = last good          -> recover from prev + journal
+///     bin new, journal not yet compacted     -> recover from bin (old
+///                                               records skipped by seq)
+///
+/// Recovery ladder: snapshot.bin -> snapshot.prev.bin -> cold start; the
+/// journal is replayed on whatever rung loaded (or onto the cold state).
+/// Every rejection is counted with its reason in \ref RecoveryCounters --
+/// corruption degrades, it never crashes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_PERSIST_CHECKPOINT_H
+#define REGMON_PERSIST_CHECKPOINT_H
+
+#include "persist/Journal.h"
+#include "persist/Snapshot.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace regmon::persist {
+
+/// Counters describing every recovery decision ever taken by one manager.
+/// The fuzz tests assert on these: a corrupted file must increment the
+/// matching reason, never crash.
+struct RecoveryCounters {
+  std::uint64_t SnapshotsCommitted = 0;
+  std::uint64_t CommitFailures = 0;
+  /// Rungs tried (one per readable file inspected).
+  std::uint64_t LoadAttempts = 0;
+  /// Rungs rejected: container damage or application-level decode failure.
+  std::uint64_t CorruptSnapshots = 0;
+  /// Recoveries that had to use snapshot.prev.bin.
+  std::uint64_t FallbacksUsed = 0;
+  /// Recoveries that found no usable snapshot at all.
+  std::uint64_t ColdStarts = 0;
+  std::uint64_t JournalRecordsReplayed = 0;
+  std::uint64_t JournalRecordsSkipped = 0;
+  std::uint64_t JournalTornTails = 0;
+  /// Journal files truncated back to their valid prefix.
+  std::uint64_t JournalRepairs = 0;
+  /// Container error of the most recently rejected snapshot rung.
+  SnapshotError LastError = SnapshotError::None;
+};
+
+/// Manages the snapshot pair and journal of one directory. Not
+/// thread-safe: the owner serializes access (MonitorService holds its own
+/// journal lock; checkpoint/restore happen while the service is stopped).
+class CheckpointManager {
+public:
+  /// Creates \p Dir if needed. \ref valid reports whether it is usable.
+  explicit CheckpointManager(std::string Dir);
+
+  bool valid() const { return Valid; }
+  const std::string &dir() const { return Root; }
+  std::string snapshotPath() const;
+  std::string prevSnapshotPath() const;
+  std::string tmpSnapshotPath() const;
+  std::string journalPath() const;
+
+  /// Installs the simulated-crash budget consulted by every subsequent
+  /// write, rename, and truncate (nullptr disarms). Test-only seam.
+  void armCrash(CrashPoint *Crash) { Injected = Crash; }
+
+  /// Runs the commit protocol on \p Encoded (an \ref encodeSnapshot
+  /// container). \p CompactThroughSeq is the journal sequence number
+  /// covered by the snapshot being rotated to the fallback rung; records
+  /// at or below it are dropped during compaction. False means the commit
+  /// did not complete -- the directory is in one of the documented
+  /// crash-window states and recovery handles it.
+  bool commitSnapshot(std::span<const std::uint8_t> Encoded,
+                      std::uint64_t CompactThroughSeq);
+
+  /// The recovery rungs, in ladder order.
+  enum class Rung : std::uint8_t { Current, Previous };
+
+  /// Loads and container-validates one rung. std::nullopt (with counters
+  /// updated) when the file is missing or damaged.
+  std::optional<std::vector<SnapshotSection>> loadRung(Rung R);
+
+  /// The owner's application-level decode of a loaded rung failed; counts
+  /// it as a corrupt snapshot so the reason is never silent.
+  void noteDecodeFailure();
+  /// The ladder ran out of rungs.
+  void noteColdStart() { ++Counters.ColdStarts; }
+  /// The Previous rung ended up being the one recovered from.
+  void noteFallbackUsed() { ++Counters.FallbacksUsed; }
+
+  /// Appends one record to the journal, opening the writer on first use.
+  /// False means the record is not durable and journaling is dead.
+  bool appendJournal(std::uint64_t Seq, std::span<const std::uint8_t> Payload);
+
+  /// Replays the journal through \p Replay, skipping records at or below
+  /// \p SkipThroughSeq, then repairs any torn tail by truncating the file
+  /// to its valid prefix so future appends extend a well-formed journal.
+  JournalResult
+  replayAndRepair(std::uint64_t SkipThroughSeq,
+                  const std::function<bool(std::uint64_t,
+                                           std::span<const std::uint8_t>)>
+                      &Replay);
+
+  RecoveryCounters &counters() { return Counters; }
+  const RecoveryCounters &counters() const { return Counters; }
+
+private:
+  /// Rewrites the journal keeping only records with seq > \p ThroughSeq.
+  bool compactJournal(std::uint64_t ThroughSeq);
+
+  std::string Root;
+  bool Valid = false;
+  CrashPoint *Injected = nullptr;
+  JournalWriter Writer;
+  RecoveryCounters Counters;
+};
+
+} // namespace regmon::persist
+
+#endif // REGMON_PERSIST_CHECKPOINT_H

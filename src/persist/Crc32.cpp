@@ -1,0 +1,41 @@
+//===- persist/Crc32.cpp - CRC-32 checksums for durable state -------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Crc32.h"
+
+#include <array>
+
+using namespace regmon::persist;
+
+namespace {
+
+/// The 256-entry lookup table for the reflected polynomial, computed once.
+/// Function-local static: built deterministically from constants, no
+/// run-to-run variation.
+const std::array<std::uint32_t, 256> &crcTable() {
+  static const std::array<std::uint32_t, 256> Table = [] {
+    std::array<std::uint32_t, 256> T{};
+    for (std::uint32_t N = 0; N < 256; ++N) {
+      std::uint32_t C = N;
+      for (std::uint32_t K = 0; K < 8; ++K)
+        C = (C & 1U) ? (0xEDB88320U ^ (C >> 1)) : (C >> 1);
+      T[N] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace
+
+std::uint32_t regmon::persist::crc32(std::span<const std::uint8_t> Data,
+                                     std::uint32_t Seed) {
+  const auto &Table = crcTable();
+  std::uint32_t C = Seed ^ 0xFFFFFFFFU;
+  for (std::uint8_t B : Data)
+    C = Table[(C ^ B) & 0xFFU] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFU;
+}

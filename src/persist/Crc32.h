@@ -1,0 +1,30 @@
+//===- persist/Crc32.h - CRC-32 checksums for durable state ----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+/// Every snapshot section and journal record carries one, and the snapshot
+/// file ends in a whole-file CRC, so any single bit flip or truncation is
+/// detected deterministically before a byte of state is trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_PERSIST_CRC32_H
+#define REGMON_PERSIST_CRC32_H
+
+#include <cstdint>
+#include <span>
+
+namespace regmon::persist {
+
+/// Returns the CRC-32 of \p Data. Pass a previous result as \p Seed to
+/// checksum a logically contiguous stream in chunks:
+/// crc32(B, crc32(A)) == crc32(AB).
+std::uint32_t crc32(std::span<const std::uint8_t> Data, std::uint32_t Seed = 0);
+
+} // namespace regmon::persist
+
+#endif // REGMON_PERSIST_CRC32_H

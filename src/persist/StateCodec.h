@@ -1,0 +1,86 @@
+//===- persist/StateCodec.h - Monitoring-state serialization ---*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes the learned state of the monitoring stack -- region monitor
+/// (regions, interval-tree membership, per-region histograms and local
+/// phase machines), GPD centroid detector, and the RTO deployment ledger
+/// -- to the persist byte format and back.
+///
+/// Contract:
+///
+///  * **Bit-identical**: encode(decode(encode(x))) == encode(x), and a
+///    decoded object continued over the same input sequence produces the
+///    same bytes as the uninterrupted original. Doubles are stored as raw
+///    IEEE-754 bits for exactly this reason (re-deriving a windowed Sum
+///    would replay a different accumulation order).
+///  * **All-or-nothing**: decode either fully populates a freshly
+///    constructed object or returns false and leaves it reset. Every
+///    length, state value, and cross-field invariant (histogram totals,
+///    window occupancy, region alignment) is validated; a hostile payload
+///    cannot corrupt a monitor, only fail the decode.
+///  * **Config-checked**: payloads embed a fingerprint of the
+///    configuration fields that shape the state layout; decoding under a
+///    different configuration is rejected rather than misinterpreted.
+///
+/// The codec is a friend of the classes it serializes: state stays
+/// private, and none of those libraries link against persist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_PERSIST_STATECODEC_H
+#define REGMON_PERSIST_STATECODEC_H
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "persist/Bytes.h"
+#include "rto/TraceDeployments.h"
+#include "support/Histogram.h"
+#include "support/Statistics.h"
+
+namespace regmon::persist {
+
+/// Stateless encode/decode entry points. See the file comment for the
+/// safety and identity contract shared by every pair.
+class StateCodec {
+public:
+  /// Region monitor: the full learned state (regions, attribution
+  /// membership, current + stable histograms, detectors, statistics,
+  /// optional timelines). Decode requires \p M freshly constructed (or
+  /// reset) with the *same configuration* the encoder ran under; on
+  /// failure \p M is reset back to cold state.
+  static void encode(ByteWriter &W, const core::RegionMonitor &M);
+  static bool decode(ByteReader &R, core::RegionMonitor &M);
+
+  /// Local phase detector (state machine + frozen stable set).
+  static void encode(ByteWriter &W, const core::LocalPhaseDetector &D);
+  static bool decode(ByteReader &R, core::LocalPhaseDetector &D);
+
+  /// Per-instruction histogram. Decode validates the region bounds match
+  /// the histogram \p H was constructed for.
+  static void encode(ByteWriter &W, const InstrHistogram &H);
+  static bool decode(ByteReader &R, InstrHistogram &H);
+
+  /// Sliding-window statistics. \p MaxCap bounds the accepted capacity
+  /// (windows resize dynamically under adaptive configs, so the expected
+  /// capacity is a range, not a constant).
+  static void encode(ByteWriter &W, const WindowedStats &S);
+  static bool decode(ByteReader &R, WindowedStats &S, std::uint64_t MaxCap);
+
+  /// Centroid global phase detector.
+  static void encode(ByteWriter &W, const gpd::CentroidPhaseDetector &G);
+  static bool decode(ByteReader &R, gpd::CentroidPhaseDetector &G);
+
+  /// RTO deployment ledger. Decode restores the tracker's bookkeeping
+  /// only; the engine's rate factors resync on the caller's next
+  /// refresh() (the rto driver calls it once per interval).
+  static void encode(ByteWriter &W, const rto::TraceDeployments &T);
+  static bool decode(ByteReader &R, rto::TraceDeployments &T);
+};
+
+} // namespace regmon::persist
+
+#endif // REGMON_PERSIST_STATECODEC_H

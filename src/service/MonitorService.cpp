@@ -6,9 +6,14 @@
 
 #include "service/MonitorService.h"
 
+#include "persist/Bytes.h"
+#include "persist/Checkpoint.h"
+#include "persist/StateCodec.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 using namespace regmon;
 using namespace regmon::service;
@@ -25,7 +30,40 @@ std::uint64_t mix64(std::uint64_t X) {
   return X ^ (X >> 31);
 }
 
+/// Snapshot section ids (persist/Snapshot.h container).
+constexpr std::uint32_t MetaSectionId = 1;
+constexpr std::uint32_t StreamSectionId = 2;
+
+/// Wire size of one journaled sample: u64 pc + u64 time + u8 miss flag.
+constexpr std::uint64_t SampleWireBytes = 17;
+
+/// Journal-record payload for one batch: the full submission, so replay
+/// can re-run admission + processing over the original byte stream.
+void encodeBatchPayload(persist::ByteWriter &W, const SampleBatch &Batch) {
+  W.u32(Batch.Stream);
+  W.u64(Batch.Samples.size());
+  for (const Sample &S : Batch.Samples) {
+    W.u64(S.Pc);
+    W.u64(S.Time);
+    W.boolean(S.DCacheMiss);
+  }
+}
+
 } // namespace
+
+const char *regmon::service::toString(RestoreOutcome O) {
+  switch (O) {
+  case RestoreOutcome::ColdStart:
+    return "cold-start";
+  case RestoreOutcome::JournalOnly:
+    return "journal-only";
+  case RestoreOutcome::SnapshotOnly:
+    return "snapshot-only";
+  case RestoreOutcome::SnapshotPlusJournal:
+    return "snapshot+journal";
+  }
+  return "?";
+}
 
 MonitorService::MonitorService(ServiceConfig Cfg) : Config(Cfg) {
   assert(Config.Workers > 0 && "service needs at least one worker");
@@ -75,8 +113,14 @@ void MonitorService::start() {
 }
 
 void MonitorService::stop() {
-  if (Stopped)
+  if (Stopped) {
+    // Idempotence contract: a second stop() (including the destructor
+    // running after an explicit stop) must find the workers already
+    // joined -- the first call never returns with threads live.
+    assert(!Running.load(std::memory_order_acquire) &&
+           "stop() re-entered while workers still running");
     return;
+  }
   Stopped = true;
   // Raise the stop flag before closing the queues so a worker stalled in
   // a hook (which must poll stopRequested()) resumes and drains; stop()
@@ -101,6 +145,27 @@ bool MonitorService::submit(SampleBatch Batch) {
   if (S.Queue.closed()) {
     Rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+  if (Persist) {
+    // Write-ahead: journal before admission, so recovery re-runs the
+    // same admission logic over the same per-stream sequence and lands
+    // on the same health decisions. The mutex makes the journal's
+    // global record order a real submission order across streams.
+    std::lock_guard<std::mutex> Lock(JournalMutex);
+    bool Durable = !JournalDead;
+    if (Durable) {
+      persist::ByteWriter W;
+      encodeBatchPayload(W, Batch);
+      Durable = Persist->appendJournal(JournalSeq + 1, W.data());
+    }
+    if (!Durable) {
+      // A batch that cannot be made durable is refused, not processed:
+      // accepting it would let a crash silently lose acknowledged work.
+      JournalDead = true;
+      Rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ++JournalSeq;
   }
   if (Config.ValidateBatches &&
       !admit(St, structurallyValid(Batch.Samples)))
@@ -308,4 +373,256 @@ const core::RegionMonitor &MonitorService::monitor(StreamId Stream) const {
   assert(Stream < Streams.size() && "unknown stream");
   assert(!running() && "monitors are only inspectable while stopped");
   return *Streams[Stream]->Monitor;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe persistence
+//===----------------------------------------------------------------------===//
+
+void MonitorService::attachPersistence(persist::CheckpointManager &Store) {
+  assert(!Started && "persistence must be attached before start()");
+  Persist = &Store;
+}
+
+std::vector<std::uint8_t> MonitorService::encodeState() const {
+  assert(!running() && "state can only be encoded while quiescent");
+  std::vector<persist::SnapshotSection> Sections;
+  {
+    persist::ByteWriter W;
+    W.u64(JournalSeq);
+    // Config fingerprint: the fields replay determinism depends on. A
+    // snapshot taken under a different configuration is rejected rather
+    // than misinterpreted (different admission decisions, shard routing,
+    // or stream registry would desynchronize replay).
+    W.u64(Config.Workers);
+    W.u8(static_cast<std::uint8_t>(Config.Policy));
+    W.boolean(Config.ValidateBatches);
+    W.u32(Config.Health.PoisonQuarantineThreshold);
+    W.u64(Config.Health.QuarantineBaseBatches);
+    W.u64(Config.Health.QuarantineMaxBatches);
+    W.u32(Config.Health.RecoveryCleanBatches);
+    // Rejected is deliberately absent: door rejections (post-stop
+    // submissions, failed appends) describe the previous process's
+    // lifetime, not learned state, and are not replay-reproducible.
+    W.u64(Submitted.load(std::memory_order_relaxed));
+    W.u32(static_cast<std::uint32_t>(Streams.size()));
+    W.u32(static_cast<std::uint32_t>(Shards.size()));
+    for (const auto &S : Shards)
+      W.u64(S->BatchesProcessed.load(std::memory_order_relaxed));
+    Sections.push_back({MetaSectionId, W.take()});
+  }
+  for (StreamId Id = 0; Id < Streams.size(); ++Id) {
+    const StreamState &St = *Streams[Id];
+    persist::ByteWriter W;
+    W.u32(Id);
+    W.u64(St.Shard);
+    W.u64(St.BatchesProcessed.load(std::memory_order_relaxed));
+    W.u64(St.IntervalsProcessed.load(std::memory_order_relaxed));
+    W.u64(St.PhaseChanges.load(std::memory_order_relaxed));
+    W.u64(St.FormationTriggers.load(std::memory_order_relaxed));
+    W.u64(St.RegionsFormed.load(std::memory_order_relaxed));
+    W.u64(St.ActiveRegions.load(std::memory_order_relaxed));
+    W.u64(St.TotalSamples.load(std::memory_order_relaxed));
+    W.u64(St.UcrSamples.load(std::memory_order_relaxed));
+    W.u8(static_cast<std::uint8_t>(St.Health.load(std::memory_order_relaxed)));
+    W.u64(St.PoisonedBatches.load(std::memory_order_relaxed));
+    W.u64(St.QuarantinedBatches.load(std::memory_order_relaxed));
+    W.u64(St.TimesQuarantined.load(std::memory_order_relaxed));
+    W.u64(St.Readmissions.load(std::memory_order_relaxed));
+    W.u64(St.QuarantineEpisodes.load(std::memory_order_relaxed));
+    W.u32(St.ConsecutivePoisoned.load(std::memory_order_relaxed));
+    W.u32(St.CleanStreak.load(std::memory_order_relaxed));
+    W.u64(St.Backoff.load(std::memory_order_relaxed));
+    W.u64(St.QuarantineRejections.load(std::memory_order_relaxed));
+    persist::StateCodec::encode(W, *St.Monitor);
+    Sections.push_back({StreamSectionId, W.take()});
+  }
+  return persist::encodeSnapshot(Sections);
+}
+
+bool MonitorService::decodeState(
+    const std::vector<persist::SnapshotSection> &Sections) {
+  if (Sections.size() != Streams.size() + 1 ||
+      Sections.front().Id != MetaSectionId)
+    return false;
+  {
+    persist::ByteReader R(Sections.front().Payload);
+    const std::uint64_t Seq = R.u64();
+    const std::uint64_t Workers = R.u64();
+    const std::uint8_t Policy = R.u8();
+    const bool Validate = R.boolean();
+    const std::uint32_t PoisonThresh = R.u32();
+    const std::uint64_t BackoffBase = R.u64();
+    const std::uint64_t BackoffMax = R.u64();
+    const std::uint32_t CleanBatches = R.u32();
+    const std::uint64_t Sub = R.u64();
+    const std::uint32_t StreamCount = R.u32();
+    const std::uint32_t ShardCount = R.u32();
+    if (!R.ok() || Workers != Config.Workers ||
+        Policy != static_cast<std::uint8_t>(Config.Policy) ||
+        Validate != Config.ValidateBatches ||
+        PoisonThresh != Config.Health.PoisonQuarantineThreshold ||
+        BackoffBase != Config.Health.QuarantineBaseBatches ||
+        BackoffMax != Config.Health.QuarantineMaxBatches ||
+        CleanBatches != Config.Health.RecoveryCleanBatches ||
+        StreamCount != Streams.size() || ShardCount != Shards.size())
+      return false;
+    for (auto &S : Shards)
+      S->BatchesProcessed.store(R.u64(), std::memory_order_relaxed);
+    if (!R.atEnd())
+      return false;
+    Submitted.store(Sub, std::memory_order_relaxed);
+    JournalSeq = Seq;
+    SnapshotSeq = Seq;
+  }
+  std::vector<bool> Seen(Streams.size(), false);
+  for (std::size_t I = 1; I < Sections.size(); ++I) {
+    if (Sections[I].Id != StreamSectionId)
+      return false;
+    persist::ByteReader R(Sections[I].Payload);
+    const std::uint32_t Id = R.u32();
+    if (!R.ok() || Id >= Streams.size() || Seen[Id])
+      return false;
+    Seen[Id] = true;
+    StreamState &St = *Streams[Id];
+    if (R.u64() != St.Shard)
+      return false;
+    const auto LoadU64 = [&R](std::atomic<std::uint64_t> &A) {
+      A.store(R.u64(), std::memory_order_relaxed);
+    };
+    LoadU64(St.BatchesProcessed);
+    LoadU64(St.IntervalsProcessed);
+    LoadU64(St.PhaseChanges);
+    LoadU64(St.FormationTriggers);
+    LoadU64(St.RegionsFormed);
+    LoadU64(St.ActiveRegions);
+    LoadU64(St.TotalSamples);
+    LoadU64(St.UcrSamples);
+    const std::uint8_t Health = R.u8();
+    if (!R.ok() ||
+        Health > static_cast<std::uint8_t>(StreamHealth::Recovering))
+      return false;
+    St.Health.store(static_cast<StreamHealth>(Health),
+                    std::memory_order_relaxed);
+    LoadU64(St.PoisonedBatches);
+    LoadU64(St.QuarantinedBatches);
+    LoadU64(St.TimesQuarantined);
+    LoadU64(St.Readmissions);
+    LoadU64(St.QuarantineEpisodes);
+    St.ConsecutivePoisoned.store(R.u32(), std::memory_order_relaxed);
+    St.CleanStreak.store(R.u32(), std::memory_order_relaxed);
+    LoadU64(St.Backoff);
+    LoadU64(St.QuarantineRejections);
+    if (!persist::StateCodec::decode(R, *St.Monitor) || !R.atEnd())
+      return false;
+  }
+  return true;
+}
+
+void MonitorService::resetPersistedState() {
+  for (auto &StPtr : Streams) {
+    StreamState &St = *StPtr;
+    St.Monitor->reset();
+    St.BatchesProcessed.store(0, std::memory_order_relaxed);
+    St.IntervalsProcessed.store(0, std::memory_order_relaxed);
+    St.PhaseChanges.store(0, std::memory_order_relaxed);
+    St.FormationTriggers.store(0, std::memory_order_relaxed);
+    St.RegionsFormed.store(0, std::memory_order_relaxed);
+    St.ActiveRegions.store(0, std::memory_order_relaxed);
+    St.TotalSamples.store(0, std::memory_order_relaxed);
+    St.UcrSamples.store(0, std::memory_order_relaxed);
+    St.Health.store(StreamHealth::Healthy, std::memory_order_relaxed);
+    St.PoisonedBatches.store(0, std::memory_order_relaxed);
+    St.QuarantinedBatches.store(0, std::memory_order_relaxed);
+    St.TimesQuarantined.store(0, std::memory_order_relaxed);
+    St.Readmissions.store(0, std::memory_order_relaxed);
+    St.QuarantineEpisodes.store(0, std::memory_order_relaxed);
+    St.ConsecutivePoisoned.store(0, std::memory_order_relaxed);
+    St.CleanStreak.store(0, std::memory_order_relaxed);
+    St.Backoff.store(0, std::memory_order_relaxed);
+    St.QuarantineRejections.store(0, std::memory_order_relaxed);
+  }
+  for (auto &S : Shards)
+    S->BatchesProcessed.store(0, std::memory_order_relaxed);
+  Submitted.store(0, std::memory_order_relaxed);
+  JournalSeq = 0;
+  SnapshotSeq = 0;
+}
+
+bool MonitorService::replayRecord(std::span<const std::uint8_t> Payload) {
+  persist::ByteReader R(Payload);
+  SampleBatch Batch;
+  Batch.Stream = R.u32();
+  const std::uint64_t Count = R.u64();
+  if (!R.ok() || Batch.Stream >= Streams.size() ||
+      Count > R.remaining() / SampleWireBytes)
+    return false;
+  Batch.Samples.reserve(Count);
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    Sample S;
+    S.Pc = R.u64();
+    S.Time = R.u64();
+    S.DCacheMiss = R.boolean();
+    Batch.Samples.push_back(S);
+  }
+  if (!R.atEnd())
+    return false;
+  StreamState &St = *Streams[Batch.Stream];
+  // The record is well-formed; from here on mirror submit()'s accepted
+  // path exactly (health machine, then inline processing standing in for
+  // the shard worker). A batch the health machine refuses was refused in
+  // the original run too -- the refusal *is* the replayed behaviour.
+  if (Config.ValidateBatches && !admit(St, structurallyValid(Batch.Samples)))
+    return true;
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  process(Batch);
+  Shards[St.Shard]->BatchesProcessed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+RestoreOutcome MonitorService::restore() {
+  assert(Persist && "attachPersistence() first");
+  assert(!Started && "restore() must precede start()");
+  using Rung = persist::CheckpointManager::Rung;
+  bool Loaded = false;
+  for (const Rung R : {Rung::Current, Rung::Previous}) {
+    const auto Sections = Persist->loadRung(R);
+    if (!Sections)
+      continue;
+    resetPersistedState();
+    if (decodeState(*Sections)) {
+      if (R == Rung::Previous)
+        Persist->noteFallbackUsed();
+      Loaded = true;
+      break;
+    }
+    Persist->noteDecodeFailure();
+  }
+  if (!Loaded) {
+    resetPersistedState();
+    Persist->noteColdStart();
+  }
+  const persist::JournalResult JR = Persist->replayAndRepair(
+      SnapshotSeq,
+      [this](std::uint64_t Seq, std::span<const std::uint8_t> Payload) {
+        if (!replayRecord(Payload))
+          return false;
+        JournalSeq = Seq;
+        return true;
+      });
+  if (Loaded)
+    return JR.RecordsReplayed > 0 ? RestoreOutcome::SnapshotPlusJournal
+                                  : RestoreOutcome::SnapshotOnly;
+  return JR.RecordsReplayed > 0 ? RestoreOutcome::JournalOnly
+                                : RestoreOutcome::ColdStart;
+}
+
+bool MonitorService::checkpoint() {
+  assert(Persist && "attachPersistence() first");
+  assert(!running() && "checkpoint() requires a quiescent service");
+  const std::vector<std::uint8_t> Encoded = encodeState();
+  if (!Persist->commitSnapshot(Encoded, SnapshotSeq))
+    return false;
+  SnapshotSeq = JournalSeq;
+  return true;
 }

@@ -41,8 +41,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
+
+namespace regmon::persist {
+class CheckpointManager;
+struct SnapshotSection;
+} // namespace regmon::persist
 
 namespace regmon::service {
 
@@ -147,6 +154,17 @@ struct ServiceSnapshot {
   }
 };
 
+/// How \ref MonitorService::restore rebuilt the service state.
+enum class RestoreOutcome : std::uint8_t {
+  ColdStart,           ///< No usable snapshot and no journal records.
+  JournalOnly,         ///< No usable snapshot; the journal replayed from cold.
+  SnapshotOnly,        ///< Snapshot loaded; no journal records beyond it.
+  SnapshotPlusJournal, ///< Snapshot loaded, then journal records replayed.
+};
+
+/// Returns a short identifier for reports.
+const char *toString(RestoreOutcome O);
+
 /// Owns a pool of sharded RegionMonitors and the worker threads that feed
 /// them. Lifecycle: register streams (\ref addStream), \ref start, submit
 /// batches from any number of threads, \ref stop (drains every queued
@@ -228,6 +246,42 @@ public:
   /// Returns the service configuration.
   const ServiceConfig &config() const { return Config; }
 
+  //===------------------------------------------------------------------===//
+  // Crash-safe persistence (persist/Checkpoint.h, DESIGN.md section 10).
+  //===------------------------------------------------------------------===//
+
+  /// Attaches \p Store as the durability backend: every subsequently
+  /// submitted batch is journaled write-ahead (before admission, so
+  /// recovery re-runs the same admission decisions over the same
+  /// sequence), and \ref restore / \ref checkpoint become available.
+  /// Must be called before \ref start; \p Store must outlive the service.
+  void attachPersistence(persist::CheckpointManager &Store);
+
+  /// Recovers state from the attached store: climbs the snapshot ladder
+  /// (current -> previous -> cold start), then replays journal records
+  /// beyond the loaded snapshot through the normal admission + processing
+  /// path. Must run after every stream is registered and before \ref
+  /// start. Safe on an empty or damaged directory -- corruption degrades
+  /// to a colder rung with the reason counted, it never crashes.
+  RestoreOutcome restore();
+
+  /// Commits a snapshot of the full service state and compacts the
+  /// journal (see the commit protocol in persist/Checkpoint.h). Requires
+  /// a quiescent service (before \ref start or after \ref stop). False
+  /// means the commit did not complete; the previous snapshot, fallback
+  /// rung, and journal stay usable.
+  bool checkpoint();
+
+  /// Serializes the full service state (meta section + one section per
+  /// stream) into a snapshot container. Requires quiescence. Exposed so
+  /// tests can assert recovered state is bit-identical to a reference.
+  std::vector<std::uint8_t> encodeState() const;
+
+  /// Returns the sequence number of the last batch journaled by \ref
+  /// submit or re-applied by \ref restore; 0 before either. Only stable
+  /// while the service is quiescent.
+  std::uint64_t persistedSequence() const { return JournalSeq; }
+
 private:
   /// Per-stream state. Monitor and the processing counters are written
   /// only by the owning shard's worker while running; the health fields
@@ -280,6 +334,17 @@ private:
   /// Puts \p St into quarantine, doubling the backoff per episode.
   void quarantine(StreamState &St);
 
+  /// Re-applies one journaled batch through admission + processing.
+  /// False rejects the record as malformed (ends journal replay there).
+  bool replayRecord(std::span<const std::uint8_t> Payload);
+  /// Decodes a loaded snapshot's sections into this service. False may
+  /// leave the service partially written; the caller resets and retries
+  /// the next rung.
+  bool decodeState(const std::vector<persist::SnapshotSection> &Sections);
+  /// Returns every monitor, counter, and sequence number to cold-start
+  /// state (the stream registry and configuration are kept).
+  void resetPersistedState();
+
   ServiceConfig Config;
   std::vector<std::unique_ptr<StreamState>> Streams;
   std::vector<std::unique_ptr<Shard>> Shards;
@@ -290,6 +355,23 @@ private:
   std::atomic<bool> StopRequested{false};
   bool Started = false;
   bool Stopped = false;
+
+  // Persistence, all inert until attachPersistence(). The mutex lives
+  // here rather than in persist (which is single-owner by contract): it
+  // serializes sequence assignment + append across submitting threads, so
+  // the journal's global record order is a real submission order.
+  persist::CheckpointManager *Persist = nullptr;
+  std::mutex JournalMutex;
+  /// Last journal sequence assigned (submit) or re-applied (restore).
+  /// Written under JournalMutex while running, plainly while quiescent.
+  std::uint64_t JournalSeq = 0;
+  /// Sequence covered by the on-disk snapshot.bin -- the replay skip
+  /// threshold and the next checkpoint's journal-compaction bound.
+  std::uint64_t SnapshotSeq = 0;
+  /// Latched on append failure: a batch that cannot be made durable is
+  /// refused rather than processed, so the journal never under-reports
+  /// acknowledged work.
+  bool JournalDead = false;
 };
 
 } // namespace regmon::service

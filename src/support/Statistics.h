@@ -29,6 +29,10 @@
 
 namespace regmon {
 
+namespace persist {
+class StateCodec;
+} // namespace persist
+
 /// Numerically stable streaming mean and variance (Welford's algorithm).
 class RunningStats {
 public:
@@ -88,6 +92,11 @@ public:
   double stddev() const;
 
 private:
+  /// Checkpointing serializes the ring verbatim, Sum included: recomputing
+  /// it would replay a different floating-point accumulation order and
+  /// break bit-identical recovery (persist/StateCodec.h).
+  friend class persist::StateCodec;
+
   std::size_t Cap;
   std::size_t Head = 0; // index of the oldest element when full
   std::vector<double> Buffer;

@@ -198,6 +198,34 @@ TEST(SwallowedExceptionRule, TestsToolsAndBenchExempt) {
 }
 
 //===----------------------------------------------------------------------===//
+// R6: persist-serialization
+//===----------------------------------------------------------------------===//
+
+std::vector<Diagnostic> lintAsPersist(const std::string &Name) {
+  // Two-arg buildContext derives the layer from the path, exactly as the
+  // driver would for a real src/persist file.
+  FileContext FC = buildContext("src/persist/" + Name, readFixture(Name));
+  return runRules(FC);
+}
+
+TEST(PersistSerializationRule, FlagsPlatformTypesAndUncheckedIo) {
+  auto Diags = lintAsPersist("persist_bad.cpp");
+  // size_t, long, unsigned fields; unchecked fwrite + fread.
+  EXPECT_EQ(countRule(Diags, "persist-serialization"), 5);
+}
+
+TEST(PersistSerializationRule, AcceptsFixedWidthCheckedIo) {
+  auto Diags = lintAsPersist("persist_good.cpp");
+  EXPECT_EQ(countRule(Diags, "persist-serialization"), 0);
+}
+
+TEST(PersistSerializationRule, GatedToPersistPathOnly) {
+  FileContext FC = buildContext("src/core/persist_bad.cpp",
+                                readFixture("persist_bad.cpp"));
+  EXPECT_EQ(countRule(runRules(FC), "persist-serialization"), 0);
+}
+
+//===----------------------------------------------------------------------===//
 // Inline suppressions
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,993 @@
+//===- tests/PersistFormatTest.cpp - Durability format tests --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Format-level tests of the persist layer: the byte codec's trust boundary,
+// the CRC implementation, the snapshot container (including an exhaustive
+// truncation + bit-flip fuzz over every byte of a real snapshot), the
+// migration chain, the write-ahead journal's torn-tail handling, the
+// checkpoint manager's commit protocol under a swept crash budget, and the
+// StateCodec bit-identity contract for every serialized class.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Bytes.h"
+#include "persist/Checkpoint.h"
+#include "persist/Crc32.h"
+#include "persist/Io.h"
+#include "persist/Journal.h"
+#include "persist/Snapshot.h"
+#include "persist/StateCodec.h"
+
+#include "core/RegionMonitor.h"
+#include "gpd/CentroidPhaseDetector.h"
+#include "rto/OptimizationModel.h"
+#include "rto/TraceDeployments.h"
+#include "sampling/Sampler.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "support/Histogram.h"
+#include "support/Statistics.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::persist;
+
+namespace {
+
+/// A fresh scratch directory under the gtest temp root, unique per call.
+/// Wiped first: temp directories survive across test-binary runs, and an
+/// append-mode journal must not inherit a previous run's records.
+std::string scratchDir(const std::string &Tag) {
+  static int Counter = 0;
+  // The PID keeps concurrent test processes (e.g. parallel sanitizer
+  // sweeps of the same binary) from wiping each other's scratch trees.
+  const std::string Dir =
+      ::testing::TempDir() + "regmon_persist_" + std::to_string(::getpid()) +
+      "_" + Tag + "_" + std::to_string(Counter++);
+  std::filesystem::remove_all(Dir);
+  EXPECT_TRUE(ensureDir(Dir));
+  return Dir;
+}
+
+/// Overwrites \p Path with \p Data (no crash injection).
+void writeBytes(const std::string &Path, std::span<const std::uint8_t> Data) {
+  FileSink Sink(Path, /*Append=*/false, nullptr);
+  ASSERT_TRUE(Sink.write(Data));
+  ASSERT_TRUE(Sink.close());
+}
+
+std::vector<std::uint8_t> mustRead(const std::string &Path) {
+  const auto Data = readFileBytes(Path);
+  EXPECT_TRUE(Data.has_value()) << Path;
+  return Data.value_or(std::vector<std::uint8_t>{});
+}
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+std::vector<std::uint8_t> asBytes(std::string_view S) {
+  return {S.begin(), S.end()};
+}
+
+TEST(PersistCrc32, KnownCheckValue) {
+  // The standard CRC-32/IEEE check value: crc("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32(asBytes("123456789")), 0xCBF43926U);
+}
+
+TEST(PersistCrc32, EmptyInputIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0U);
+}
+
+TEST(PersistCrc32, ChainingMatchesConcatenation) {
+  const std::vector<std::uint8_t> A = asBytes("regmon snapshot ");
+  const std::vector<std::uint8_t> B = asBytes("journal payload");
+  std::vector<std::uint8_t> AB = A;
+  AB.insert(AB.end(), B.begin(), B.end());
+  EXPECT_EQ(crc32(B, crc32(A)), crc32(AB));
+  EXPECT_NE(crc32(A), crc32(B));
+}
+
+//===----------------------------------------------------------------------===//
+// ByteWriter / ByteReader
+//===----------------------------------------------------------------------===//
+
+TEST(PersistBytes, RoundTripAllFieldTypes) {
+  ByteWriter W;
+  W.u8(0xAB);
+  W.u32(0xDEADBEEFU);
+  W.u64(0x0123456789ABCDEFULL);
+  W.f64(-0.1);
+  W.boolean(true);
+  W.boolean(false);
+  W.str(std::string_view("hello\0world", 11)); // embedded NUL must survive
+  const std::vector<std::uint32_t> V32 = {1, 0, 0xFFFFFFFFU};
+  const std::vector<std::uint64_t> V64 = {42};
+  const std::vector<double> VF = {std::sqrt(2.0), -0.0, 1e308};
+  W.vecU32(V32);
+  W.vecU64(V64);
+  W.vecF64(VF);
+
+  ByteReader R(W.data());
+  EXPECT_EQ(R.u8(), 0xAB);
+  EXPECT_EQ(R.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(R.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(R.f64()),
+            std::bit_cast<std::uint64_t>(-0.1));
+  EXPECT_TRUE(R.boolean());
+  EXPECT_FALSE(R.boolean());
+  std::string S;
+  ASSERT_TRUE(R.str(S));
+  EXPECT_EQ(S, std::string_view("hello\0world", 11));
+  std::vector<std::uint32_t> O32;
+  std::vector<std::uint64_t> O64;
+  std::vector<double> OF;
+  ASSERT_TRUE(R.vecU32(O32));
+  ASSERT_TRUE(R.vecU64(O64));
+  ASSERT_TRUE(R.vecF64(OF));
+  EXPECT_EQ(O32, V32);
+  EXPECT_EQ(O64, V64);
+  ASSERT_EQ(OF.size(), VF.size());
+  for (std::size_t I = 0; I < VF.size(); ++I)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(OF[I]),
+              std::bit_cast<std::uint64_t>(VF[I]));
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(PersistBytes, ReaderFailsOnTruncationAndStaysFailed) {
+  ByteWriter W;
+  W.u32(7);
+  ByteReader R(W.data());
+  EXPECT_EQ(R.u64(), 0U); // only 4 bytes present
+  EXPECT_FALSE(R.ok());
+  // Sticky: even a 1-byte read now fails and yields zero.
+  EXPECT_EQ(R.u8(), 0U);
+  EXPECT_FALSE(R.atEnd());
+}
+
+TEST(PersistBytes, BooleanRejectsOutOfRangeEncoding) {
+  const std::vector<std::uint8_t> Bad = {2};
+  ByteReader R(Bad);
+  (void)R.boolean();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(PersistBytes, LengthPrefixesValidatedBeforeAllocation) {
+  // A hostile length prefix (claiming ~2^61 elements against a 4-byte
+  // buffer) must be rejected up front, not allocated.
+  ByteWriter W;
+  W.u64(0x2000000000000000ULL);
+  W.u32(0);
+  for (int Kind = 0; Kind < 4; ++Kind) {
+    ByteReader R(W.data());
+    bool Ok = true;
+    switch (Kind) {
+    case 0: {
+      std::vector<std::uint32_t> Out;
+      Ok = R.vecU32(Out);
+      break;
+    }
+    case 1: {
+      std::vector<std::uint64_t> Out;
+      Ok = R.vecU64(Out);
+      break;
+    }
+    case 2: {
+      std::vector<double> Out;
+      Ok = R.vecF64(Out);
+      break;
+    }
+    case 3: {
+      std::string Out;
+      Ok = R.str(Out);
+      break;
+    }
+    }
+    EXPECT_FALSE(Ok) << "kind " << Kind;
+  }
+}
+
+TEST(PersistBytes, AtEndRejectsTrailingBytes) {
+  ByteWriter W;
+  W.u32(1);
+  W.u8(9);
+  ByteReader R(W.data());
+  (void)R.u32();
+  EXPECT_FALSE(R.atEnd()); // one byte left over
+  (void)R.u8();
+  EXPECT_TRUE(R.atEnd());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot container
+//===----------------------------------------------------------------------===//
+
+std::vector<SnapshotSection> sampleSections() {
+  std::vector<SnapshotSection> Sections(3);
+  Sections[0].Id = 1;
+  Sections[0].Payload = asBytes("meta");
+  Sections[1].Id = 2;
+  Sections[1].Payload = {}; // empty payloads are legal
+  Sections[2].Id = 0xFFFFFFFFU;
+  Sections[2].Payload = asBytes("stream state bytes");
+  return Sections;
+}
+
+TEST(PersistSnapshot, RoundTripPreservesSections) {
+  const std::vector<SnapshotSection> In = sampleSections();
+  const std::vector<std::uint8_t> Encoded = encodeSnapshot(In);
+  std::vector<SnapshotSection> Out;
+  ASSERT_EQ(decodeSnapshot(Encoded, Out), SnapshotError::None);
+  ASSERT_EQ(Out.size(), In.size());
+  for (std::size_t I = 0; I < In.size(); ++I) {
+    EXPECT_EQ(Out[I].Id, In[I].Id);
+    EXPECT_EQ(Out[I].Payload, In[I].Payload);
+  }
+}
+
+TEST(PersistSnapshot, EmptySectionListRoundTrips) {
+  const std::vector<std::uint8_t> Encoded = encodeSnapshot({});
+  std::vector<SnapshotSection> Out;
+  EXPECT_EQ(decodeSnapshot(Encoded, Out), SnapshotError::None);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(PersistSnapshot, ErrorTaxonomy) {
+  std::vector<SnapshotSection> Out;
+
+  // TooShort: fewer bytes than header + footer.
+  const std::vector<std::uint8_t> Short = {0x52, 0x47, 0x4D};
+  EXPECT_EQ(decodeSnapshot(Short, Out), SnapshotError::TooShort);
+
+  // BadMagic.
+  std::vector<std::uint8_t> Encoded = encodeSnapshot(sampleSections());
+  std::vector<std::uint8_t> Mutated = Encoded;
+  Mutated[0] ^= 0xFF;
+  EXPECT_EQ(decodeSnapshot(Mutated, Out), SnapshotError::BadMagic);
+  EXPECT_TRUE(Out.empty());
+
+  // UnsupportedVersion: a schema this build has no migration path for.
+  const std::vector<std::uint8_t> Future =
+      encodeSnapshot(sampleSections(), /*Version=*/999);
+  EXPECT_EQ(decodeSnapshot(Future, Out), SnapshotError::UnsupportedVersion);
+
+  // SectionLimit: a corrupt count field must not buy a long parse loop.
+  {
+    ByteWriter W;
+    W.u32(SnapshotMagic);
+    W.u32(SnapshotVersion);
+    W.u32(SnapshotMaxSections + 1);
+    W.u32(crc32(W.data()));
+    EXPECT_EQ(decodeSnapshot(W.take(), Out), SnapshotError::SectionLimit);
+  }
+
+  // SectionOverrun: a section length running past the file. The section
+  // parse rejects it before the (here deliberately bogus) footer matters.
+  {
+    ByteWriter W;
+    W.u32(SnapshotMagic);
+    W.u32(SnapshotVersion);
+    W.u32(1);
+    W.u32(7);      // section id
+    W.u64(1'000);  // payload length far past EOF
+    W.u32(0);      // payload crc
+    W.u32(0);      // footer
+    EXPECT_EQ(decodeSnapshot(W.take(), Out), SnapshotError::SectionOverrun);
+  }
+
+  // SectionCrcMismatch: damage a payload byte; the section CRC localizes
+  // it before the file CRC is even consulted.
+  Mutated = Encoded;
+  Mutated[Mutated.size() - 6] ^= 0x01; // inside the last payload
+  EXPECT_EQ(decodeSnapshot(Mutated, Out), SnapshotError::SectionCrcMismatch);
+
+  // FileCrcMismatch: damage the footer itself.
+  Mutated = Encoded;
+  Mutated[Mutated.size() - 1] ^= 0x01;
+  EXPECT_EQ(decodeSnapshot(Mutated, Out), SnapshotError::FileCrcMismatch);
+}
+
+// The robustness tentpole's core promise: *every* truncation of a real
+// snapshot is rejected with a clean error, never UB. Run under ASan/UBSan
+// via tools/run_sanitized_tests.sh.
+TEST(PersistSnapshotFuzz, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> Encoded = encodeSnapshot(sampleSections());
+  for (std::size_t Len = 0; Len < Encoded.size(); ++Len) {
+    const std::span<const std::uint8_t> Prefix(Encoded.data(), Len);
+    std::vector<SnapshotSection> Out;
+    const SnapshotError Err = decodeSnapshot(Prefix, Out);
+    EXPECT_NE(Err, SnapshotError::None) << "prefix length " << Len;
+    EXPECT_TRUE(Out.empty()) << "prefix length " << Len;
+  }
+}
+
+// ...and every single-bit flip. CRC-32 detects all single-bit errors, and
+// a flip in the footer leaves the recomputed CRC unchanged but the stored
+// one different, so rejection is deterministic at every offset.
+TEST(PersistSnapshotFuzz, EveryBitFlipRejected) {
+  const std::vector<std::uint8_t> Encoded = encodeSnapshot(sampleSections());
+  for (std::size_t Off = 0; Off < Encoded.size(); ++Off) {
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      std::vector<std::uint8_t> Mutated = Encoded;
+      Mutated[Off] ^= static_cast<std::uint8_t>(1U << Bit);
+      std::vector<SnapshotSection> Out;
+      const SnapshotError Err = decodeSnapshot(Mutated, Out);
+      EXPECT_NE(Err, SnapshotError::None)
+          << "offset " << Off << " bit " << Bit;
+      EXPECT_TRUE(Out.empty()) << "offset " << Off << " bit " << Bit;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Migrations
+//===----------------------------------------------------------------------===//
+
+bool upgradeV0(std::vector<SnapshotSection> &Sections) {
+  // A v0 -> v1 shim for the test: tag every section id.
+  for (SnapshotSection &S : Sections)
+    S.Id += 100;
+  return true;
+}
+bool identityHook(std::vector<SnapshotSection> &) { return true; }
+bool failingHook(std::vector<SnapshotSection> &) { return false; }
+
+TEST(PersistSnapshotMigration, ChainWalksOldSchemaForward) {
+  const SnapshotMigration Chain[] = {
+      {0, 1, &upgradeV0},
+      {1, 1, &identityHook},
+  };
+  const std::vector<std::uint8_t> Old =
+      encodeSnapshot(sampleSections(), /*Version=*/0);
+  std::vector<SnapshotSection> Out;
+  ASSERT_EQ(decodeSnapshot(Old, Out, Chain), SnapshotError::None);
+  ASSERT_EQ(Out.size(), 3U);
+  EXPECT_EQ(Out[0].Id, 101U); // upgraded
+  EXPECT_EQ(Out[1].Id, 102U);
+}
+
+TEST(PersistSnapshotMigration, FailingHookReportsMigrationFailed) {
+  const SnapshotMigration Chain[] = {
+      {0, 1, &failingHook},
+      {1, 1, &identityHook},
+  };
+  const std::vector<std::uint8_t> Old =
+      encodeSnapshot(sampleSections(), /*Version=*/0);
+  std::vector<SnapshotSection> Out;
+  EXPECT_EQ(decodeSnapshot(Old, Out, Chain), SnapshotError::MigrationFailed);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(PersistSnapshotMigration, CyclicChainRejectedNotLooped) {
+  const SnapshotMigration Chain[] = {
+      {5, 6, &identityHook},
+      {6, 5, &identityHook},
+  };
+  const std::vector<std::uint8_t> Old =
+      encodeSnapshot(sampleSections(), /*Version=*/5);
+  std::vector<SnapshotSection> Out;
+  EXPECT_EQ(decodeSnapshot(Old, Out, Chain),
+            SnapshotError::UnsupportedVersion);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+std::vector<std::uint8_t> seqPayload(std::uint64_t Seq) {
+  ByteWriter W;
+  W.u64(Seq);
+  W.str("batch-" + std::to_string(Seq));
+  return W.take();
+}
+
+/// Appends records 1..N to a fresh journal at \p Path.
+void writeJournal(const std::string &Path, std::uint64_t N) {
+  JournalWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, nullptr));
+  for (std::uint64_t Seq = 1; Seq <= N; ++Seq)
+    ASSERT_TRUE(Writer.append(Seq, seqPayload(Seq)));
+  Writer.close();
+}
+
+TEST(PersistJournal, AppendReplayRoundTripWithSkipThreshold) {
+  const std::string Dir = scratchDir("journal_roundtrip");
+  const std::string Path = Dir + "/journal.wal";
+  writeJournal(Path, 5);
+
+  std::vector<std::uint64_t> Seen;
+  const JournalResult Res = replayJournal(
+      Path, /*SkipThroughSeq=*/2,
+      [&Seen](std::uint64_t Seq, std::span<const std::uint8_t> Payload) {
+        EXPECT_EQ(std::vector<std::uint8_t>(Payload.begin(), Payload.end()),
+                  seqPayload(Seq));
+        Seen.push_back(Seq);
+        return true;
+      });
+  EXPECT_EQ(Seen, (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(Res.RecordsReplayed, 3U);
+  EXPECT_EQ(Res.RecordsSkipped, 2U);
+  EXPECT_EQ(Res.LastSeq, 5U);
+  EXPECT_FALSE(Res.TornTail);
+  EXPECT_FALSE(Res.HeaderCorrupt);
+}
+
+TEST(PersistJournal, MissingFileIsNotCorruption) {
+  const std::string Dir = scratchDir("journal_missing");
+  const JournalResult Res = replayJournal(
+      Dir + "/nope.wal", 0,
+      [](std::uint64_t, std::span<const std::uint8_t>) { return true; });
+  EXPECT_TRUE(Res.Missing);
+  EXPECT_FALSE(Res.TornTail);
+  EXPECT_EQ(Res.RecordsReplayed, 0U);
+}
+
+TEST(PersistJournal, ReplayTrustsLongestValidPrefixAtEveryTruncation) {
+  const std::string Dir = scratchDir("journal_torn");
+  const std::string Path = Dir + "/journal.wal";
+  writeJournal(Path, 3);
+  const std::vector<std::uint8_t> Full = mustRead(Path);
+
+  // Record boundaries: the valid prefixes a truncated file may expose.
+  std::vector<std::uint64_t> Boundaries;
+  {
+    const JournalResult Whole = replayJournal(
+        Path, 0,
+        [](std::uint64_t, std::span<const std::uint8_t>) { return true; });
+    ASSERT_EQ(Whole.RecordsReplayed, 3U);
+    ASSERT_EQ(Whole.ValidBytes, Full.size());
+  }
+
+  const std::string Torn = Dir + "/torn.wal";
+  for (std::size_t Len = 0; Len <= Full.size(); ++Len) {
+    writeBytes(Torn, std::span<const std::uint8_t>(Full.data(), Len));
+    std::uint64_t Count = 0;
+    const JournalResult Res = replayJournal(
+        Torn, 0, [&Count](std::uint64_t, std::span<const std::uint8_t>) {
+          ++Count;
+          return true;
+        });
+    SCOPED_TRACE("truncated to " + std::to_string(Len));
+    EXPECT_EQ(Res.RecordsReplayed, Count);
+    EXPECT_LE(Res.RecordsReplayed, 3U);
+    EXPECT_LE(Res.ValidBytes, Len);
+    if (Len < 8) {
+      // Not even the file header: nothing replayable.
+      EXPECT_TRUE(Res.HeaderCorrupt || Res.TornTail);
+      EXPECT_EQ(Res.RecordsReplayed, 0U);
+    } else if (Len < Full.size()) {
+      // Mid-record cuts report a torn tail; exact-boundary cuts are clean.
+      const bool AtBoundary = Res.ValidBytes == Len;
+      EXPECT_EQ(Res.TornTail, !AtBoundary);
+    } else {
+      EXPECT_FALSE(Res.TornTail);
+      EXPECT_EQ(Res.RecordsReplayed, 3U);
+    }
+    Boundaries.push_back(Res.ValidBytes);
+  }
+  // ValidBytes is monotone in the truncation length -- replay never
+  // "finds" bytes a shorter file did not have.
+  EXPECT_TRUE(std::is_sorted(Boundaries.begin(), Boundaries.end()));
+}
+
+TEST(PersistJournal, EveryBitFlipScansSafely) {
+  const std::string Dir = scratchDir("journal_flip");
+  const std::string Path = Dir + "/journal.wal";
+  writeJournal(Path, 3);
+  const std::vector<std::uint8_t> Full = mustRead(Path);
+
+  const std::string Mut = Dir + "/mut.wal";
+  for (std::size_t Off = 0; Off < Full.size(); ++Off) {
+    std::vector<std::uint8_t> Mutated = Full;
+    Mutated[Off] ^= static_cast<std::uint8_t>(1U << (Off % 8));
+    writeBytes(Mut, Mutated);
+    const JournalResult Res = replayJournal(
+        Mut, 0, [](std::uint64_t Seq, std::span<const std::uint8_t> Payload) {
+          // Any record that *is* delivered must carry an intact payload:
+          // the flip can only remove records from the valid prefix.
+          EXPECT_EQ(
+              std::vector<std::uint8_t>(Payload.begin(), Payload.end()),
+              seqPayload(Seq));
+          return true;
+        });
+    SCOPED_TRACE("flip at offset " + std::to_string(Off));
+    EXPECT_LE(Res.RecordsReplayed, 3U);
+    EXPECT_LE(Res.ValidBytes, Full.size());
+    // A flip anywhere damages header, a record, or trailing bytes of the
+    // scan -- some failure marker must be raised, or (flips confined to a
+    // record the CRC rejects) the scan ends torn.
+    EXPECT_TRUE(Res.HeaderCorrupt || Res.TornTail ||
+                Res.RecordsReplayed < 3U || Res.ValidBytes < Full.size());
+  }
+}
+
+TEST(PersistJournal, NonIncreasingSequenceEndsScan) {
+  const std::string Dir = scratchDir("journal_seq");
+  const std::string Path = Dir + "/journal.wal";
+  // Hand-build: header + seq 5 + seq 5 again (stale tail after reuse).
+  ByteWriter W;
+  W.u32(JournalMagic);
+  W.u32(JournalVersion);
+  for (int I = 0; I < 2; ++I) {
+    const std::vector<std::uint8_t> P = seqPayload(5);
+    W.u64(5);
+    W.u32(static_cast<std::uint32_t>(P.size()));
+    W.u32(journalRecordCrc(5, P));
+    W.bytes(P);
+  }
+  const std::vector<std::uint8_t> Bytes = W.take();
+  writeBytes(Path, Bytes);
+
+  std::uint64_t Count = 0;
+  const JournalResult Res = replayJournal(
+      Path, 0, [&Count](std::uint64_t, std::span<const std::uint8_t>) {
+        ++Count;
+        return true;
+      });
+  EXPECT_EQ(Count, 1U);
+  EXPECT_TRUE(Res.TornTail);
+  EXPECT_LT(Res.ValidBytes, Bytes.size());
+}
+
+TEST(PersistJournal, RejectedPayloadStopsScanAndIsNotCountedInLastSeq) {
+  const std::string Dir = scratchDir("journal_reject");
+  const std::string Path = Dir + "/journal.wal";
+  writeJournal(Path, 3);
+  const JournalResult Res = replayJournal(
+      Path, 0, [](std::uint64_t Seq, std::span<const std::uint8_t>) {
+        return Seq < 2; // the service rejects record 2 as malformed
+      });
+  EXPECT_EQ(Res.RecordsReplayed, 1U);
+  EXPECT_TRUE(Res.PayloadRejected);
+  EXPECT_EQ(Res.LastSeq, 1U);
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointManager
+//===----------------------------------------------------------------------===//
+
+/// Encodes a one-section snapshot whose payload names the journal
+/// sequence it covers -- a miniature of the service's snapshot.
+std::vector<std::uint8_t> coverSnapshot(std::uint64_t CoverSeq) {
+  ByteWriter P;
+  P.u64(CoverSeq);
+  std::vector<SnapshotSection> Sections(1);
+  Sections[0].Id = 1;
+  Sections[0].Payload = P.take();
+  return encodeSnapshot(Sections);
+}
+
+std::uint64_t coveredSeq(const std::vector<SnapshotSection> &Sections) {
+  EXPECT_EQ(Sections.size(), 1U);
+  ByteReader R(Sections[0].Payload);
+  const std::uint64_t Seq = R.u64();
+  EXPECT_TRUE(R.atEnd());
+  return Seq;
+}
+
+TEST(PersistCheckpoint, CommitRotatesAndCompactionKeepsFallbackUsable) {
+  const std::string Dir = scratchDir("ckpt_rotate");
+  CheckpointManager M(Dir);
+  ASSERT_TRUE(M.valid());
+
+  // Commit A (covers 0), journal 1..3, commit B (covers 3), journal 4..6.
+  ASSERT_TRUE(M.commitSnapshot(coverSnapshot(0), 0));
+  for (std::uint64_t Seq = 1; Seq <= 3; ++Seq)
+    ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+  ASSERT_TRUE(M.commitSnapshot(coverSnapshot(3), 0));
+  for (std::uint64_t Seq = 4; Seq <= 6; ++Seq)
+    ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+
+  // Current rung = B, fallback = A.
+  auto Cur = M.loadRung(CheckpointManager::Rung::Current);
+  ASSERT_TRUE(Cur.has_value());
+  EXPECT_EQ(coveredSeq(*Cur), 3U);
+  auto Prev = M.loadRung(CheckpointManager::Rung::Previous);
+  ASSERT_TRUE(Prev.has_value());
+  EXPECT_EQ(coveredSeq(*Prev), 0U);
+
+  // The journal still holds 1..6: compaction at the B commit dropped only
+  // records covered by the *fallback* (A, seq 0), so prev + journal can
+  // rebuild everything B + journal can.
+  std::vector<std::uint64_t> Seen;
+  (void)M.replayAndRepair(
+      0, [&Seen](std::uint64_t Seq, std::span<const std::uint8_t>) {
+        Seen.push_back(Seq);
+        return true;
+      });
+  EXPECT_EQ(Seen, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+
+  // Commit C (covers 6) compacting through B's seq 3: records 1..3 drop.
+  ASSERT_TRUE(M.commitSnapshot(coverSnapshot(6), 3));
+  Seen.clear();
+  (void)M.replayAndRepair(
+      0, [&Seen](std::uint64_t Seq, std::span<const std::uint8_t>) {
+        Seen.push_back(Seq);
+        return true;
+      });
+  EXPECT_EQ(Seen, (std::vector<std::uint64_t>{4, 5, 6}));
+  EXPECT_EQ(M.counters().SnapshotsCommitted, 3U);
+}
+
+TEST(PersistCheckpoint, ReplayAndRepairTruncatesTornTail) {
+  const std::string Dir = scratchDir("ckpt_repair");
+  CheckpointManager M(Dir);
+  ASSERT_TRUE(M.valid());
+  for (std::uint64_t Seq = 1; Seq <= 3; ++Seq)
+    ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+
+  // Tear the tail by appending garbage (a crash mid-append).
+  {
+    const std::vector<std::uint8_t> Garbage = {0x13, 0x37, 0xFE};
+    FileSink Sink(M.journalPath(), /*Append=*/true, nullptr);
+    ASSERT_TRUE(Sink.write(Garbage));
+    ASSERT_TRUE(Sink.close());
+  }
+  const std::uint64_t TornSize = mustRead(M.journalPath()).size();
+
+  const JournalResult Res = M.replayAndRepair(
+      0, [](std::uint64_t, std::span<const std::uint8_t>) { return true; });
+  EXPECT_EQ(Res.RecordsReplayed, 3U);
+  EXPECT_TRUE(Res.TornTail);
+  EXPECT_EQ(M.counters().JournalTornTails, 1U);
+  EXPECT_EQ(M.counters().JournalRepairs, 1U);
+  EXPECT_LT(mustRead(M.journalPath()).size(), TornSize);
+
+  // Appends now extend a well-formed journal: all four records replay.
+  ASSERT_TRUE(M.appendJournal(4, seqPayload(4)));
+  std::vector<std::uint64_t> Seen;
+  const JournalResult After = M.replayAndRepair(
+      0, [&Seen](std::uint64_t Seq, std::span<const std::uint8_t>) {
+        Seen.push_back(Seq);
+        return true;
+      });
+  EXPECT_FALSE(After.TornTail);
+  EXPECT_EQ(Seen, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(PersistCheckpoint, CorruptRungFallsToPreviousWithReasonCounted) {
+  const std::string Dir = scratchDir("ckpt_corrupt");
+  CheckpointManager M(Dir);
+  ASSERT_TRUE(M.valid());
+  ASSERT_TRUE(M.commitSnapshot(coverSnapshot(1), 0));
+  ASSERT_TRUE(M.commitSnapshot(coverSnapshot(2), 0));
+
+  // Corrupt the current rung on disk.
+  std::vector<std::uint8_t> Bytes = mustRead(M.snapshotPath());
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  writeBytes(M.snapshotPath(), Bytes);
+
+  EXPECT_FALSE(M.loadRung(CheckpointManager::Rung::Current).has_value());
+  EXPECT_EQ(M.counters().CorruptSnapshots, 1U);
+  EXPECT_NE(M.counters().LastError, SnapshotError::None);
+  auto Prev = M.loadRung(CheckpointManager::Rung::Previous);
+  ASSERT_TRUE(Prev.has_value());
+  EXPECT_EQ(coveredSeq(*Prev), 1U);
+}
+
+// The commit-protocol crash sweep: simulate a power cut after every unit
+// of I/O inside a snapshot commit and assert the directory always
+// recovers to full coverage -- either the new snapshot, or the fallback
+// rung plus the journal records compaction deliberately preserved.
+TEST(PersistCheckpoint, CrashSweptCommitAlwaysLeavesRecoverableState) {
+  // Accounting run: how many units does the swept commit cost?
+  std::uint64_t TotalUnits = 0;
+  {
+    const std::string Dir = scratchDir("ckpt_sweep_acct");
+    CheckpointManager M(Dir);
+    ASSERT_TRUE(M.commitSnapshot(coverSnapshot(0), 0));
+    for (std::uint64_t Seq = 1; Seq <= 3; ++Seq)
+      ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+    ASSERT_TRUE(M.commitSnapshot(coverSnapshot(3), 0));
+    for (std::uint64_t Seq = 4; Seq <= 6; ++Seq)
+      ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+    CrashPoint Acct = CrashPoint::unlimited();
+    M.armCrash(&Acct);
+    ASSERT_TRUE(M.commitSnapshot(coverSnapshot(6), 3));
+    M.armCrash(nullptr);
+    TotalUnits = Acct.used();
+  }
+  ASSERT_GT(TotalUnits, 0U);
+
+  for (std::uint64_t Budget = 0; Budget <= TotalUnits; ++Budget) {
+    SCOPED_TRACE("crash budget " + std::to_string(Budget));
+    const std::string Dir = scratchDir("ckpt_sweep");
+    {
+      CheckpointManager M(Dir);
+      ASSERT_TRUE(M.commitSnapshot(coverSnapshot(0), 0));
+      for (std::uint64_t Seq = 1; Seq <= 3; ++Seq)
+        ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+      ASSERT_TRUE(M.commitSnapshot(coverSnapshot(3), 0));
+      for (std::uint64_t Seq = 4; Seq <= 6; ++Seq)
+        ASSERT_TRUE(M.appendJournal(Seq, seqPayload(Seq)));
+      CrashPoint Crash(Budget);
+      M.armCrash(&Crash);
+      (void)M.commitSnapshot(coverSnapshot(6), 3); // may die anywhere
+      // The manager (and its torn file handles) is abandoned here, like
+      // the crashed process.
+    }
+
+    // Restart: a fresh manager climbs the ladder.
+    CheckpointManager R(Dir);
+    std::uint64_t CoverSeq = 0;
+    auto Sections = R.loadRung(CheckpointManager::Rung::Current);
+    if (!Sections) {
+      Sections = R.loadRung(CheckpointManager::Rung::Previous);
+      R.noteFallbackUsed();
+    }
+    ASSERT_TRUE(Sections.has_value())
+        << "no usable snapshot rung after crash";
+    CoverSeq = coveredSeq(*Sections);
+    EXPECT_TRUE(CoverSeq == 3 || CoverSeq == 6)
+        << "recovered rung covers unexpected seq " << CoverSeq;
+
+    std::set<std::uint64_t> Replayed;
+    const JournalResult JR = R.replayAndRepair(
+        CoverSeq,
+        [&Replayed](std::uint64_t Seq, std::span<const std::uint8_t> P) {
+          EXPECT_EQ(std::vector<std::uint8_t>(P.begin(), P.end()),
+                    seqPayload(Seq));
+          Replayed.insert(Seq);
+          return true;
+        });
+    EXPECT_FALSE(JR.HeaderCorrupt);
+    // Full coverage: snapshot + replayed journal reach seq 6 exactly,
+    // with no gaps -- every acknowledged record survives the crash.
+    std::uint64_t Reached = CoverSeq;
+    for (std::uint64_t Seq = CoverSeq + 1; Seq <= 6; ++Seq) {
+      EXPECT_TRUE(Replayed.count(Seq))
+          << "gap: record " << Seq << " lost (rung covers " << CoverSeq
+          << ")";
+      Reached = Seq;
+    }
+    EXPECT_EQ(Reached, 6U);
+    EXPECT_EQ(Replayed.size(), 6 - CoverSeq);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// StateCodec
+//===----------------------------------------------------------------------===//
+
+std::vector<std::uint8_t> encodeBytes(const auto &Obj) {
+  ByteWriter W;
+  StateCodec::encode(W, Obj);
+  return W.take();
+}
+
+TEST(PersistStateCodec, WindowedStatsBitIdenticalRoundTripAndContinuation) {
+  WindowedStats Orig(4);
+  // Irrational-ish values: any re-accumulation of the sum would differ in
+  // the last ulp, which the raw-bits encoding must prevent.
+  for (double X : {1.0 / 3.0, std::sqrt(2.0), 0.1, std::acos(-1.0), 2.0 / 7.0})
+    Orig.add(X);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  WindowedStats Copy(1); // capacity comes from the payload
+  ByteReader R(Bytes);
+  ASSERT_TRUE(StateCodec::decode(R, Copy, /*MaxCap=*/8));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+
+  // Continuation: original and copy must stay bit-identical forever.
+  for (double X : {0.7, 1e-9, 123.456}) {
+    Orig.add(X);
+    Copy.add(X);
+  }
+  EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(Copy.mean()),
+            std::bit_cast<std::uint64_t>(Orig.mean()));
+}
+
+TEST(PersistStateCodec, WindowedStatsRejectsOverCapacityAndBadInvariants) {
+  WindowedStats Orig(4);
+  Orig.add(1.0);
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  {
+    // MaxCap below the serialized capacity: config mismatch, rejected.
+    WindowedStats S(1);
+    ByteReader R(Bytes);
+    EXPECT_FALSE(StateCodec::decode(R, S, /*MaxCap=*/2));
+  }
+  {
+    // Head out of range for a non-full window.
+    ByteWriter W;
+    W.u64(4); // cap
+    W.u64(2); // head, but the window is not full -- invalid
+    W.vecF64(std::vector<double>{1.0});
+    W.f64(1.0);
+    WindowedStats S(4);
+    ByteReader R(W.data());
+    EXPECT_FALSE(StateCodec::decode(R, S, /*MaxCap=*/8));
+  }
+}
+
+TEST(PersistStateCodec, InstrHistogramRoundTripAndMismatchRejected) {
+  InstrHistogram Orig(/*Start=*/0x1000, /*End=*/0x1000 + 16 * InstrBytes);
+  for (int I = 0; I < 50; ++I)
+    Orig.addSample(0x1000 + static_cast<Addr>(I % 16) * InstrBytes);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  InstrHistogram Copy(0x1000, 0x1000 + 16 * InstrBytes);
+  ByteReader R(Bytes);
+  ASSERT_TRUE(StateCodec::decode(R, Copy));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+  EXPECT_EQ(Copy.total(), Orig.total());
+
+  // Decoding into a histogram for a different region is rejected.
+  InstrHistogram Other(0x2000, 0x2000 + 16 * InstrBytes);
+  ByteReader R2(Bytes);
+  EXPECT_FALSE(StateCodec::decode(R2, Other));
+
+  // A payload whose total disagrees with its bins is rejected.
+  ByteWriter W;
+  W.u64(0x1000);
+  W.vecU32(std::vector<std::uint32_t>(16, 1));
+  W.u64(999); // != sum of bins
+  InstrHistogram Victim(0x1000, 0x1000 + 16 * InstrBytes);
+  ByteReader R3(W.data());
+  EXPECT_FALSE(StateCodec::decode(R3, Victim));
+}
+
+/// Records one workload stream's intervals (the service tests' pattern).
+struct RecordedStream {
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<sim::ProgramCodeMap> Map;
+  std::vector<std::vector<Sample>> Intervals;
+};
+
+RecordedStream record(const std::string &Name, std::uint64_t Seed) {
+  RecordedStream S;
+  S.W = std::make_unique<workloads::Workload>(workloads::make(Name));
+  S.Map = std::make_unique<sim::ProgramCodeMap>(S.W->Prog);
+  sim::Engine Engine(S.W->Prog, S.W->Script, Seed);
+  sampling::Sampler Sampler(Engine, {45'000, 2032});
+  S.Intervals = Sampler.collectIntervals();
+  return S;
+}
+
+TEST(PersistStateCodec, RegionMonitorBitIdenticalRoundTripAndContinuation) {
+  const RecordedStream S = record("synthetic.periodic", 7);
+  ASSERT_GT(S.Intervals.size(), 8U);
+
+  core::RegionMonitorConfig Cfg;
+  Cfg.TrackMissPhases = true; // exercise the miss-phase arrays too
+  core::RegionMonitor Orig(*S.Map, Cfg);
+  const std::size_t Half = S.Intervals.size() / 2;
+  for (std::size_t I = 0; I < Half; ++I)
+    Orig.observeInterval(S.Intervals[I]);
+  ASSERT_FALSE(Orig.regions().empty()) << "stream formed no regions";
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  core::RegionMonitor Copy(*S.Map, Cfg);
+  {
+    ByteReader R(Bytes);
+    ASSERT_TRUE(StateCodec::decode(R, Copy));
+    EXPECT_TRUE(R.atEnd());
+  }
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+
+  // Continuation over the second half must match the uninterrupted run
+  // byte for byte -- the warm-restart guarantee at monitor granularity.
+  for (std::size_t I = Half; I < S.Intervals.size(); ++I) {
+    Orig.observeInterval(S.Intervals[I]);
+    Copy.observeInterval(S.Intervals[I]);
+  }
+  EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
+  EXPECT_EQ(Copy.totalPhaseChanges(), Orig.totalPhaseChanges());
+  EXPECT_EQ(Copy.intervals(), Orig.intervals());
+}
+
+TEST(PersistStateCodec, RegionMonitorRejectsTruncationAndResets) {
+  const RecordedStream S = record("synthetic.steady", 3);
+  core::RegionMonitor Orig(*S.Map);
+  for (const std::vector<Sample> &Interval : S.Intervals)
+    Orig.observeInterval(Interval);
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+
+  const std::vector<std::uint8_t> FreshBytes = [&] {
+    core::RegionMonitor Fresh(*S.Map);
+    return encodeBytes(Fresh);
+  }();
+
+  for (std::size_t Len : {std::size_t{0}, Bytes.size() / 3, Bytes.size() / 2,
+                          Bytes.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(Len));
+    core::RegionMonitor Victim(*S.Map);
+    ByteReader R(std::span<const std::uint8_t>(Bytes.data(), Len));
+    EXPECT_FALSE(StateCodec::decode(R, Victim));
+    // All-or-nothing: the victim is back at cold state, not half-written.
+    EXPECT_EQ(encodeBytes(Victim), FreshBytes);
+    EXPECT_TRUE(Victim.regions().empty());
+  }
+
+  // A different monitor configuration is a different state layout:
+  // decoding under it must be refused, not misinterpreted. TrackMissPhases
+  // is part of the fingerprint because it changes the per-region arrays.
+  core::RegionMonitorConfig Other;
+  Other.TrackMissPhases = true;
+  core::RegionMonitor Mismatched(*S.Map, Other);
+  ByteReader R(Bytes);
+  EXPECT_FALSE(StateCodec::decode(R, Mismatched));
+  EXPECT_TRUE(Mismatched.regions().empty());
+}
+
+TEST(PersistStateCodec, CentroidDetectorRoundTripAndContinuation) {
+  gpd::CentroidConfig Cfg;
+  Cfg.AdaptiveWindow = true; // window capacity varies: the hard case
+  gpd::CentroidPhaseDetector Orig(Cfg);
+  // Drive through stability and a phase change so the history, timer,
+  // and counters are all nontrivial.
+  for (int I = 0; I < 12; ++I)
+    Orig.observeCentroid(1000.0 + (I % 3));
+  for (int I = 0; I < 4; ++I)
+    Orig.observeCentroid(5000.0 + 7.0 * I);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  gpd::CentroidPhaseDetector Copy(Cfg);
+  {
+    ByteReader R(Bytes);
+    ASSERT_TRUE(StateCodec::decode(R, Copy));
+    EXPECT_TRUE(R.atEnd());
+  }
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+  EXPECT_EQ(Copy.state(), Orig.state());
+
+  for (int I = 0; I < 10; ++I) {
+    Orig.observeCentroid(5000.0 + (I % 2));
+    Copy.observeCentroid(5000.0 + (I % 2));
+  }
+  EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
+  EXPECT_EQ(Copy.phaseChanges(), Orig.phaseChanges());
+}
+
+TEST(PersistStateCodec, TraceDeploymentsRoundTripWithoutTouchingEngine) {
+  workloads::Workload W = workloads::make("synthetic.bottleneck");
+  rto::OptimizationModel Model{W.Opportunities};
+  sim::Engine Eng{W.Prog, W.Script, 1};
+
+  rto::TraceDeployments Orig(Eng, Model, /*PatchOverheadCycles=*/1000);
+  ASSERT_TRUE(Orig.deploy(0));
+  // Cross the workload's profile switch so the deployed trace turns
+  // harmful and the ledger carries a nonzero streak.
+  ASSERT_TRUE(Eng.advanceAndSample(1'200'000'000).has_value());
+  Orig.refresh();
+  Orig.refresh();
+  ASSERT_EQ(Orig.harmfulStreak(0), 2U);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  const double SpeedupBefore = Eng.speedup(0);
+
+  rto::TraceDeployments Copy(Eng, Model, /*PatchOverheadCycles=*/1000);
+  {
+    ByteReader R(Bytes);
+    ASSERT_TRUE(StateCodec::decode(R, Copy));
+    EXPECT_TRUE(R.atEnd());
+  }
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+  EXPECT_TRUE(Copy.deployed(0));
+  EXPECT_EQ(Copy.harmfulStreak(0), 2U);
+  EXPECT_EQ(Copy.patches(), Orig.patches());
+  // Decode restores bookkeeping only; the engine's rate factors are
+  // untouched until the caller's next refresh().
+  EXPECT_DOUBLE_EQ(Eng.speedup(0), SpeedupBefore);
+}
+
+} // namespace

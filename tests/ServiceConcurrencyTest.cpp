@@ -230,6 +230,59 @@ TEST(ServiceConcurrency, SubmitAfterStopIsRejected) {
   EXPECT_EQ(Service.snapshot().BatchesSubmitted, 0u);
 }
 
+// stop() is documented idempotent: the restart/recovery paths (and the
+// destructor after an explicit stop) call it repeatedly, and a second
+// call must neither deadlock on joined workers nor disturb results.
+TEST(ServiceConcurrency, RepeatedStopIsIdempotent) {
+  RecordedStream S = record("synthetic.steady", 15);
+  ASSERT_GE(S.Intervals.size(), 3u);
+  MonitorService Service({/*Workers=*/2, /*QueueCapacity=*/8,
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
+  const StreamId Id = Service.addStream(*S.Map);
+  Service.start();
+  for (std::size_t I = 0; I < 3; ++I)
+    EXPECT_TRUE(Service.submit({Id, S.Intervals[I]}));
+  Service.stop();
+  const ServiceSnapshot First = Service.snapshot();
+  EXPECT_EQ(First.BatchesProcessed, 3u);
+  EXPECT_FALSE(Service.running());
+
+  // Second and third stops: no-ops, from the caller's thread and from
+  // another thread (the recovery CLI stops from a signal-ish path).
+  Service.stop();
+  std::thread([&Service] { Service.stop(); }).join();
+  EXPECT_FALSE(Service.running());
+
+  const ServiceSnapshot Again = Service.snapshot();
+  EXPECT_EQ(Again.BatchesProcessed, First.BatchesProcessed);
+  EXPECT_EQ(Again.IntervalsProcessed, First.IntervalsProcessed);
+  EXPECT_EQ(Again.BatchesRejected, First.BatchesRejected);
+  EXPECT_EQ(Service.monitor(Id).intervals(), 3u);
+
+  // Submissions after any number of stops are still cleanly refused.
+  EXPECT_FALSE(Service.submit({Id, S.Intervals.front()}));
+  EXPECT_EQ(Service.snapshot().BatchesRejected, Again.BatchesRejected + 1);
+}
+
+TEST(ServiceConcurrency, StopWithoutStartIsSafeAndFinal) {
+  RecordedStream S = record("synthetic.steady", 16);
+  MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/4,
+                          OverflowPolicy::Block, /*ValidateBatches=*/true,
+                          {}});
+  const StreamId Id = Service.addStream(*S.Map);
+  // Never started: stop() must not try to join never-spawned workers,
+  // and repeating it stays a no-op.
+  Service.stop();
+  Service.stop();
+  EXPECT_FALSE(Service.running());
+  // The service is final after stop: batches are refused, not queued.
+  EXPECT_FALSE(Service.submit({Id, S.Intervals.front()}));
+  const ServiceSnapshot Snap = Service.snapshot();
+  EXPECT_EQ(Snap.BatchesSubmitted, 0u);
+  EXPECT_EQ(Snap.BatchesRejected, 1u);
+}
+
 TEST(ServiceConcurrency, EmptyBatchesCountAsProcessedNotObserved) {
   RecordedStream S = record("synthetic.steady", 13);
   MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/8,

@@ -1,0 +1,23 @@
+// Fixture: persist-serialization violations. The test lints this with the
+// path src/persist/persist_bad.cpp, where the rule applies.
+#include <cstddef>
+#include <cstdio>
+
+namespace regmon::persist {
+
+struct BadRecord {
+  std::size_t Length = 0; // platform-width field: wire layout varies
+  long Offset = 0;        // same, via a bare keyword type
+  unsigned Flags = 0;     // same
+};
+
+inline void writeBad(std::FILE *F, const BadRecord &R) {
+  std::fwrite(&R, sizeof(R), 1, F); // transfer count dropped
+}
+
+inline void readBad(std::FILE *F, BadRecord &R) {
+  if (F)
+    fread(&R, sizeof(R), 1, F); // dropped in statement position after ')'
+}
+
+} // namespace regmon::persist

@@ -1,0 +1,25 @@
+// Fixture: conforming serialization code. The test lints this with the
+// path src/persist/persist_good.cpp and expects zero diagnostics.
+#include <cstdint>
+#include <cstdio>
+
+namespace regmon::persist {
+
+struct GoodRecord {
+  std::uint64_t Length = 0;
+  std::int64_t Offset = 0;
+  std::uint32_t Flags = 0;
+};
+
+inline bool writeGood(std::FILE *F, const GoodRecord &R) {
+  return std::fwrite(&R, sizeof(R), 1, F) == 1;
+}
+
+inline bool readGood(std::FILE *F, GoodRecord &R) {
+  const auto Got = std::fread(&R, sizeof(R), 1, F);
+  if (Got != 1)
+    return false;
+  return true;
+}
+
+} // namespace regmon::persist

@@ -503,6 +503,70 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// R6: persist-serialization — src/persist writes bytes that outlive the
+// process and must be readable by a differently built binary. Two classes
+// of portability bugs are banned mechanically: platform-width integer
+// types anywhere in the layer (a size_t field silently changes the wire
+// layout between 32- and 64-bit builds), and dropped fwrite/fread return
+// values (a short transfer is exactly how torn files announce themselves;
+// ignoring it converts detectable corruption into silent corruption).
+//===----------------------------------------------------------------------===//
+
+class PersistSerializationRule final : public Rule {
+public:
+  std::string_view name() const override { return "persist-serialization"; }
+  std::string_view description() const override {
+    return "src/persist only: use fixed-width integer types (no "
+           "size_t/long/int -- the wire layout must not vary by platform) "
+           "and check every fwrite/fread return value";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.Path.rfind("src/persist/", 0) != 0)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind != TokenKind::Identifier)
+        continue;
+      const std::string &Name = T[I].Text;
+      if (oneOf(Name, {"size_t", "ssize_t", "ptrdiff_t", "time_t",
+                       "intmax_t", "uintmax_t", "long", "short", "int",
+                       "unsigned", "signed"}) &&
+          isStdOrUnqualified(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "platform-width integer type '" + Name +
+                    "' in serialization code; the on-disk layout must not "
+                    "vary by platform -- use std::uint32_t/std::uint64_t");
+        continue;
+      }
+      if (oneOf(Name, {"fwrite", "fread"}) && nextIs(T, I, "(") &&
+          isStdOrUnqualified(T, I)) {
+        // The call expression starts at `std` when written std::fwrite.
+        std::size_t Start = isStdQualified(T, I) ? I - 2 : I;
+        // Statement position (or a discarding cast) means the transfer
+        // count is dropped; any operator/assignment before the call
+        // consumes it.
+        bool Discarded = Start == 0;
+        if (!Discarded) {
+          const Token &Prev = T[Start - 1];
+          Discarded = (Prev.Kind == TokenKind::Punct &&
+                       oneOf(Prev.Text, {";", "{", "}", ")"})) ||
+                      (Prev.Kind == TokenKind::Identifier &&
+                       oneOf(Prev.Text, {"else", "do"})) ||
+                      Prev.Kind == TokenKind::Directive;
+        }
+        if (Discarded)
+          addDiag(FC, Out, name(), T[I].Line,
+                  "unchecked " + Name +
+                      "() return value; a short transfer is how torn files "
+                      "are detected -- compare it against the requested "
+                      "count");
+      }
+    }
+  }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &allRules() {
@@ -515,6 +579,7 @@ const std::vector<std::unique_ptr<Rule>> &allRules() {
     R.push_back(std::make_unique<HeaderHygieneRule>());
     R.push_back(std::make_unique<AssertSideEffectsRule>());
     R.push_back(std::make_unique<SwallowedExceptionRule>());
+    R.push_back(std::make_unique<PersistSerializationRule>());
     return R;
   }();
   return Rules;

@@ -18,11 +18,14 @@
 //   regmon-cli serve <workload> [--streams N] [--workers N] [--period N]
 //                    [--seed N] [--queue N] [--policy block|drop]
 //                    [--intervals N]
+//   regmon-cli checkpoint <workload> --dir PATH [serve flags]
+//   regmon-cli restore <workload> --dir PATH [serve flags]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/RegionMonitor.h"
 #include "gpd/CentroidPhaseDetector.h"
+#include "persist/Checkpoint.h"
 #include "rto/Harness.h"
 #include "sampling/Sampler.h"
 #include "service/MonitorService.h"
@@ -60,6 +63,7 @@ struct Options {
   std::size_t QueueCapacity = 64;
   service::OverflowPolicy Policy = service::OverflowPolicy::Block;
   std::size_t MaxIntervals = SIZE_MAX;
+  std::string Dir;
 };
 
 int usage(const char *Prog) {
@@ -72,13 +76,17 @@ int usage(const char *Prog) {
       "  rto <workload>            compare RTO-ORIG vs RTO-LPD\n"
       "  sweep <workload>          GPD + LPD summary at 45K/450K/900K\n"
       "  serve <workload>          multi-stream monitoring service\n"
+      "  checkpoint <workload>     serve with durability, then snapshot\n"
+      "  restore <workload>        recover service state from a directory\n"
       "common flags: --period N --seed N\n"
       "monitor flags: --similarity pearson|cosine|overlap "
       "--attribution tree|list\n"
       "               --adaptive-rt --miss-phases --prune N\n"
       "rto flags: --self-monitor off|oracle|observed\n"
       "serve flags: --streams N --workers N --queue N "
-      "--policy block|drop --intervals N\n",
+      "--policy block|drop --intervals N\n"
+      "checkpoint/restore flags: serve flags plus --dir PATH (required;\n"
+      "  the same topology flags must be used across runs on one dir)\n",
       Prog);
   return 2;
 }
@@ -164,6 +172,10 @@ bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
       std::fprintf(stderr, "error: unknown policy '%s'\n", V.c_str());
       std::exit(2);
     }
+    return true;
+  }
+  if (Flag == "--dir") {
+    Opts.Dir = Next();
     return true;
   }
   if (Flag == "--self-monitor") {
@@ -340,19 +352,14 @@ int cmdSweep(const Options &Opts) {
   return 0;
 }
 
-int cmdServe(const Options &Opts) {
-  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
-    std::fprintf(stderr,
-                 "error: --streams, --workers and --queue must be > 0\n");
-    return 2;
-  }
+// Each stream runs a private copy of the workload, seeded differently,
+// with its own code map -- N independent cores executing the program.
+struct Stream {
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<sim::ProgramCodeMap> Map;
+};
 
-  // Each stream runs a private copy of the workload, seeded differently,
-  // with its own code map -- N independent cores executing the program.
-  struct Stream {
-    std::unique_ptr<workloads::Workload> W;
-    std::unique_ptr<sim::ProgramCodeMap> Map;
-  };
+std::vector<Stream> makeStreams(const Options &Opts) {
   std::vector<Stream> Streams;
   Streams.reserve(Opts.Streams);
   for (std::size_t I = 0; I < Opts.Streams; ++I) {
@@ -362,6 +369,46 @@ int cmdServe(const Options &Opts) {
     S.Map = std::make_unique<sim::ProgramCodeMap>(S.W->Prog);
     Streams.push_back(std::move(S));
   }
+  return Streams;
+}
+
+void printStreamTable(const service::ServiceSnapshot &Snap) {
+  TextTable Table;
+  Table.header({"stream", "shard", "intervals", "regions", "changes",
+                "triggers", "UCR%"});
+  for (const service::StreamSnapshot &St : Snap.Streams)
+    Table.row({TextTable::count(St.Stream), TextTable::count(St.Shard),
+               TextTable::count(St.IntervalsProcessed),
+               TextTable::count(St.ActiveRegions),
+               TextTable::count(St.PhaseChanges),
+               TextTable::count(St.FormationTriggers),
+               TextTable::percent(St.ucrFraction())});
+  std::printf("%s", Table.render().c_str());
+}
+
+void printRecovery(const persist::RecoveryCounters &C) {
+  std::printf("  recovery: %llu replayed, %llu skipped, %llu corrupt "
+              "snapshot(s), %llu fallback(s), %llu cold start(s), "
+              "%llu torn tail(s) (%llu repaired)\n",
+              static_cast<unsigned long long>(C.JournalRecordsReplayed),
+              static_cast<unsigned long long>(C.JournalRecordsSkipped),
+              static_cast<unsigned long long>(C.CorruptSnapshots),
+              static_cast<unsigned long long>(C.FallbacksUsed),
+              static_cast<unsigned long long>(C.ColdStarts),
+              static_cast<unsigned long long>(C.JournalTornTails),
+              static_cast<unsigned long long>(C.JournalRepairs));
+  if (C.LastError != persist::SnapshotError::None)
+    std::printf("  last snapshot error: %s\n",
+                persist::toString(C.LastError));
+}
+
+int cmdServe(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+  const std::vector<Stream> Streams = makeStreams(Opts);
 
   service::MonitorService Service(
       {Opts.Workers, Opts.QueueCapacity, Opts.Policy,
@@ -407,17 +454,128 @@ int cmdServe(const Options &Opts) {
               static_cast<unsigned long long>(Snap.PhaseChanges),
               Snap.ucrFraction() * 100.0);
 
-  TextTable Table;
-  Table.header({"stream", "shard", "intervals", "regions", "changes",
-                "triggers", "UCR%"});
-  for (const service::StreamSnapshot &St : Snap.Streams)
-    Table.row({TextTable::count(St.Stream), TextTable::count(St.Shard),
-               TextTable::count(St.IntervalsProcessed),
-               TextTable::count(St.ActiveRegions),
-               TextTable::count(St.PhaseChanges),
-               TextTable::count(St.FormationTriggers),
-               TextTable::percent(St.ucrFraction())});
-  std::printf("%s", Table.render().c_str());
+  printStreamTable(Snap);
+  return 0;
+}
+
+// serve with durability attached: recover whatever the directory holds,
+// process (journaled) batches, then commit a snapshot. Re-running the
+// command on the same directory continues where the last run stopped --
+// and killing it mid-run loses nothing but the un-acked tail.
+int cmdCheckpoint(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+  if (Opts.Dir.empty()) {
+    std::fprintf(stderr, "error: checkpoint needs --dir PATH\n");
+    return 2;
+  }
+  const std::vector<Stream> Streams = makeStreams(Opts);
+
+  persist::CheckpointManager Store(Opts.Dir);
+  service::MonitorService Service(
+      {Opts.Workers, Opts.QueueCapacity, Opts.Policy,
+       /*ValidateBatches=*/true, {}});
+  for (const Stream &S : Streams)
+    Service.addStream(*S.Map);
+  Service.attachPersistence(Store);
+  const service::RestoreOutcome Outcome = Service.restore();
+  const std::uint64_t StartSeq = Service.persistedSequence();
+  std::printf("restored from %s: %s (sequence %llu)\n", Opts.Dir.c_str(),
+              service::toString(Outcome),
+              static_cast<unsigned long long>(StartSeq));
+  Service.start();
+
+  // One live producer per stream. The engines are deterministic in
+  // (workload, seed), so a restored stream resumes by re-deriving the
+  // sample sequence and skipping the intervals recovery already owns --
+  // each run then contributes up to --intervals *new* intervals.
+  std::vector<std::uint64_t> Resume(Streams.size(), 0);
+  for (const service::StreamSnapshot &St : Service.snapshot().Streams)
+    Resume[St.Stream] = St.BatchesProcessed;
+  std::vector<std::thread> Producers;
+  Producers.reserve(Streams.size());
+  for (service::StreamId Id = 0; Id < Streams.size(); ++Id)
+    Producers.emplace_back([&, Id] {
+      const Stream &S = Streams[Id];
+      sim::Engine Engine(S.W->Prog, S.W->Script, Opts.Seed + Id);
+      sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+      std::vector<Sample> Buffer;
+      std::uint64_t Skip = Resume[Id];
+      std::size_t Sent = 0;
+      while (Sent < Opts.MaxIntervals && Sampler.fillBuffer(Buffer)) {
+        if (Skip > 0) {
+          --Skip;
+          continue;
+        }
+        if (!Service.submit({Id, Buffer}))
+          break;
+        ++Sent;
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Service.stop();
+
+  const bool Committed = Service.checkpoint();
+  const service::ServiceSnapshot Snap = Service.snapshot();
+  std::printf("%s x %zu streams @ %llu cycles/interrupt, journaled "
+              "sequence %llu -> %llu\n",
+              Opts.Workload.c_str(), Opts.Streams,
+              static_cast<unsigned long long>(Opts.Period),
+              static_cast<unsigned long long>(StartSeq),
+              static_cast<unsigned long long>(Service.persistedSequence()));
+  printRecovery(Store.counters());
+  printStreamTable(Snap);
+  if (!Committed) {
+    std::fprintf(stderr,
+                 "error: snapshot commit failed (journal still holds the "
+                 "run; see counters above)\n");
+    return 1;
+  }
+  std::printf("snapshot committed to %s\n", Opts.Dir.c_str());
+  return 0;
+}
+
+// Rebuilds service state from a checkpoint directory and reports what
+// the recovery ladder did -- no new work is submitted. The topology
+// flags must match the run that produced the directory, or the snapshot
+// is (safely) rejected and recovery degrades to journal replay.
+int cmdRestore(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+  if (Opts.Dir.empty()) {
+    std::fprintf(stderr, "error: restore needs --dir PATH\n");
+    return 2;
+  }
+  const std::vector<Stream> Streams = makeStreams(Opts);
+
+  persist::CheckpointManager Store(Opts.Dir);
+  service::MonitorService Service(
+      {Opts.Workers, Opts.QueueCapacity, Opts.Policy,
+       /*ValidateBatches=*/true, {}});
+  for (const Stream &S : Streams)
+    Service.addStream(*S.Map);
+  Service.attachPersistence(Store);
+  const service::RestoreOutcome Outcome = Service.restore();
+
+  const service::ServiceSnapshot Snap = Service.snapshot();
+  std::printf("%s: %s (sequence %llu)\n", Opts.Dir.c_str(),
+              service::toString(Outcome),
+              static_cast<unsigned long long>(Service.persistedSequence()));
+  printRecovery(Store.counters());
+  std::printf("  aggregate: %llu batches, %llu intervals, %llu phase "
+              "changes, UCR %.1f%%\n",
+              static_cast<unsigned long long>(Snap.BatchesSubmitted),
+              static_cast<unsigned long long>(Snap.IntervalsProcessed),
+              static_cast<unsigned long long>(Snap.PhaseChanges),
+              Snap.ucrFraction() * 100.0);
+  printStreamTable(Snap);
   return 0;
 }
 
@@ -456,5 +614,9 @@ int main(int Argc, char **Argv) {
     return cmdSweep(Opts);
   if (Opts.Command == "serve")
     return cmdServe(Opts);
+  if (Opts.Command == "checkpoint")
+    return cmdCheckpoint(Opts);
+  if (Opts.Command == "restore")
+    return cmdRestore(Opts);
   return usage(Argv[0]);
 }
