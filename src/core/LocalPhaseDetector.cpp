@@ -43,6 +43,7 @@ LocalPhaseState
 LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
   assert(CurrHist.size() == PrevHist.size() &&
          "histogram does not match the region");
+  StateBefore = State;
   if (Config.MinObserveSamples > 0) {
     std::uint64_t Total = 0;
     for (std::uint32_t Bin : CurrHist)
@@ -56,7 +57,7 @@ LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
     }
   }
   ++Observed;
-  const LocalPhaseState Before = State;
+  const LocalPhaseState Before = StateBefore;
 
   if (!PrevValid) {
     // First non-empty interval: nothing to compare against yet.

@@ -117,6 +117,12 @@ public:
   std::uint64_t skippedUndersampled() const { return SkippedUndersampled; }
   /// Returns true if the most recent \ref observe changed phase.
   bool lastObservationChangedPhase() const { return LastWasChange; }
+  /// Returns the state the machine held when the most recent \ref observe
+  /// began (equal to \ref state when that observation held or was gated).
+  /// Lets instrumentation report every state *entry* -- including
+  /// Unstable -> LessUnstable, which \ref lastObservationChangedPhase
+  /// deliberately does not count as a phase change.
+  LocalPhaseState stateBeforeLastObserve() const { return StateBefore; }
 
   /// Returns the frozen stable sample set (meaningful when not Unstable).
   std::span<const std::uint32_t> stableSet() const { return PrevHist; }
@@ -132,6 +138,7 @@ private:
   std::vector<std::uint32_t> PrevHist;
   bool PrevValid = false;
   LocalPhaseState State = LocalPhaseState::Unstable;
+  LocalPhaseState StateBefore = LocalPhaseState::Unstable;
   double LastR = 0;
   bool LastWasChange = false;
   std::uint64_t PhaseChanges = 0;

@@ -13,10 +13,26 @@
 using namespace regmon;
 using namespace regmon::core;
 
+namespace {
+
+obs::EventKind phaseEntryKind(LocalPhaseState S) {
+  switch (S) {
+  case LocalPhaseState::Unstable:
+    return obs::EventKind::PhaseEnteredUnstable;
+  case LocalPhaseState::LessUnstable:
+    return obs::EventKind::PhaseEnteredLessUnstable;
+  case LocalPhaseState::Stable:
+    return obs::EventKind::PhaseEnteredStable;
+  }
+  return obs::EventKind::PhaseEnteredUnstable;
+}
+
+} // namespace
+
 RegionMonitor::RegionMonitor(const CodeMap &CM, RegionMonitorConfig Cfg)
     : Map(CM), Config(Cfg),
       Attrib(makeAttributor(Config.Attribution)),
-      Metric(makeSimilarity(Config.Similarity)) {
+      Metric(makeSimilarity(Config.Similarity, &SimilarityFellBack)) {
   assert(Config.UcrTriggerFraction >= 0 && Config.UcrTriggerFraction <= 1 &&
          "UCR trigger must be a fraction");
   assert(Config.MaxRegions > 0 && "must allow at least one region");
@@ -26,7 +42,43 @@ void RegionMonitor::setEventHandler(EventHandler H) {
   Handler = std::move(H);
 }
 
+void RegionMonitor::attachObservability(const obs::MonitorInstruments *O) {
+  Obs = O;
+  if (Obs && SimilarityFellBack) {
+    obs::addTo(Obs->SimilarityFallbacks);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::SimilarityFallback,
+                     Obs->Stream, 0, Intervals);
+  }
+}
+
 void RegionMonitor::emit(RegionEvent::Kind K, RegionId Id) {
+  if (Obs) {
+    switch (K) {
+    case RegionEvent::Kind::Formed:
+      obs::addTo(Obs->RegionsFormed);
+      obs::recordEvent(Obs->Tracer, obs::EventKind::RegionFormed, Obs->Stream,
+                       Id, Intervals);
+      break;
+    case RegionEvent::Kind::Pruned:
+      obs::addTo(Obs->RegionsRetired);
+      obs::recordEvent(Obs->Tracer, obs::EventKind::RegionRetired, Obs->Stream,
+                       Id, Intervals);
+      break;
+    case RegionEvent::Kind::BecameStable:
+    case RegionEvent::Kind::BecameUnstable:
+      // The state-entry event (with its r) is recorded at the observe
+      // site, which also sees the Unstable -> LessUnstable entries this
+      // callback never fires for.
+      obs::addTo(Obs->PhaseChanges);
+      break;
+    case RegionEvent::Kind::MissPhaseChange:
+      obs::addTo(Obs->MissPhaseChanges);
+      obs::recordEvent(Obs->Tracer, obs::EventKind::MissPhaseChange,
+                       Obs->Stream, Id, Intervals,
+                       MissDetectors[Id] ? MissDetectors[Id]->lastR() : 0.0);
+      break;
+    }
+  }
   if (Handler)
     Handler(RegionEvent{K, Id, Intervals});
 }
@@ -87,6 +139,7 @@ void RegionMonitor::reset() {
   Intervals = 0;
   FormationTriggers = 0;
   UndersampledIntervals = 0;
+  OutOfRegionSamples = 0;
 }
 
 const LocalPhaseDetector &RegionMonitor::detector(RegionId Id) const {
@@ -170,6 +223,7 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
 
   // 1. Attribute every sample; unmatched samples belong to the UCR.
   UcrScratch.clear();
+  std::uint64_t RejectedNow = 0;
   for (const Sample &S : Samples) {
     LookupScratch.clear();
     Attrib->lookup(S.Pc, LookupScratch);
@@ -178,11 +232,18 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
       continue;
     }
     for (RegionId Id : LookupScratch) {
-      CurrHists[Id].addSample(S.Pc);
+      if (!CurrHists[Id].tryAddSample(S.Pc)) {
+        // The attribution index said the PC falls inside this region but
+        // the histogram's bounds disagree -- a corrupted PC or a hostile
+        // restore desynchronized the two. Count it, never write OOB.
+        ++RejectedNow;
+        continue;
+      }
       if (S.DCacheMiss)
         CurrMissHists[Id].addSample(S.Pc);
     }
   }
+  OutOfRegionSamples += RejectedNow;
   const double UcrFraction = static_cast<double>(UcrScratch.size()) /
                              static_cast<double>(Samples.size());
   UcrHistory.push_back(UcrFraction);
@@ -213,6 +274,13 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
       LastSampledInterval[Id] = Intervals;
       if (!Undersampled) {
         Detectors[Id]->observe(Curr.bins());
+        if (Obs) {
+          obs::observeIn(Obs->PhaseR, Detectors[Id]->lastR());
+          const LocalPhaseState Now = Detectors[Id]->state();
+          if (Now != Detectors[Id]->stateBeforeLastObserve())
+            obs::recordEvent(Obs->Tracer, phaseEntryKind(Now), Obs->Stream,
+                             Id, Intervals, Detectors[Id]->lastR());
+        }
         if (Detectors[Id]->lastObservationChangedPhase())
           emit(Detectors[Id]->state() == LocalPhaseState::Stable
                    ? RegionEvent::Kind::BecameStable
@@ -258,11 +326,30 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
   if (Config.PruneColdRegions)
     pruneCold();
 
+  // Per-interval observability roll-up: a handful of relaxed atomic adds,
+  // never per-sample work, so full instrumentation stays within the <3%
+  // overhead budget (bench_obs_overhead).
+  if (Obs) {
+    obs::addTo(Obs->Intervals);
+    obs::addTo(Obs->SamplesTotal, Samples.size());
+    obs::addTo(Obs->SamplesUcr, UcrScratch.size());
+    obs::addTo(Obs->SamplesOutOfRegion, RejectedNow);
+    if (Undersampled)
+      obs::addTo(Obs->UndersampledIntervals);
+    obs::setGauge(Obs->LastUcrFraction, UcrFraction);
+    obs::setGauge(Obs->ActiveRegions,
+                  static_cast<double>(activeRegionCount()));
+    obs::observeIn(Obs->IntervalSamples,
+                   static_cast<double>(Samples.size()));
+  }
+
   ++Intervals;
 }
 
 void RegionMonitor::triggerFormation(std::span<const Addr> UcrPcs) {
   ++FormationTriggers;
+  if (Obs)
+    obs::addTo(Obs->FormationTriggers);
 
   // Group the unmonitored samples by the formable region (if any) that the
   // code oracle proposes for them. std::map keys give deterministic order.

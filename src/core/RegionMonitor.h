@@ -37,6 +37,7 @@
 #include "core/LocalPhaseDetector.h"
 #include "core/Region.h"
 #include "core/Similarity.h"
+#include "obs/Instruments.h"
 #include "support/Histogram.h"
 #include "support/Statistics.h"
 #include "support/Types.h"
@@ -244,6 +245,22 @@ public:
   /// Returns the configuration in use.
   const RegionMonitorConfig &config() const { return Config; }
 
+  /// Attaches observability instruments (obs layer). \p O may be null to
+  /// detach; otherwise it must outlive the monitor. The monitor records
+  /// per-interval counter roll-ups and phase-lifecycle events against it;
+  /// with no instruments attached the overhead is one pointer test per
+  /// interval.
+  void attachObservability(const obs::MonitorInstruments *O);
+
+  /// Returns true if the configured similarity kind was out of enum and
+  /// the constructor fell back to Pearson (see \ref makeSimilarity).
+  bool similarityFellBack() const { return SimilarityFellBack; }
+
+  /// Returns the number of attributed samples rejected by a region
+  /// histogram's bounds check (corrupted PCs / hostile restores; see
+  /// \ref InstrHistogram::tryAddSample).
+  std::uint64_t outOfRegionSamples() const { return OutOfRegionSamples; }
+
 private:
   /// Checkpointing serializes every learned field below (scratch buffers
   /// and the event handler excluded) and re-inserts active regions into
@@ -257,8 +274,12 @@ private:
   const CodeMap &Map;
   RegionMonitorConfig Config;
   std::unique_ptr<Attributor> Attrib;
+  /// Declared before Metric: the constructor's makeSimilarity call writes
+  /// through its address, so it must be initialized first.
+  bool SimilarityFellBack = false;
   std::unique_ptr<SimilarityMetric> Metric;
   EventHandler Handler;
+  const obs::MonitorInstruments *Obs = nullptr;
 
   std::vector<Region> Regions;
   std::vector<bool> Active;
@@ -280,6 +301,7 @@ private:
   std::uint64_t Intervals = 0;
   std::uint64_t FormationTriggers = 0;
   std::uint64_t UndersampledIntervals = 0;
+  std::uint64_t OutOfRegionSamples = 0;
 
   // Reused scratch buffers (hot path).
   std::vector<RegionId> LookupScratch;

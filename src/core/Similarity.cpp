@@ -60,7 +60,9 @@ OverlapSimilarity::compare(std::span<const std::uint32_t> Stable,
 }
 
 std::unique_ptr<SimilarityMetric>
-regmon::core::makeSimilarity(SimilarityKind Kind) {
+regmon::core::makeSimilarity(SimilarityKind Kind, bool *UsedFallback) {
+  if (UsedFallback)
+    *UsedFallback = false;
   switch (Kind) {
   case SimilarityKind::Pearson:
     return std::make_unique<PearsonSimilarity>();
@@ -69,5 +71,9 @@ regmon::core::makeSimilarity(SimilarityKind Kind) {
   case SimilarityKind::Overlap:
     return std::make_unique<OverlapSimilarity>();
   }
-  return nullptr;
+  // Out-of-enum Kind: fall back to the paper's metric rather than hand
+  // callers a null pointer they dereference unchecked.
+  if (UsedFallback)
+    *UsedFallback = true;
+  return std::make_unique<PearsonSimilarity>();
 }

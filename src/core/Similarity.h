@@ -83,8 +83,14 @@ enum class SimilarityKind : std::uint8_t {
   Overlap,
 };
 
-/// Factory for the metric selected by \p Kind.
-std::unique_ptr<SimilarityMetric> makeSimilarity(SimilarityKind Kind);
+/// Factory for the metric selected by \p Kind. An out-of-enum \p Kind --
+/// reachable through a corrupted checkpoint restore or a casted config --
+/// falls back to the paper's Pearson metric instead of returning null for
+/// callers to dereference; when \p UsedFallback is non-null it is set to
+/// true in that case (false otherwise) so callers can report the repair
+/// through the SimilarityFallbacks metric.
+std::unique_ptr<SimilarityMetric>
+makeSimilarity(SimilarityKind Kind, bool *UsedFallback = nullptr);
 
 } // namespace regmon::core
 

@@ -53,6 +53,18 @@ GlobalPhaseState CentroidPhaseDetector::observeCentroid(double Centroid) {
   if (Config.AdaptiveWindow)
     adaptWindow();
   noteState();
+  if (Obs) {
+    obs::addTo(Obs->Intervals);
+    if (State == GlobalPhaseState::Stable)
+      obs::addTo(Obs->StableIntervals);
+    if (LastWasChange) {
+      obs::addTo(Obs->PhaseChanges);
+      // Intervals was just advanced by noteState(); the event belongs to
+      // the interval that caused the change.
+      obs::recordEvent(Obs->Tracer, obs::EventKind::GlobalPhaseChange,
+                       Obs->Stream, 0, Intervals - 1, Centroid);
+    }
+  }
   return State;
 }
 

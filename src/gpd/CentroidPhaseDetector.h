@@ -35,6 +35,7 @@
 #ifndef REGMON_GPD_CENTROIDPHASEDETECTOR_H
 #define REGMON_GPD_CENTROIDPHASEDETECTOR_H
 
+#include "obs/Instruments.h"
 #include "support/Statistics.h"
 #include "support/Types.h"
 
@@ -124,6 +125,11 @@ public:
   /// Returns the detector configuration.
   const CentroidConfig &config() const { return Config; }
 
+  /// Attaches observability instruments (obs layer). \p O may be null to
+  /// detach; otherwise it must outlive the detector. Events use the
+  /// detector's interval count as their logical clock.
+  void attachObservability(const obs::GpdInstruments *O) { Obs = O; }
+
 private:
   /// Checkpointing serializes the centroid history, state machine, and
   /// timeline (persist/StateCodec.h).
@@ -135,6 +141,7 @@ private:
   void adaptWindow();
 
   CentroidConfig Config;
+  const obs::GpdInstruments *Obs = nullptr;
   WindowedStats History;
   GlobalPhaseState State = GlobalPhaseState::Unstable;
   unsigned Timer = 0;

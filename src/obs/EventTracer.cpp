@@ -1,0 +1,112 @@
+//===- obs/EventTracer.cpp - Bounded typed phase-lifecycle event ring -----===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventTracer.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace regmon::obs {
+
+std::string_view toString(EventKind K) {
+  switch (K) {
+  case EventKind::RegionFormed:
+    return "region-formed";
+  case EventKind::RegionRetired:
+    return "region-retired";
+  case EventKind::PhaseEnteredUnstable:
+    return "phase-entered-unstable";
+  case EventKind::PhaseEnteredLessUnstable:
+    return "phase-entered-less-unstable";
+  case EventKind::PhaseEnteredStable:
+    return "phase-entered-stable";
+  case EventKind::MissPhaseChange:
+    return "miss-phase-change";
+  case EventKind::GlobalPhaseChange:
+    return "global-phase-change";
+  case EventKind::CheckpointCommitted:
+    return "checkpoint-committed";
+  case EventKind::CheckpointCommitFailed:
+    return "checkpoint-commit-failed";
+  case EventKind::CheckpointFallback:
+    return "checkpoint-fallback";
+  case EventKind::CheckpointColdStart:
+    return "checkpoint-cold-start";
+  case EventKind::JournalReplayed:
+    return "journal-replayed";
+  case EventKind::StreamQuarantined:
+    return "stream-quarantined";
+  case EventKind::StreamRecovered:
+    return "stream-recovered";
+  case EventKind::TraceDeployed:
+    return "trace-deployed";
+  case EventKind::TraceUndone:
+    return "trace-undone";
+  case EventKind::TraceSelfUndo:
+    return "trace-self-undo";
+  case EventKind::SimilarityFallback:
+    return "similarity-fallback";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t Capacity)
+    : Cap(Capacity == 0 ? 1 : Capacity) {
+  Ring.resize(Cap);
+}
+
+void EventTracer::record(const TraceEvent &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring[Head] = E;
+  Head = (Head + 1) % Cap;
+  if (Count < Cap)
+    ++Count;
+  ++TotalRecorded;
+}
+
+std::uint64_t EventTracer::recorded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TotalRecorded;
+}
+
+std::uint64_t EventTracer::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TotalRecorded - Count;
+}
+
+std::vector<TraceEvent> EventTracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  Out.reserve(Count);
+  // Oldest retained event sits just past Head once the ring has wrapped.
+  const std::size_t Start = (Head + Cap - Count) % Cap;
+  for (std::size_t I = 0; I < Count; ++I)
+    Out.push_back(Ring[(Start + I) % Cap]);
+  return Out;
+}
+
+std::vector<TraceEvent> EventTracer::sortedSnapshot() const {
+  std::vector<TraceEvent> Out = snapshot();
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return std::make_tuple(A.Interval, A.Stream, A.Region,
+                                            static_cast<std::uint8_t>(A.Kind),
+                                            A.Value) <
+                            std::make_tuple(B.Interval, B.Stream, B.Region,
+                                            static_cast<std::uint8_t>(B.Kind),
+                                            B.Value);
+                   });
+  return Out;
+}
+
+void EventTracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Head = 0;
+  Count = 0;
+  TotalRecorded = 0;
+}
+
+} // namespace regmon::obs

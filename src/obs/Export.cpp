@@ -1,0 +1,220 @@
+//===- obs/Export.cpp - Byte-stable Prometheus and JSON exporters ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include <charconv>
+#include <cstdint>
+
+namespace regmon::obs {
+namespace {
+
+constexpr std::string_view Prefix = "regmon_";
+
+void appendEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+}
+
+void appendU64(std::string &Out, std::uint64_t V) {
+  char Buf[24];
+  auto Res = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  Out.append(Buf, Res.ptr);
+}
+
+/// Emits `name{label,extra}` with either, both, or neither label part.
+void appendSeries(std::string &Out, std::string_view Name,
+                  std::string_view Label, std::string_view Extra = "") {
+  Out.append(Prefix);
+  Out.append(Name);
+  if (!Label.empty() || !Extra.empty()) {
+    Out.push_back('{');
+    Out.append(Label);
+    if (!Label.empty() && !Extra.empty())
+      Out.push_back(',');
+    Out.append(Extra);
+    Out.push_back('}');
+  }
+}
+
+std::string_view kindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "untyped";
+}
+
+} // namespace
+
+std::string formatDouble(double V) {
+  char Buf[64];
+  auto Res = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  return std::string(Buf, Res.ptr);
+}
+
+std::string exportPrometheus(const MetricsRegistry &Registry) {
+  std::string Out;
+  std::string LastName;
+  for (const MetricValue &M : Registry.collect()) {
+    // HELP/TYPE headers once per name; labeled series of the same name
+    // are adjacent because collect() orders by (name, label).
+    if (M.Name != LastName) {
+      LastName = M.Name;
+      if (!M.Help.empty()) {
+        Out.append("# HELP ");
+        Out.append(Prefix);
+        Out.append(M.Name);
+        Out.push_back(' ');
+        Out.append(M.Help);
+        Out.push_back('\n');
+      }
+      Out.append("# TYPE ");
+      Out.append(Prefix);
+      Out.append(M.Name);
+      Out.push_back(' ');
+      Out.append(kindName(M.Kind));
+      Out.push_back('\n');
+    }
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      appendSeries(Out, M.Name, M.Label);
+      Out.push_back(' ');
+      appendU64(Out, M.CounterValue);
+      Out.push_back('\n');
+      break;
+    case MetricKind::Gauge:
+      appendSeries(Out, M.Name, M.Label);
+      Out.push_back(' ');
+      Out.append(formatDouble(M.GaugeValue));
+      Out.push_back('\n');
+      break;
+    case MetricKind::Histogram: {
+      std::uint64_t Cum = 0;
+      for (std::size_t I = 0; I < M.BucketCounts.size(); ++I) {
+        Cum += M.BucketCounts[I];
+        std::string Le = "le=\"";
+        Le += I < M.Bounds.size() ? formatDouble(M.Bounds[I]) : "+Inf";
+        Le += '"';
+        appendSeries(Out, std::string(M.Name) + "_bucket", M.Label, Le);
+        Out.push_back(' ');
+        appendU64(Out, Cum);
+        Out.push_back('\n');
+      }
+      appendSeries(Out, std::string(M.Name) + "_count", M.Label);
+      Out.push_back(' ');
+      appendU64(Out, M.Count);
+      Out.push_back('\n');
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string exportJson(const MetricsRegistry &Registry,
+                       const EventTracer *Tracer) {
+  std::string Out = "{\"metrics\":[";
+  bool First = true;
+  for (const MetricValue &M : Registry.collect()) {
+    if (!First)
+      Out.push_back(',');
+    First = false;
+    Out.append("{\"name\":\"");
+    appendEscaped(Out, M.Name);
+    Out.append("\",\"label\":\"");
+    appendEscaped(Out, M.Label);
+    Out.append("\",\"type\":\"");
+    Out.append(kindName(M.Kind));
+    Out.push_back('"');
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      Out.append(",\"value\":");
+      appendU64(Out, M.CounterValue);
+      break;
+    case MetricKind::Gauge:
+      Out.append(",\"value\":");
+      Out.append(formatDouble(M.GaugeValue));
+      break;
+    case MetricKind::Histogram: {
+      Out.append(",\"bounds\":[");
+      for (std::size_t I = 0; I < M.Bounds.size(); ++I) {
+        if (I)
+          Out.push_back(',');
+        Out.append(formatDouble(M.Bounds[I]));
+      }
+      Out.append("],\"buckets\":[");
+      for (std::size_t I = 0; I < M.BucketCounts.size(); ++I) {
+        if (I)
+          Out.push_back(',');
+        appendU64(Out, M.BucketCounts[I]);
+      }
+      Out.append("],\"count\":");
+      appendU64(Out, M.Count);
+      break;
+    }
+    }
+    Out.push_back('}');
+  }
+  Out.append("]");
+  if (Tracer) {
+    Out.append(",\"events\":[");
+    First = true;
+    for (const TraceEvent &E : Tracer->sortedSnapshot()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Out.append("{\"kind\":\"");
+      Out.append(toString(E.Kind));
+      Out.append("\",\"stream\":");
+      appendU64(Out, E.Stream);
+      Out.append(",\"region\":");
+      appendU64(Out, E.Region);
+      Out.append(",\"interval\":");
+      appendU64(Out, E.Interval);
+      Out.append(",\"value\":");
+      Out.append(formatDouble(E.Value));
+      Out.push_back('}');
+    }
+    Out.append("],\"dropped_events\":");
+    appendU64(Out, Tracer->dropped());
+  }
+  Out.push_back('}');
+  return Out;
+}
+
+std::string exportTraceText(const EventTracer &Tracer) {
+  std::string Out;
+  for (const TraceEvent &E : Tracer.sortedSnapshot()) {
+    Out.append("interval=");
+    appendU64(Out, E.Interval);
+    Out.append(" stream=");
+    appendU64(Out, E.Stream);
+    Out.append(" region=");
+    appendU64(Out, E.Region);
+    Out.append(" kind=");
+    Out.append(toString(E.Kind));
+    Out.append(" value=");
+    Out.append(formatDouble(E.Value));
+    Out.push_back('\n');
+  }
+  const std::uint64_t Dropped = Tracer.dropped();
+  if (Dropped != 0) {
+    Out.append("# dropped=");
+    appendU64(Out, Dropped);
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+} // namespace regmon::obs

@@ -1,0 +1,131 @@
+//===- obs/Instruments.cpp - Per-subsystem metric pointer bundles ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Instruments.h"
+
+namespace regmon::obs {
+
+std::string streamLabel(std::uint32_t Stream) {
+  std::string Out = "stream=\"";
+  Out += std::to_string(Stream);
+  Out += '"';
+  return Out;
+}
+
+MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label) {
+  MonitorInstruments I;
+  I.Intervals = &Registry.counter("monitor_intervals_total",
+                                  "intervals observed by the monitor", Label);
+  I.UndersampledIntervals =
+      &Registry.counter("monitor_undersampled_intervals_total",
+                        "intervals skipped by the degraded-mode gate", Label);
+  I.SamplesTotal = &Registry.counter("monitor_samples_total",
+                                     "PC samples attributed", Label);
+  I.SamplesUcr = &Registry.counter(
+      "monitor_samples_ucr_total", "samples landing in uncovered code", Label);
+  I.SamplesOutOfRegion = &Registry.counter(
+      "monitor_samples_out_of_region_total",
+      "samples rejected by a region histogram's bounds check", Label);
+  I.RegionsFormed = &Registry.counter("monitor_regions_formed_total",
+                                      "regions formed from UCR spikes", Label);
+  I.RegionsRetired = &Registry.counter("monitor_regions_retired_total",
+                                       "cold regions pruned", Label);
+  I.FormationTriggers =
+      &Registry.counter("monitor_formation_triggers_total",
+                        "UCR threshold crossings that ran formation", Label);
+  I.PhaseChanges =
+      &Registry.counter("monitor_phase_changes_total",
+                        "LPD stable-boundary phase changes", Label);
+  I.MissPhaseChanges =
+      &Registry.counter("monitor_miss_phase_changes_total",
+                        "cache-miss phase changes on stable regions", Label);
+  I.SimilarityFallbacks = &Registry.counter(
+      "monitor_similarity_fallbacks_total",
+      "out-of-enum similarity kinds replaced by Pearson", Label);
+  I.ActiveRegions = &Registry.gauge("monitor_active_regions",
+                                    "regions currently tracked", Label);
+  I.LastUcrFraction = &Registry.gauge(
+      "monitor_last_ucr_fraction", "UCR fraction of the last interval", Label);
+  I.IntervalSamples = &Registry.histogram(
+      "monitor_interval_samples", {0, 64, 256, 1024, 4096, 16384},
+      "samples delivered per interval", Label);
+  I.PhaseR = &Registry.histogram(
+      "monitor_phase_r", {-0.5, 0, 0.5, 0.8, 0.9, 0.95, 1},
+      "Pearson r per region observation", Label);
+  I.Tracer = Tracer;
+  I.Stream = Stream;
+  return I;
+}
+
+GpdInstruments makeGpdInstruments(MetricsRegistry &Registry,
+                                  EventTracer *Tracer, std::uint32_t Stream,
+                                  std::string_view Label) {
+  GpdInstruments I;
+  I.Intervals = &Registry.counter("gpd_intervals_total",
+                                  "intervals observed by the GPD", Label);
+  I.PhaseChanges = &Registry.counter("gpd_phase_changes_total",
+                                     "centroid phase changes", Label);
+  I.StableIntervals = &Registry.counter("gpd_stable_intervals_total",
+                                        "intervals classified stable", Label);
+  I.Tracer = Tracer;
+  I.Stream = Stream;
+  return I;
+}
+
+RtoInstruments makeRtoInstruments(MetricsRegistry &Registry,
+                                  EventTracer *Tracer, std::uint32_t Stream,
+                                  std::string_view Label) {
+  RtoInstruments I;
+  I.Patches = &Registry.counter("rto_patches_total",
+                                "optimized traces deployed", Label);
+  I.Unpatches = &Registry.counter("rto_unpatches_total",
+                                  "optimized traces undone", Label);
+  I.FailedPatches = &Registry.counter("rto_failed_patches_total",
+                                      "trace deployments that failed", Label);
+  I.SelfUndos = &Registry.counter(
+      "rto_self_undos_total", "regressions undone by self-monitoring", Label);
+  I.Tracer = Tracer;
+  I.Stream = Stream;
+  return I;
+}
+
+PersistInstruments makePersistInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label) {
+  PersistInstruments I;
+  I.SnapshotsCommitted = &Registry.counter("persist_snapshots_committed_total",
+                                           "checkpoint commits", Label);
+  I.CommitFailures = &Registry.counter("persist_commit_failures_total",
+                                       "checkpoint commits that failed", Label);
+  I.CorruptSnapshots =
+      &Registry.counter("persist_corrupt_snapshots_total",
+                        "snapshot rungs rejected as corrupt", Label);
+  I.FallbacksUsed =
+      &Registry.counter("persist_fallbacks_total",
+                        "restores that fell back to an older rung", Label);
+  I.ColdStarts = &Registry.counter("persist_cold_starts_total",
+                                   "restores with no usable state", Label);
+  I.JournalRecordsReplayed = &Registry.counter(
+      "persist_journal_records_replayed_total", "journal records replayed",
+      Label);
+  I.JournalRecordsSkipped = &Registry.counter(
+      "persist_journal_records_skipped_total",
+      "already-compacted journal records skipped", Label);
+  I.JournalTornTails =
+      &Registry.counter("persist_journal_torn_tails_total",
+                        "torn journal tails detected", Label);
+  I.JournalRepairs = &Registry.counter("persist_journal_repairs_total",
+                                       "journal tails truncated clean", Label);
+  I.Tracer = Tracer;
+  I.Stream = Stream;
+  return I;
+}
+
+} // namespace regmon::obs

@@ -1,0 +1,144 @@
+//===- obs/Instruments.h - Per-subsystem metric pointer bundles -*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrument bundles: plain structs of Counter/Gauge/Histogram pointers
+/// (plus an optional tracer) that instrumented subsystems hold by const
+/// pointer. Every field may be null -- use the addTo/setGauge/observeIn/
+/// recordEvent helpers, which are no-ops on null -- so partially wired
+/// instrumentation never branches into undefined behaviour and the
+/// uninstrumented configuration costs one pointer test per interval.
+///
+/// The make*Instruments factories register the canonical metric
+/// catalogue (DESIGN.md §11) against a registry, labelling per-stream
+/// series as `stream="N"`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_OBS_INSTRUMENTS_H
+#define REGMON_OBS_INSTRUMENTS_H
+
+#include "obs/EventTracer.h"
+#include "obs/Metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace regmon::obs {
+
+/// Adds \p N to \p C when wired.
+inline void addTo(Counter *C, std::uint64_t N = 1) {
+  if (C)
+    C->add(N);
+}
+
+/// Stores \p V into \p G when wired.
+inline void setGauge(Gauge *G, double V) {
+  if (G)
+    G->set(V);
+}
+
+/// Observes \p V in \p H when wired.
+inline void observeIn(BucketHistogram *H, double V) {
+  if (H)
+    H->observe(V);
+}
+
+/// Records an event when \p T is wired.
+inline void recordEvent(EventTracer *T, EventKind Kind, std::uint32_t Stream,
+                        std::uint64_t Region, std::uint64_t Interval,
+                        double Value = 0.0) {
+  if (T)
+    T->record(TraceEvent{Kind, Stream, Region, Interval, Value});
+}
+
+/// Instruments for one RegionMonitor (core layer). The monitor's own
+/// interval index is the logical clock for every event it records.
+struct MonitorInstruments {
+  Counter *Intervals = nullptr;
+  Counter *UndersampledIntervals = nullptr;
+  Counter *SamplesTotal = nullptr;
+  Counter *SamplesUcr = nullptr;
+  Counter *SamplesOutOfRegion = nullptr;
+  Counter *RegionsFormed = nullptr;
+  Counter *RegionsRetired = nullptr;
+  Counter *FormationTriggers = nullptr;
+  Counter *PhaseChanges = nullptr;
+  Counter *MissPhaseChanges = nullptr;
+  Counter *SimilarityFallbacks = nullptr;
+  Gauge *ActiveRegions = nullptr;
+  Gauge *LastUcrFraction = nullptr;
+  BucketHistogram *IntervalSamples = nullptr;
+  BucketHistogram *PhaseR = nullptr;
+  EventTracer *Tracer = nullptr;
+  std::uint32_t Stream = 0; ///< stream label stamped on events
+};
+
+/// Instruments for the centroid GPD baseline.
+struct GpdInstruments {
+  Counter *Intervals = nullptr;
+  Counter *PhaseChanges = nullptr;
+  Counter *StableIntervals = nullptr;
+  EventTracer *Tracer = nullptr;
+  std::uint32_t Stream = 0;
+};
+
+/// Instruments for the RTO harness (trace deploy/undo lifecycle).
+struct RtoInstruments {
+  Counter *Patches = nullptr;
+  Counter *Unpatches = nullptr;
+  Counter *FailedPatches = nullptr;
+  Counter *SelfUndos = nullptr;
+  EventTracer *Tracer = nullptr;
+  std::uint32_t Stream = 0;
+};
+
+/// Instruments for the checkpoint/restore layer. Events use journal
+/// sequence numbers (or running commit counts) as their logical clock.
+struct PersistInstruments {
+  Counter *SnapshotsCommitted = nullptr;
+  Counter *CommitFailures = nullptr;
+  Counter *CorruptSnapshots = nullptr;
+  Counter *FallbacksUsed = nullptr;
+  Counter *ColdStarts = nullptr;
+  Counter *JournalRecordsReplayed = nullptr;
+  Counter *JournalRecordsSkipped = nullptr;
+  Counter *JournalTornTails = nullptr;
+  Counter *JournalRepairs = nullptr;
+  EventTracer *Tracer = nullptr;
+  std::uint32_t Stream = 0;
+};
+
+/// Registers the monitor metric catalogue for stream \p Stream under the
+/// label \p Label (pass "" for an unlabelled single-monitor setup).
+MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label);
+
+/// Registers the GPD metric catalogue.
+GpdInstruments makeGpdInstruments(MetricsRegistry &Registry,
+                                  EventTracer *Tracer, std::uint32_t Stream,
+                                  std::string_view Label);
+
+/// Registers the RTO metric catalogue.
+RtoInstruments makeRtoInstruments(MetricsRegistry &Registry,
+                                  EventTracer *Tracer, std::uint32_t Stream,
+                                  std::string_view Label);
+
+/// Registers the checkpoint/restore metric catalogue.
+PersistInstruments makePersistInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label);
+
+/// Formats the canonical per-stream label `stream="N"`.
+std::string streamLabel(std::uint32_t Stream);
+
+} // namespace regmon::obs
+
+#endif // REGMON_OBS_INSTRUMENTS_H

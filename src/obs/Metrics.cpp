@@ -1,0 +1,86 @@
+//===- obs/Metrics.cpp - Deterministic lock-free metrics registry ---------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+namespace regmon::obs {
+
+MetricsRegistry::Entry &MetricsRegistry::entry(std::string_view Name,
+                                               std::string_view Label,
+                                               MetricKind Kind,
+                                               std::string_view Help) {
+  auto Key = std::make_pair(std::string(Name), std::string(Label));
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    assert(It->second.Kind == Kind && "metric re-registered as another kind");
+    return It->second;
+  }
+  Entry &E = Entries[std::move(Key)];
+  E.Kind = Kind;
+  E.Help = std::string(Help);
+  return E;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name, std::string_view Help,
+                                  std::string_view Label) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, Label, MetricKind::Counter, Help);
+  if (!E.C)
+    E.C = std::make_unique<Counter>();
+  return *E.C;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name, std::string_view Help,
+                              std::string_view Label) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, Label, MetricKind::Gauge, Help);
+  if (!E.G)
+    E.G = std::make_unique<Gauge>();
+  return *E.G;
+}
+
+BucketHistogram &MetricsRegistry::histogram(std::string_view Name,
+                                            std::vector<double> UpperBounds,
+                                            std::string_view Help,
+                                            std::string_view Label) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, Label, MetricKind::Histogram, Help);
+  if (!E.H)
+    E.H = std::make_unique<BucketHistogram>(std::move(UpperBounds));
+  return *E.H;
+}
+
+std::vector<MetricValue> MetricsRegistry::collect() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<MetricValue> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Key, E] : Entries) {
+    MetricValue V;
+    V.Name = Key.first;
+    V.Label = Key.second;
+    V.Help = E.Help;
+    V.Kind = E.Kind;
+    switch (E.Kind) {
+    case MetricKind::Counter:
+      V.CounterValue = E.C ? E.C->value() : 0;
+      break;
+    case MetricKind::Gauge:
+      V.GaugeValue = E.G ? E.G->value() : 0.0;
+      break;
+    case MetricKind::Histogram:
+      if (E.H) {
+        V.Bounds.assign(E.H->bounds().begin(), E.H->bounds().end());
+        V.BucketCounts = E.H->bucketCounts();
+        V.Count = E.H->count();
+      }
+      break;
+    }
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+} // namespace regmon::obs

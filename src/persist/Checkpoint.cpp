@@ -30,10 +30,19 @@ std::string CheckpointManager::journalPath() const {
   return Root + "/journal.wal";
 }
 
+void CheckpointManager::noteCommitFailure(std::uint64_t CompactThroughSeq) {
+  ++Counters.CommitFailures;
+  if (Obs) {
+    obs::addTo(Obs->CommitFailures);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::CheckpointCommitFailed,
+                     Obs->Stream, 0, CompactThroughSeq);
+  }
+}
+
 bool CheckpointManager::commitSnapshot(std::span<const std::uint8_t> Encoded,
                                        std::uint64_t CompactThroughSeq) {
   if (!Valid) {
-    ++Counters.CommitFailures;
+    noteCommitFailure(CompactThroughSeq);
     return false;
   }
   // Compaction rewrites the journal file underneath the writer; release it
@@ -45,7 +54,7 @@ bool CheckpointManager::commitSnapshot(std::span<const std::uint8_t> Encoded,
   {
     FileSink Tmp(tmpSnapshotPath(), /*Append=*/false, Injected);
     if (!Tmp.write(Encoded) || !Tmp.close()) {
-      ++Counters.CommitFailures;
+      noteCommitFailure(CompactThroughSeq);
       return false;
     }
   }
@@ -53,15 +62,21 @@ bool CheckpointManager::commitSnapshot(std::span<const std::uint8_t> Encoded,
   // after this leaves no snapshot.bin; recovery falls to prev + journal.
   if (fileExists(snapshotPath()) &&
       !renameFile(snapshotPath(), prevSnapshotPath(), Injected)) {
-    ++Counters.CommitFailures;
+    noteCommitFailure(CompactThroughSeq);
     return false;
   }
   // Step 3: promote the tmp atomically; this is the commit point.
   if (!renameFile(tmpSnapshotPath(), snapshotPath(), Injected)) {
-    ++Counters.CommitFailures;
+    noteCommitFailure(CompactThroughSeq);
     return false;
   }
   ++Counters.SnapshotsCommitted;
+  if (Obs) {
+    obs::addTo(Obs->SnapshotsCommitted);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::CheckpointCommitted,
+                     Obs->Stream, 0, CompactThroughSeq,
+                     static_cast<double>(Encoded.size()));
+  }
   // Step 4: drop journal records already covered by the *fallback* rung.
   // Failure (or a crash) here is harmless -- extra records are skipped by
   // sequence number on replay -- so it does not fail the commit.
@@ -117,6 +132,8 @@ CheckpointManager::loadRung(Rung R) {
   const SnapshotError Err = decodeSnapshot(*Data, Sections);
   if (Err != SnapshotError::None) {
     ++Counters.CorruptSnapshots;
+    if (Obs)
+      obs::addTo(Obs->CorruptSnapshots);
     Counters.LastError = Err;
     return std::nullopt;
   }
@@ -124,7 +141,29 @@ CheckpointManager::loadRung(Rung R) {
   return Sections;
 }
 
-void CheckpointManager::noteDecodeFailure() { ++Counters.CorruptSnapshots; }
+void CheckpointManager::noteDecodeFailure() {
+  ++Counters.CorruptSnapshots;
+  if (Obs)
+    obs::addTo(Obs->CorruptSnapshots);
+}
+
+void CheckpointManager::noteColdStart() {
+  ++Counters.ColdStarts;
+  if (Obs) {
+    obs::addTo(Obs->ColdStarts);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::CheckpointColdStart,
+                     Obs->Stream, 0, 0);
+  }
+}
+
+void CheckpointManager::noteFallbackUsed() {
+  ++Counters.FallbacksUsed;
+  if (Obs) {
+    obs::addTo(Obs->FallbacksUsed);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::CheckpointFallback,
+                     Obs->Stream, 0, 0);
+  }
+}
 
 bool CheckpointManager::appendJournal(std::uint64_t Seq,
                                       std::span<const std::uint8_t> Payload) {
@@ -143,15 +182,28 @@ JournalResult CheckpointManager::replayAndRepair(
   JournalResult Res = replayJournal(journalPath(), SkipThroughSeq, Replay);
   Counters.JournalRecordsReplayed += Res.RecordsReplayed;
   Counters.JournalRecordsSkipped += Res.RecordsSkipped;
+  if (Obs) {
+    obs::addTo(Obs->JournalRecordsReplayed, Res.RecordsReplayed);
+    obs::addTo(Obs->JournalRecordsSkipped, Res.RecordsSkipped);
+    if (!Res.Missing)
+      obs::recordEvent(Obs->Tracer, obs::EventKind::JournalReplayed,
+                       Obs->Stream, 0, SkipThroughSeq,
+                       static_cast<double>(Res.RecordsReplayed));
+  }
   if (Res.Missing)
     return Res;
   if (Res.TornTail || Res.HeaderCorrupt) {
     ++Counters.JournalTornTails;
+    if (Obs)
+      obs::addTo(Obs->JournalTornTails);
     // Cut the file back to its valid prefix (possibly zero bytes, in which
     // case the next append rewrites the header) so new records extend a
     // well-formed journal instead of hiding behind torn bytes.
-    if (truncateFile(journalPath(), Res.ValidBytes, nullptr))
+    if (truncateFile(journalPath(), Res.ValidBytes, nullptr)) {
       ++Counters.JournalRepairs;
+      if (Obs)
+        obs::addTo(Obs->JournalRepairs);
+    }
   }
   return Res;
 }

@@ -42,6 +42,7 @@
 #ifndef REGMON_PERSIST_CHECKPOINT_H
 #define REGMON_PERSIST_CHECKPOINT_H
 
+#include "obs/Instruments.h"
 #include "persist/Journal.h"
 #include "persist/Snapshot.h"
 
@@ -95,6 +96,12 @@ public:
   /// write, rename, and truncate (nullptr disarms). Test-only seam.
   void armCrash(CrashPoint *Crash) { Injected = Crash; }
 
+  /// Attaches observability instruments (obs layer). \p O may be null to
+  /// detach; otherwise it must outlive the manager. Counters mirror
+  /// \ref RecoveryCounters; events use journal sequence numbers as their
+  /// logical clock.
+  void attachObservability(const obs::PersistInstruments *O) { Obs = O; }
+
   /// Runs the commit protocol on \p Encoded (an \ref encodeSnapshot
   /// container). \p CompactThroughSeq is the journal sequence number
   /// covered by the snapshot being rotated to the fallback rung; records
@@ -115,9 +122,9 @@ public:
   /// it as a corrupt snapshot so the reason is never silent.
   void noteDecodeFailure();
   /// The ladder ran out of rungs.
-  void noteColdStart() { ++Counters.ColdStarts; }
+  void noteColdStart();
   /// The Previous rung ended up being the one recovered from.
-  void noteFallbackUsed() { ++Counters.FallbacksUsed; }
+  void noteFallbackUsed();
 
   /// Appends one record to the journal, opening the writer on first use.
   /// False means the record is not durable and journaling is dead.
@@ -139,11 +146,15 @@ private:
   /// Rewrites the journal keeping only records with seq > \p ThroughSeq.
   bool compactJournal(std::uint64_t ThroughSeq);
 
+  /// Counts a failed commit in counters, metric, and event stream.
+  void noteCommitFailure(std::uint64_t CompactThroughSeq);
+
   std::string Root;
   bool Valid = false;
   CrashPoint *Injected = nullptr;
   JournalWriter Writer;
   RecoveryCounters Counters;
+  const obs::PersistInstruments *Obs = nullptr;
 };
 
 } // namespace regmon::persist

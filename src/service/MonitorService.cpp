@@ -87,6 +87,7 @@ StreamId MonitorService::addStream(const core::CodeMap &Map,
   const auto Id = static_cast<StreamId>(Streams.size());
   auto State = std::make_unique<StreamState>();
   State->Map = &Map;
+  State->Id = Id;
   State->Shard = static_cast<std::size_t>(mix64(Id) % Shards.size());
   State->Monitor = std::make_unique<core::RegionMonitor>(Map, MonitorConfig);
   Streams.push_back(std::move(State));
@@ -96,6 +97,38 @@ StreamId MonitorService::addStream(const core::CodeMap &Map,
 std::size_t MonitorService::shardOf(StreamId Stream) const {
   assert(Stream < Streams.size() && "unknown stream");
   return Streams[Stream]->Shard;
+}
+
+void MonitorService::attachObservability(obs::MetricsRegistry &Registry,
+                                         obs::EventTracer *Tracer) {
+  assert(!Started && "observability must be attached before start()");
+  ObsTracer = Tracer;
+  ObsSubmitted = &Registry.counter("service_batches_submitted_total",
+                                   "Batches accepted into a shard queue.");
+  ObsRejected = &Registry.counter(
+      "service_batches_rejected_total",
+      "Batches refused at the door (closed queue, dead journal, full "
+      "shard under the reject policy).");
+  ObsPoisoned = &Registry.counter("service_batches_poisoned_total",
+                                  "Structurally malformed batches.");
+  ObsQuarantines =
+      &Registry.counter("service_stream_quarantines_total",
+                        "Times any stream entered quarantine.");
+  ObsRecoveries =
+      &Registry.counter("service_stream_recoveries_total",
+                        "Times any stream recovered to healthy.");
+  ObsQueueDepth = &Registry.gauge(
+      "service_queue_depth",
+      "Queued batches across all shards at the last snapshot.");
+  ObsStreamsQuarantined = &Registry.gauge(
+      "service_streams_quarantined",
+      "Streams in the quarantined state at the last snapshot.");
+  for (auto &StPtr : Streams) {
+    StreamState &St = *StPtr;
+    St.Instruments = obs::makeMonitorInstruments(Registry, Tracer, St.Id,
+                                                 obs::streamLabel(St.Id));
+    St.Monitor->attachObservability(&St.Instruments);
+  }
 }
 
 void MonitorService::setWorkerHook(
@@ -144,6 +177,7 @@ bool MonitorService::submit(SampleBatch Batch) {
   // collector's behaviour.
   if (S.Queue.closed()) {
     Rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsRejected);
     return false;
   }
   if (Persist) {
@@ -163,6 +197,7 @@ bool MonitorService::submit(SampleBatch Batch) {
       // accepting it would let a crash silently lose acknowledged work.
       JournalDead = true;
       Rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::addTo(ObsRejected);
       return false;
     }
     ++JournalSeq;
@@ -177,14 +212,20 @@ bool MonitorService::submit(SampleBatch Batch) {
   if (!S.Queue.push(std::move(Batch))) {
     Submitted.fetch_sub(1, std::memory_order_relaxed);
     Rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsRejected);
     return false;
   }
+  obs::addTo(ObsSubmitted);
   return true;
 }
 
 bool MonitorService::admit(StreamState &St, bool Valid) {
   // Serialized per stream (see submit()); plain relaxed loads/stores are
   // enough, atomics only keep concurrent snapshot readers tear-free.
+  // The admission count is the logical clock stamped on health events:
+  // replay re-runs the same decisions, so it reproduces the same stamps.
+  const auto Clock =
+      St.AdmissionClock.fetch_add(1, std::memory_order_relaxed) + 1;
   const auto H = St.Health.load(std::memory_order_relaxed);
   const auto CleanTo = [&](StreamHealth Next) {
     const auto Streak =
@@ -196,6 +237,9 @@ bool MonitorService::admit(StreamState &St, bool Valid) {
       // starts from the base backoff again.
       St.QuarantineEpisodes.store(0, std::memory_order_relaxed);
       St.Health.store(StreamHealth::Healthy, std::memory_order_relaxed);
+      obs::addTo(ObsRecoveries);
+      obs::recordEvent(ObsTracer, obs::EventKind::StreamRecovered, St.Id, 0,
+                       Clock, static_cast<double>(Streak));
     } else {
       St.CleanStreak.store(Streak, std::memory_order_relaxed);
       St.Health.store(Next, std::memory_order_relaxed);
@@ -207,6 +251,7 @@ bool MonitorService::admit(StreamState &St, bool Valid) {
     if (Valid)
       return true;
     St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsPoisoned);
     St.ConsecutivePoisoned.store(1, std::memory_order_relaxed);
     St.CleanStreak.store(0, std::memory_order_relaxed);
     if (1 >= Config.Health.PoisonQuarantineThreshold)
@@ -221,6 +266,7 @@ bool MonitorService::admit(StreamState &St, bool Valid) {
       return true;
     }
     St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsPoisoned);
     St.CleanStreak.store(0, std::memory_order_relaxed);
     if (St.ConsecutivePoisoned.fetch_add(1, std::memory_order_relaxed) + 1 >=
         Config.Health.PoisonQuarantineThreshold)
@@ -243,6 +289,7 @@ bool MonitorService::admit(StreamState &St, bool Valid) {
       return true;
     }
     St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsPoisoned);
     quarantine(St);
     return false;
   }
@@ -253,6 +300,7 @@ bool MonitorService::admit(StreamState &St, bool Valid) {
       return true;
     }
     St.PoisonedBatches.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsPoisoned);
     quarantine(St);
     return false;
   }
@@ -268,12 +316,17 @@ void MonitorService::quarantine(StreamState &St) {
   for (std::uint64_t I = 1;
        I < Episode && Backoff < Config.Health.QuarantineMaxBatches; ++I)
     Backoff *= 2;
-  St.Backoff.store(std::min(Backoff, Config.Health.QuarantineMaxBatches),
-                   std::memory_order_relaxed);
+  const std::uint64_t Served =
+      std::min(Backoff, Config.Health.QuarantineMaxBatches);
+  St.Backoff.store(Served, std::memory_order_relaxed);
   St.QuarantineRejections.store(0, std::memory_order_relaxed);
   St.CleanStreak.store(0, std::memory_order_relaxed);
   St.ConsecutivePoisoned.store(0, std::memory_order_relaxed);
   St.Health.store(StreamHealth::Quarantined, std::memory_order_relaxed);
+  obs::addTo(ObsQuarantines);
+  obs::recordEvent(ObsTracer, obs::EventKind::StreamQuarantined, St.Id, 0,
+                   St.AdmissionClock.load(std::memory_order_relaxed),
+                   static_cast<double>(Served));
 }
 
 void MonitorService::workerLoop(Shard &S) {
@@ -366,6 +419,14 @@ ServiceSnapshot MonitorService::snapshot() const {
   // satisfies processed + dropped <= submitted.
   Snap.BatchesSubmitted = Submitted.load(std::memory_order_relaxed);
   Snap.BatchesRejected = Rejected.load(std::memory_order_relaxed);
+  // Point-in-time gauges piggyback on the snapshot walk; counters were
+  // maintained at their source sites.
+  obs::setGauge(ObsQueueDepth, static_cast<double>(Snap.QueueDepth));
+  std::uint64_t InQuarantine = 0;
+  for (const StreamSnapshot &Out : Snap.Streams)
+    if (Out.Health == StreamHealth::Quarantined)
+      ++InQuarantine;
+  obs::setGauge(ObsStreamsQuarantined, static_cast<double>(InQuarantine));
   return Snap;
 }
 
@@ -541,6 +602,7 @@ void MonitorService::resetPersistedState() {
     St.CleanStreak.store(0, std::memory_order_relaxed);
     St.Backoff.store(0, std::memory_order_relaxed);
     St.QuarantineRejections.store(0, std::memory_order_relaxed);
+    St.AdmissionClock.store(0, std::memory_order_relaxed);
   }
   for (auto &S : Shards)
     S->BatchesProcessed.store(0, std::memory_order_relaxed);

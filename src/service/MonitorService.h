@@ -32,6 +32,7 @@
 
 #include "core/CodeMap.h"
 #include "core/RegionMonitor.h"
+#include "obs/Instruments.h"
 #include "service/RingBuffer.h"
 #include "service/StreamHealth.h"
 #include "support/Types.h"
@@ -247,6 +248,20 @@ public:
   const ServiceConfig &config() const { return Config; }
 
   //===------------------------------------------------------------------===//
+  // Observability (obs layer, DESIGN.md section 11).
+  //===------------------------------------------------------------------===//
+
+  /// Registers the service metric catalogue against \p Registry, creates
+  /// per-stream monitor instruments (labelled `stream="N"`), and attaches
+  /// them to every registered stream's RegionMonitor. Health transitions
+  /// (quarantine / recovery) are recorded against \p Tracer (may be null)
+  /// using the stream's admission count as the logical clock. Must be
+  /// called after every \ref addStream and before \ref start; \p Registry
+  /// and \p Tracer must outlive the service.
+  void attachObservability(obs::MetricsRegistry &Registry,
+                           obs::EventTracer *Tracer = nullptr);
+
+  //===------------------------------------------------------------------===//
   // Crash-safe persistence (persist/Checkpoint.h, DESIGN.md section 10).
   //===------------------------------------------------------------------===//
 
@@ -290,8 +305,17 @@ private:
   /// never tear.
   struct StreamState {
     const core::CodeMap *Map = nullptr;
+    StreamId Id = 0;
     std::size_t Shard = 0;
     std::unique_ptr<core::RegionMonitor> Monitor;
+    /// Per-stream monitor instruments (wired by attachObservability; all
+    /// null pointers otherwise). Lives here so its address stays stable
+    /// for the monitor's lifetime.
+    obs::MonitorInstruments Instruments;
+    /// Admission decisions taken for this stream -- the logical clock
+    /// stamped on quarantine/recovery events (deterministic under the
+    /// per-stream submission serialization, unlike any wall clock).
+    std::atomic<std::uint64_t> AdmissionClock{0};
     std::atomic<std::uint64_t> BatchesProcessed{0};
     std::atomic<std::uint64_t> IntervalsProcessed{0};
     std::atomic<std::uint64_t> PhaseChanges{0};
@@ -351,6 +375,16 @@ private:
   std::function<void(std::size_t, const SampleBatch &)> WorkerHook;
   std::atomic<std::uint64_t> Submitted{0};
   std::atomic<std::uint64_t> Rejected{0};
+
+  // Service-wide observability (null until attachObservability).
+  obs::Counter *ObsSubmitted = nullptr;
+  obs::Counter *ObsRejected = nullptr;
+  obs::Counter *ObsPoisoned = nullptr;
+  obs::Counter *ObsQuarantines = nullptr;
+  obs::Counter *ObsRecoveries = nullptr;
+  obs::Gauge *ObsQueueDepth = nullptr;
+  obs::Gauge *ObsStreamsQuarantined = nullptr;
+  obs::EventTracer *ObsTracer = nullptr;
   std::atomic<bool> Running{false};
   std::atomic<bool> StopRequested{false};
   bool Started = false;

@@ -44,12 +44,31 @@ public:
            "region bounds must be instruction-aligned");
   }
 
-  /// Records one sample at \p Pc, which must lie inside the region.
-  void addSample(Addr Pc) {
-    const std::size_t Bin = binFor(Pc);
-    assert(Bin < Bins.size() && "sample outside the region");
+  /// Records one sample at \p Pc if it lies inside the region; returns
+  /// false -- touching nothing -- otherwise. The range check runs in every
+  /// build mode: corrupted PCs (fault injection, hostile checkpoint
+  /// restores) must not underflow the bin index or write out of bounds
+  /// just because NDEBUG stripped an assert. Callers that can see
+  /// rejections count them in the SamplesOutOfRegion metric.
+  bool tryAddSample(Addr Pc) {
+    if (Pc < StartAddr)
+      return false;
+    const std::size_t Bin =
+        static_cast<std::size_t>((Pc - StartAddr) / InstrBytes);
+    if (Bin >= Bins.size())
+      return false;
     ++Bins[Bin];
     ++TotalCount;
+    return true;
+  }
+
+  /// Records one sample at \p Pc, which must lie inside the region.
+  /// Debug builds still assert on violation; release builds ignore the
+  /// sample instead of corrupting memory.
+  void addSample(Addr Pc) {
+    const bool Ok = tryAddSample(Pc);
+    assert(Ok && "sample outside the region");
+    (void)Ok;
   }
 
   /// Zeroes all bins (begin a new interval).

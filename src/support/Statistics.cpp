@@ -83,10 +83,19 @@ double WindowedStats::stddev() const {
 }
 
 /// Shared implementation over any arithmetic element type.
+///
+/// Release-hardened contract (no asserts, no NaN): vectors of different
+/// lengths -- including one empty against one non-empty -- cannot agree in
+/// shape, so r = 0.0; two empty vectors are identically flat, so r = 1.0.
+/// A NaN result would silently fail every `r >= rt` comparison and wedge
+/// the LPD state machine in Unstable, so the final value is clamped to a
+/// finite number.
 template <typename T>
 static double pearsonImpl(std::span<const T> X, std::span<const T> Y) {
-  assert(X.size() == Y.size() && "pearson requires equal-length vectors");
-  assert(!X.empty() && "pearson requires at least one element");
+  if (X.size() != Y.size())
+    return 0.0;
+  if (X.empty())
+    return 1.0;
   const auto N = static_cast<double>(X.size());
 
   double SumX = 0, SumY = 0;
@@ -111,7 +120,8 @@ static double pearsonImpl(std::span<const T> X, std::span<const T> Y) {
     // one constant against one varying is a shape change.
     return (Sxx == 0 && Syy == 0) ? 1.0 : 0.0;
   }
-  return Sxy / (std::sqrt(Sxx) * std::sqrt(Syy));
+  const double R = Sxy / (std::sqrt(Sxx) * std::sqrt(Syy));
+  return std::isfinite(R) ? R : 0.0;
 }
 
 double regmon::pearson(std::span<const double> X, std::span<const double> Y) {

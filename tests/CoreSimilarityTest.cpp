@@ -236,4 +236,35 @@ TEST(Similarity, FactoryNames) {
   EXPECT_STREQ(makeSimilarity(SimilarityKind::Overlap)->name(), "overlap");
 }
 
+// Regression: an out-of-enum kind (a fuzzed checkpoint, a version skew in
+// a config file) used to make the factory return nullptr, which the
+// monitor then dereferenced. The factory must fall back to Pearson -- the
+// paper's metric -- and report the substitution through the out-param so
+// callers can count it.
+TEST(Similarity, HostileKindFallsBackToPearson) {
+  bool UsedFallback = false;
+  const std::unique_ptr<SimilarityMetric> Metric =
+      makeSimilarity(static_cast<SimilarityKind>(0xEF), &UsedFallback);
+  ASSERT_NE(Metric, nullptr);
+  EXPECT_STREQ(Metric->name(), "pearson");
+  EXPECT_TRUE(UsedFallback);
+}
+
+TEST(Similarity, ValidKindsDoNotReportFallback) {
+  for (const SimilarityKind Kind :
+       {SimilarityKind::Pearson, SimilarityKind::Cosine,
+        SimilarityKind::Overlap}) {
+    bool UsedFallback = true;
+    ASSERT_NE(makeSimilarity(Kind, &UsedFallback), nullptr);
+    EXPECT_FALSE(UsedFallback);
+  }
+}
+
+TEST(Similarity, HostileKindWithoutOutParamStillConstructs) {
+  const std::unique_ptr<SimilarityMetric> Metric =
+      makeSimilarity(static_cast<SimilarityKind>(0xEF));
+  ASSERT_NE(Metric, nullptr);
+  EXPECT_STREQ(Metric->name(), "pearson");
+}
+
 } // namespace

@@ -226,6 +226,31 @@ TEST(PersistSerializationRule, GatedToPersistPathOnly) {
 }
 
 //===----------------------------------------------------------------------===//
+// R7: obs-determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ObsDeterminismRule, FlagsClocksAndUnorderedContainers) {
+  auto Diags = lintFixture("obs_bad.cpp", Layer::Obs);
+  // <unordered_map> include, std::unordered_map use, time(), clock now.
+  EXPECT_EQ(countRule(Diags, "obs-determinism"), 4);
+}
+
+TEST(ObsDeterminismRule, AcceptsAtomicsMapsAndLogicalClocks) {
+  auto Diags = lintFixture("obs_good.cpp", Layer::Obs);
+  EXPECT_EQ(countRule(Diags, "obs-determinism"), 0);
+  // Atomics are legal in this layer (unlike Support) -- the whole point
+  // of the lock-free registry -- and the fixture orders them explicitly.
+  EXPECT_EQ(countRule(Diags, "concurrency"), 0);
+  EXPECT_EQ(countRule(Diags, "memory-order"), 0);
+}
+
+TEST(ObsDeterminismRule, GatedToObsLayerOnly) {
+  for (Layer L : {Layer::Deterministic, Layer::Support, Layer::Service,
+                  Layer::Tools, Layer::Bench, Layer::Tests})
+    EXPECT_EQ(countRule(lintFixture("obs_bad.cpp", L), "obs-determinism"), 0);
+}
+
+//===----------------------------------------------------------------------===//
 // Inline suppressions
 //===----------------------------------------------------------------------===//
 
@@ -292,6 +317,7 @@ TEST(Classify, LayerMatrixMatchesTree) {
   EXPECT_EQ(classifyPath("src/sampling/Sampler.cpp"), Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/faults/FaultPlan.cpp"), Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/service/MonitorService.cpp"), Layer::Service);
+  EXPECT_EQ(classifyPath("src/obs/Metrics.cpp"), Layer::Obs);
   EXPECT_EQ(classifyPath("src/support/Rng.cpp"), Layer::Support);
   EXPECT_EQ(classifyPath("src/rto/Harness.cpp"), Layer::Support);
   EXPECT_EQ(classifyPath("tools/regmon_cli.cpp"), Layer::Tools);

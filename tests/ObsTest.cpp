@@ -1,0 +1,483 @@
+//===- tests/ObsTest.cpp - Observability layer ----------------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The obs layer's contract: exact counters, byte-stable exporters, a
+// bounded event ring with honest drop accounting, and instrumentation
+// that survives the hostile inputs the release-hardening bugfixes exist
+// for -- corrupted PC storms, out-of-enum similarity kinds -- in every
+// build mode, NDEBUG included.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Instruments.h"
+#include "obs/Metrics.h"
+
+#include "core/RegionMonitor.h"
+#include "faults/FaultPlan.h"
+#include "service/MonitorService.h"
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Metric primitives and registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, CounterAccumulates) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST(ObsMetrics, GaugeLastStoreWins) {
+  Gauge G;
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+  G.set(0.25);
+  G.set(-3.5);
+  EXPECT_DOUBLE_EQ(G.value(), -3.5);
+}
+
+TEST(ObsMetrics, HistogramBucketsByUpperBound) {
+  BucketHistogram H({1.0, 10.0});
+  H.observe(0.5);  // <= 1
+  H.observe(1.0);  // <= 1 (bounds are inclusive)
+  H.observe(2.0);  // <= 10
+  H.observe(99.0); // +Inf
+  EXPECT_EQ(H.count(), 4u);
+  const std::vector<std::uint64_t> Counts = H.bucketCounts();
+  ASSERT_EQ(Counts.size(), 3u);
+  EXPECT_EQ(Counts[0], 2u);
+  EXPECT_EQ(Counts[1], 1u);
+  EXPECT_EQ(Counts[2], 1u);
+}
+
+TEST(ObsMetrics, RegistryIsIdempotentPerNameAndLabel) {
+  MetricsRegistry R;
+  Counter &A = R.counter("hits_total", "hits");
+  Counter &B = R.counter("hits_total");
+  EXPECT_EQ(&A, &B) << "same (name, label) must return the same counter";
+  Counter &Labelled = R.counter("hits_total", "hits", "stream=\"1\"");
+  EXPECT_NE(&A, &Labelled);
+  A.add(2);
+  Labelled.add(5);
+  EXPECT_EQ(R.collect().size(), 2u);
+}
+
+TEST(ObsMetrics, CollectOrdersByNameThenLabel) {
+  MetricsRegistry R;
+  R.counter("zeta_total");
+  R.counter("alpha_total", "", "stream=\"1\"");
+  R.counter("alpha_total", "", "stream=\"0\"");
+  R.gauge("mid");
+  const std::vector<MetricValue> Out = R.collect();
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0].Name, "alpha_total");
+  EXPECT_EQ(Out[0].Label, "stream=\"0\"");
+  EXPECT_EQ(Out[1].Label, "stream=\"1\"");
+  EXPECT_EQ(Out[2].Name, "mid");
+  EXPECT_EQ(Out[3].Name, "zeta_total");
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters: golden output and byte stability
+//===----------------------------------------------------------------------===//
+
+/// The hand-built registry behind the golden-output assertions.
+void populate(MetricsRegistry &R, EventTracer &T) {
+  R.counter("requests_total", "requests served").add(3);
+  R.gauge("temperature", "degrees").set(36.5);
+  BucketHistogram &H = R.histogram("latency", {0.5, 1.0}, "seconds");
+  H.observe(0.25);
+  H.observe(0.75);
+  H.observe(5.0);
+  R.counter("hits_total", "per-stream hits", "stream=\"1\"").add(2);
+  R.counter("hits_total", "per-stream hits", "stream=\"0\"").add(1);
+  recordEvent(&T, EventKind::RegionFormed, 0, 2, 7);
+  recordEvent(&T, EventKind::PhaseEnteredStable, 0, 2, 9, 0.91);
+}
+
+TEST(ObsExport, PrometheusGoldenOutput) {
+  MetricsRegistry R;
+  EventTracer T;
+  populate(R, T);
+  EXPECT_EQ(exportPrometheus(R),
+            "# HELP regmon_hits_total per-stream hits\n"
+            "# TYPE regmon_hits_total counter\n"
+            "regmon_hits_total{stream=\"0\"} 1\n"
+            "regmon_hits_total{stream=\"1\"} 2\n"
+            "# HELP regmon_latency seconds\n"
+            "# TYPE regmon_latency histogram\n"
+            "regmon_latency_bucket{le=\"0.5\"} 1\n"
+            "regmon_latency_bucket{le=\"1\"} 2\n"
+            "regmon_latency_bucket{le=\"+Inf\"} 3\n"
+            "regmon_latency_count 3\n"
+            "# HELP regmon_requests_total requests served\n"
+            "# TYPE regmon_requests_total counter\n"
+            "regmon_requests_total 3\n"
+            "# HELP regmon_temperature degrees\n"
+            "# TYPE regmon_temperature gauge\n"
+            "regmon_temperature 36.5\n");
+}
+
+TEST(ObsExport, JsonGoldenOutput) {
+  MetricsRegistry R;
+  EventTracer T;
+  populate(R, T);
+  EXPECT_EQ(
+      exportJson(R, &T),
+      "{\"metrics\":["
+      "{\"name\":\"hits_total\",\"label\":\"stream=\\\"0\\\"\","
+      "\"type\":\"counter\",\"value\":1},"
+      "{\"name\":\"hits_total\",\"label\":\"stream=\\\"1\\\"\","
+      "\"type\":\"counter\",\"value\":2},"
+      "{\"name\":\"latency\",\"label\":\"\",\"type\":\"histogram\","
+      "\"bounds\":[0.5,1],\"buckets\":[1,1,1],\"count\":3},"
+      "{\"name\":\"requests_total\",\"label\":\"\",\"type\":\"counter\","
+      "\"value\":3},"
+      "{\"name\":\"temperature\",\"label\":\"\",\"type\":\"gauge\","
+      "\"value\":36.5}"
+      "],\"events\":["
+      "{\"kind\":\"region-formed\",\"stream\":0,\"region\":2,"
+      "\"interval\":7,\"value\":0},"
+      "{\"kind\":\"phase-entered-stable\",\"stream\":0,\"region\":2,"
+      "\"interval\":9,\"value\":0.91}"
+      "],\"dropped_events\":0}");
+}
+
+TEST(ObsExport, TraceTextGoldenOutput) {
+  MetricsRegistry R;
+  EventTracer T;
+  populate(R, T);
+  EXPECT_EQ(exportTraceText(T),
+            "interval=7 stream=0 region=2 kind=region-formed value=0\n"
+            "interval=9 stream=0 region=2 kind=phase-entered-stable "
+            "value=0.91\n");
+}
+
+TEST(ObsExport, ByteStableAcrossIdenticalRuns) {
+  MetricsRegistry R1, R2;
+  EventTracer T1, T2;
+  populate(R1, T1);
+  populate(R2, T2);
+  EXPECT_EQ(exportPrometheus(R1), exportPrometheus(R2));
+  EXPECT_EQ(exportJson(R1, &T1), exportJson(R2, &T2));
+  EXPECT_EQ(exportTraceText(T1), exportTraceText(T2));
+}
+
+TEST(ObsExport, SortedOrderErasesArrivalOrder) {
+  // The same event set recorded in two different arrival orders must
+  // export identically -- this is what makes multi-worker runs
+  // byte-stable.
+  EventTracer A, B;
+  recordEvent(&A, EventKind::RegionFormed, 1, 0, 5);
+  recordEvent(&A, EventKind::RegionFormed, 0, 0, 5);
+  recordEvent(&A, EventKind::GlobalPhaseChange, 0, 0, 2);
+  recordEvent(&B, EventKind::GlobalPhaseChange, 0, 0, 2);
+  recordEvent(&B, EventKind::RegionFormed, 0, 0, 5);
+  recordEvent(&B, EventKind::RegionFormed, 1, 0, 5);
+  EXPECT_EQ(exportTraceText(A), exportTraceText(B));
+  const std::vector<TraceEvent> Sorted = A.sortedSnapshot();
+  ASSERT_EQ(Sorted.size(), 3u);
+  EXPECT_EQ(Sorted[0].Kind, EventKind::GlobalPhaseChange);
+  EXPECT_EQ(Sorted[1].Stream, 0u);
+  EXPECT_EQ(Sorted[2].Stream, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Event tracer ring
+//===----------------------------------------------------------------------===//
+
+TEST(ObsEventTracerRing, WrapDropsOldestAndCountsDrops) {
+  EventTracer T(3);
+  for (std::uint64_t I = 0; I < 5; ++I)
+    recordEvent(&T, EventKind::RegionFormed, 0, I, I);
+  EXPECT_EQ(T.capacity(), 3u);
+  EXPECT_EQ(T.recorded(), 5u);
+  EXPECT_EQ(T.dropped(), 2u);
+  const std::vector<TraceEvent> Snap = T.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_EQ(Snap[0].Interval, 2u) << "oldest retained after two drops";
+  EXPECT_EQ(Snap[2].Interval, 4u);
+}
+
+TEST(ObsEventTracerRing, DropsAreDisclosedInExports) {
+  EventTracer T(2);
+  for (std::uint64_t I = 0; I < 3; ++I)
+    recordEvent(&T, EventKind::RegionFormed, 0, 0, I);
+  const std::string Text = exportTraceText(T);
+  EXPECT_NE(Text.find("# dropped=1\n"), std::string::npos);
+  MetricsRegistry R;
+  const std::string Json = exportJson(R, &T);
+  EXPECT_NE(Json.find("\"dropped_events\":1"), std::string::npos);
+}
+
+TEST(ObsEventTracerRing, ClearResetsRetentionAndAccounting) {
+  EventTracer T(2);
+  for (std::uint64_t I = 0; I < 3; ++I)
+    recordEvent(&T, EventKind::RegionFormed, 0, 0, I);
+  T.clear();
+  EXPECT_EQ(T.recorded(), 0u);
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_TRUE(T.snapshot().empty());
+}
+
+TEST(ObsEventTracerRing, CapacityFloorIsOne) {
+  EventTracer T(0);
+  recordEvent(&T, EventKind::RegionFormed, 0, 0, 1);
+  recordEvent(&T, EventKind::RegionFormed, 0, 0, 2);
+  ASSERT_EQ(T.snapshot().size(), 1u);
+  EXPECT_EQ(T.snapshot()[0].Interval, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: exact totals under contention (TSan-clean by construction)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsConcurrency, CountersHistogramsAndTracerAreExactUnderContention) {
+  constexpr std::size_t Threads = 8;
+  constexpr std::uint64_t PerThread = 20'000;
+  MetricsRegistry R;
+  Counter &C = R.counter("ops_total");
+  Gauge &G = R.gauge("level");
+  BucketHistogram &H = R.histogram("sizes", {10.0, 100.0});
+  EventTracer T(Threads * 4);
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (std::size_t W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      for (std::uint64_t I = 0; I < PerThread; ++I) {
+        C.add();
+        G.set(static_cast<double>(W));
+        H.observe(static_cast<double>(I % 150));
+      }
+      recordEvent(&T, EventKind::RegionFormed,
+                  static_cast<std::uint32_t>(W), 0, W);
+    });
+  for (std::thread &Th : Workers)
+    Th.join();
+
+  EXPECT_EQ(C.value(), Threads * PerThread);
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  std::uint64_t BucketSum = 0;
+  for (std::uint64_t B : H.bucketCounts())
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, H.count()) << "no observation lost between buckets";
+  const double Level = G.value();
+  EXPECT_GE(Level, 0.0);
+  EXPECT_LT(Level, static_cast<double>(Threads));
+  EXPECT_EQ(T.recorded(), Threads);
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_EQ(T.sortedSnapshot().size(), Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile inputs: the release-hardening regressions, observed
+//===----------------------------------------------------------------------===//
+
+/// Same three-loop oracle the core monitor tests use.
+class TestCodeMap final : public core::CodeMap {
+public:
+  std::optional<core::CodeRegionInfo> regionFor(Addr Pc) const override {
+    if (Pc >= 0x1000 && Pc < 0x1100)
+      return core::CodeRegionInfo{0x1000, 0x1100, "loopA"};
+    if (Pc >= 0x2000 && Pc < 0x2080)
+      return core::CodeRegionInfo{0x2000, 0x2080, "loopB"};
+    return std::nullopt;
+  }
+};
+
+/// One interval's clean buffer: alternating PCs across loopA with
+/// monotonic timestamps, the shape the fault injector expects.
+std::vector<Sample> cleanInterval(std::size_t Count) {
+  std::vector<Sample> Out;
+  Out.reserve(Count);
+  for (std::size_t I = 0; I < Count; ++I)
+    Out.push_back(Sample{0x1000 + 4 * (I % 0x40),
+                         static_cast<Cycles>(100 * (I + 1))});
+  return Out;
+}
+
+TEST(ObsHostileInputs, HistogramSurvivesCorruptedPcStorm) {
+  // Fault-plan PC corruption throws instruction-aligned wild PCs into the
+  // 0x6000'0000 window. Feeding the faulted stream straight into a region
+  // histogram must reject every out-of-region PC -- in NDEBUG too, where
+  // the old assert-only guard vanished and the unsigned bin arithmetic
+  // wrote out of bounds (ASan is the witness).
+  faults::FaultConfig Cfg;
+  Cfg.CorruptRate = 0.5;
+  const faults::FaultPlan Plan(/*PlanSeed=*/99, Cfg);
+  faults::StreamFaultInjector Inj = Plan.forStream(0);
+
+  InstrHistogram H(0x1000, 0x1100);
+  std::uint64_t Accepted = 0, Rejected = 0;
+  for (int Interval = 0; Interval < 20; ++Interval)
+    for (const Sample &S : Inj.apply(cleanInterval(512))) {
+      if (H.tryAddSample(S.Pc))
+        ++Accepted;
+      else
+        ++Rejected;
+    }
+  EXPECT_EQ(H.total(), Accepted);
+  EXPECT_GT(Rejected, 0u) << "the storm must actually corrupt something";
+  EXPECT_EQ(Rejected, Inj.stats().SamplesCorrupted)
+      << "every corrupted PC lands outside the region, nothing else does";
+}
+
+TEST(ObsHostileInputs, MonitorAbsorbsCorruptedPcStormAsUcr) {
+  faults::FaultConfig Cfg;
+  Cfg.CorruptRate = 0.3;
+  const faults::FaultPlan Plan(/*PlanSeed=*/7, Cfg);
+  faults::StreamFaultInjector Inj = Plan.forStream(0);
+
+  TestCodeMap Map;
+  core::RegionMonitor M(Map);
+  MetricsRegistry R;
+  EventTracer T;
+  const MonitorInstruments Obs = makeMonitorInstruments(R, &T, 0, "");
+  M.attachObservability(&Obs);
+
+  std::uint64_t Fed = 0;
+  for (int Interval = 0; Interval < 30; ++Interval) {
+    const std::vector<Sample> Faulted = Inj.apply(cleanInterval(512));
+    Fed += Faulted.size();
+    M.observeInterval(Faulted);
+  }
+  EXPECT_EQ(M.intervals(), 30u);
+  EXPECT_EQ(Obs.SamplesTotal->value(), Fed);
+  // Corrupted PCs are non-regionable: they surface as UCR pressure, not
+  // as out-of-region histogram rejections (attribution never maps them).
+  // UCR also holds the first interval's clean samples, observed before
+  // the formation trigger built loopA, hence >= rather than ==.
+  EXPECT_GE(Obs.SamplesUcr->value(), Inj.stats().SamplesCorrupted)
+      << "every wild PC counted as UCR";
+  EXPECT_GT(Inj.stats().SamplesCorrupted, 0u);
+  EXPECT_EQ(M.outOfRegionSamples(), Obs.SamplesOutOfRegion->value());
+  EXPECT_GE(M.lastUcrFraction(), 0.0);
+  EXPECT_LE(M.lastUcrFraction(), 1.0);
+}
+
+TEST(ObsHostileInputs, HostileSimilarityKindFallsBackAndIsCounted) {
+  // An out-of-enum similarity kind -- version skew, a fuzzed config --
+  // used to make makeSimilarity return nullptr and the monitor
+  // dereference it. The monitor must construct with the Pearson fallback
+  // and disclose the substitution as a metric and an event.
+  TestCodeMap Map;
+  core::RegionMonitorConfig Config;
+  Config.Similarity = static_cast<core::SimilarityKind>(0xEF);
+  core::RegionMonitor M(Map, Config);
+  EXPECT_TRUE(M.similarityFellBack());
+
+  MetricsRegistry R;
+  EventTracer T;
+  const MonitorInstruments Obs = makeMonitorInstruments(R, &T, 0, "");
+  M.attachObservability(&Obs);
+  EXPECT_EQ(Obs.SimilarityFallbacks->value(), 1u);
+  EXPECT_NE(exportTraceText(T).find("kind=similarity-fallback"),
+            std::string::npos);
+
+  // And the fallback metric actually detects phases.
+  for (int I = 0; I < 8; ++I)
+    M.observeInterval(cleanInterval(256));
+  EXPECT_EQ(M.regions().size(), 1u);
+}
+
+TEST(ObsHostileInputs, HealthySimilarityKindIsNotCounted) {
+  TestCodeMap Map;
+  core::RegionMonitor M(Map);
+  EXPECT_FALSE(M.similarityFellBack());
+  MetricsRegistry R;
+  const MonitorInstruments Obs = makeMonitorInstruments(R, nullptr, 0, "");
+  M.attachObservability(&Obs);
+  EXPECT_EQ(Obs.SimilarityFallbacks->value(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration: per-stream labels and aggregate counters
+//===----------------------------------------------------------------------===//
+
+TEST(ObsService, PerStreamSeriesAndAggregatesMatchSnapshot) {
+  TestCodeMap Map;
+  service::MonitorService Service(
+      {/*Workers=*/2, /*QueueCapacity=*/16, service::OverflowPolicy::Block,
+       /*ValidateBatches=*/true, {}});
+  Service.addStream(Map);
+  Service.addStream(Map);
+  MetricsRegistry R;
+  EventTracer T(1 << 12);
+  Service.attachObservability(R, &T);
+  Service.start();
+  for (int I = 0; I < 10; ++I) {
+    ASSERT_TRUE(Service.submit({0, cleanInterval(256)}));
+    ASSERT_TRUE(Service.submit({1, cleanInterval(256)}));
+  }
+  Service.stop();
+  const service::ServiceSnapshot Snap = Service.snapshot();
+
+  EXPECT_EQ(R.counter("service_batches_submitted_total").value(),
+            Snap.BatchesSubmitted);
+  EXPECT_EQ(R.counter("service_batches_rejected_total").value(),
+            Snap.BatchesRejected);
+  const std::uint64_t Stream0 =
+      R.counter("monitor_intervals_total", "", streamLabel(0)).value();
+  const std::uint64_t Stream1 =
+      R.counter("monitor_intervals_total", "", streamLabel(1)).value();
+  EXPECT_EQ(Stream0, 10u);
+  EXPECT_EQ(Stream1, 10u);
+  const std::string Prom = exportPrometheus(R);
+  EXPECT_NE(Prom.find("regmon_monitor_intervals_total{stream=\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("regmon_monitor_intervals_total{stream=\"1\"} 10"),
+            std::string::npos);
+}
+
+TEST(ObsService, QuarantineAndRecoveryAreTraced) {
+  TestCodeMap Map;
+  service::ServiceConfig Cfg{/*Workers=*/1, /*QueueCapacity=*/16,
+                             service::OverflowPolicy::Block,
+                             /*ValidateBatches=*/true, {}};
+  Cfg.Health.PoisonQuarantineThreshold = 1; // quarantine on first poison
+  Cfg.Health.QuarantineBaseBatches = 2;
+  Cfg.Health.RecoveryCleanBatches = 2;
+  service::MonitorService Service(Cfg);
+  Service.addStream(Map);
+  MetricsRegistry R;
+  EventTracer T;
+  Service.attachObservability(R, &T);
+  Service.start();
+
+  std::vector<Sample> Poisoned = cleanInterval(8);
+  faults::poisonBatch(Poisoned);
+  EXPECT_FALSE(Service.submit({0, Poisoned})); // -> quarantined
+  for (int I = 0; I < 2; ++I)
+    EXPECT_FALSE(Service.submit({0, cleanInterval(8)})); // backoff served
+  // Probe + clean streak -> recovery.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Service.submit({0, cleanInterval(8)}));
+  Service.stop();
+
+  EXPECT_EQ(R.counter("service_stream_quarantines_total").value(), 1u);
+  EXPECT_EQ(R.counter("service_stream_recoveries_total").value(), 1u);
+  EXPECT_EQ(R.counter("service_batches_poisoned_total").value(), 1u);
+  const std::string Trace = exportTraceText(T);
+  EXPECT_NE(Trace.find("kind=stream-quarantined"), std::string::npos);
+  EXPECT_NE(Trace.find("kind=stream-recovered"), std::string::npos);
+}
+
+} // namespace

@@ -57,6 +57,37 @@ TEST(InstrHistogram, AssignFromCopiesBins) {
   EXPECT_EQ(B.total(), 1u);
 }
 
+// Regression: addSample used to range-check with assert only, so an
+// NDEBUG build handed a below-region PC to an unsigned subtraction and
+// indexed the bin vector with the wrapped result. tryAddSample must
+// reject hostile PCs in every build mode, touching nothing.
+TEST(InstrHistogram, TryAddSampleRejectsBelowRegion) {
+  InstrHistogram H(0x1000, 0x1040);
+  EXPECT_FALSE(H.tryAddSample(0x0FFC));
+  EXPECT_FALSE(H.tryAddSample(0));
+  EXPECT_EQ(H.total(), 0u);
+  for (std::uint32_t Bin : H.bins())
+    EXPECT_EQ(Bin, 0u);
+}
+
+TEST(InstrHistogram, TryAddSampleRejectsPastEnd) {
+  InstrHistogram H(0x1000, 0x1040);
+  EXPECT_FALSE(H.tryAddSample(0x1040)); // one past the last instruction
+  EXPECT_FALSE(H.tryAddSample(0x6000'0000)); // fault-plan corruption window
+  EXPECT_FALSE(H.tryAddSample(~Addr{0}));
+  EXPECT_EQ(H.total(), 0u);
+}
+
+TEST(InstrHistogram, TryAddSampleAcceptsBoundaryPcs) {
+  InstrHistogram H(0x1000, 0x1040);
+  EXPECT_TRUE(H.tryAddSample(0x1000)); // first instruction
+  EXPECT_TRUE(H.tryAddSample(0x103C)); // last instruction
+  EXPECT_TRUE(H.tryAddSample(0x103F)); // unaligned tail of the last one
+  EXPECT_EQ(H.total(), 3u);
+  EXPECT_EQ(H.bins().front(), 1u);
+  EXPECT_EQ(H.bins().back(), 2u);
+}
+
 TEST(TextTable, RendersAlignedColumns) {
   TextTable T;
   T.header({"name", "value"});

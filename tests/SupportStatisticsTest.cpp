@@ -196,6 +196,56 @@ TEST(Pearson, OneConstantIsZero) {
                    0.0);
 }
 
+// Regression: pearson used to assert on size mismatch and emptiness, so
+// an NDEBUG build fed hostile inputs (a fuzzed checkpoint, a corrupted
+// batch) straight into the accumulation and could return NaN -- which
+// wedged the LPD state machine, since NaN fails every r >= rt and every
+// r < rt comparison. The kernel must now total-map every input.
+TEST(Pearson, EmptyAgainstEmptyIsOne) {
+  const std::vector<double> None;
+  EXPECT_DOUBLE_EQ(pearson(std::span<const double>(None),
+                           std::span<const double>(None)),
+                   1.0);
+}
+
+TEST(Pearson, MismatchedLengthsAreZero) {
+  const std::vector<double> X = {1, 2, 3};
+  const std::vector<double> Y = {1, 2};
+  const std::vector<double> None;
+  EXPECT_DOUBLE_EQ(pearson(std::span<const double>(X),
+                           std::span<const double>(Y)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::span<const double>(Y),
+                           std::span<const double>(X)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::span<const double>(X),
+                           std::span<const double>(None)),
+                   0.0);
+}
+
+TEST(Pearson, NeverNaNOnHostileInputs) {
+  // Degenerate and extreme shapes, single elements, huge magnitudes that
+  // overflow the cross-moments to infinity: the result must always be a
+  // finite number in [-1, 1].
+  const std::vector<std::vector<double>> Cases = {
+      {},
+      {0},
+      {1e308},
+      {-1e308, 1e308},
+      {1e308, 1e308, -1e308},
+      {0, 0, 0},
+      {1, 2, 3},
+  };
+  for (const auto &X : Cases)
+    for (const auto &Y : Cases) {
+      const double R =
+          pearson(std::span<const double>(X), std::span<const double>(Y));
+      EXPECT_TRUE(std::isfinite(R)) << "pearson returned non-finite";
+      EXPECT_GE(R, -1.0);
+      EXPECT_LE(R, 1.0);
+    }
+}
+
 TEST(Pearson, PaperShiftExample) {
   // Fig. 8: shifting the bottleneck by one instruction must push r far
   // below the rt = 0.8 threshold.

@@ -1,0 +1,29 @@
+// Fixture: everything R7 bans inside src/obs -- wall clocks and
+// hash-ordered containers, both of which break byte-stable export.
+#include <chrono>
+#include <ctime>
+#include <string>
+#include <unordered_map> // violation: unordered header
+#include <vector>
+
+struct MetricRow {
+  std::string Name;
+  unsigned long long Value = 0;
+};
+
+// Hash iteration order would decide the exported byte sequence.
+std::vector<MetricRow>
+collectAll(const std::unordered_map<std::string, unsigned long long> &M) {
+  // ^ violation: std::unordered_map
+  std::vector<MetricRow> Out;
+  for (const auto &[Name, Value] : M)
+    Out.push_back(MetricRow{Name, Value});
+  return Out;
+}
+
+long long exportTimestamp() {
+  long long Stamp = std::time(nullptr); // violation: time()
+  auto Tick = std::chrono::steady_clock::now(); // violation: clock now
+  (void)Tick;
+  return Stamp;
+}

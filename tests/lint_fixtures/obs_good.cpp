@@ -1,0 +1,39 @@
+// Fixture: the obs idiom R7 accepts -- atomics for lock-free counters
+// (legal in this layer, unlike Support), std::map for deterministic
+// enumeration, and logical interval indices instead of any clock.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+struct MetricRow {
+  std::string Name;
+  std::uint64_t Value = 0;
+};
+
+class Registry {
+public:
+  void add(const std::string &Name, std::uint64_t N) {
+    Entries[Name].fetch_add(N, std::memory_order_relaxed);
+  }
+
+  // std::map order is the export order: deterministic by construction.
+  std::vector<MetricRow> collect() const {
+    std::vector<MetricRow> Out;
+    for (const auto &[Name, Value] : Entries)
+      Out.push_back(MetricRow{Name, Value.load(std::memory_order_relaxed)});
+    return Out;
+  }
+
+private:
+  std::map<std::string, std::atomic<std::uint64_t>> Entries;
+};
+
+// Identifiers resembling banned names must not trip R7.
+struct Tracer {
+  std::uint64_t time() const { return Interval; } // member named time: fine
+  std::uint64_t Interval = 0;
+};
+
+std::uint64_t stamp(const Tracer &T) { return T.time(); }

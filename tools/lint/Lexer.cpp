@@ -317,6 +317,8 @@ Layer classifyPath(std::string_view RelPath) {
     return Layer::Deterministic;
   if (StartsWith("src/service/"))
     return Layer::Service;
+  if (StartsWith("src/obs/"))
+    return Layer::Obs;
   if (StartsWith("src/"))
     return Layer::Support;
   if (StartsWith("tools/"))
@@ -336,6 +338,8 @@ std::string_view layerName(Layer L) {
     return "support";
   case Layer::Service:
     return "service";
+  case Layer::Obs:
+    return "obs";
   case Layer::Tools:
     return "tools";
   case Layer::Bench:

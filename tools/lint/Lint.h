@@ -42,6 +42,9 @@ enum class Layer {
                  ///< libraries, but clocks are tolerated (none used today).
   Service,       ///< src/service: the only production home for threads,
                  ///< locks and atomics.
+  Obs,           ///< src/obs: lock-free metrics; atomics allowed, but wall
+                 ///< clocks and hash-ordered export are banned -- exported
+                 ///< bytes must replay identically.
   Tools,         ///< tools/: CLIs and this linter.
   Bench,         ///< bench/: timing code, clocks and threads expected.
   Tests,         ///< tests/: gtest suites, exempt from layer bans.

@@ -116,7 +116,8 @@ public:
     // layer except support/Rng itself: a seed drawn from it anywhere
     // upstream destroys replayability of whole experiments.
     bool RdBanned = (Deterministic || FC.L == Layer::Support ||
-                     FC.L == Layer::Service || FC.L == Layer::Tools) &&
+                     FC.L == Layer::Service || FC.L == Layer::Obs ||
+                     FC.L == Layer::Tools) &&
                     FC.Path.find("support/Rng") == std::string::npos;
     if (!Deterministic && !RdBanned)
       return;
@@ -567,6 +568,73 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// R7: obs-determinism — src/obs exports must be a pure function of the
+// instrumented workload. Two mechanical bans keep them that way: wall
+// clocks (the interval index is the only notion of time; a timestamped
+// export can never be byte-stable across runs), and unordered containers
+// (export enumeration riding hash layout varies across libstdc++ versions
+// and ASLR; the registry iterates std::map by design).
+//===----------------------------------------------------------------------===//
+
+class ObsDeterminismRule final : public Rule {
+public:
+  std::string_view name() const override { return "obs-determinism"; }
+  std::string_view description() const override {
+    return "src/obs only: bans wall-clock reads (logical interval indices "
+           "are the only clock) and unordered containers (export order "
+           "must not depend on hash layout)";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.L != Layer::Obs)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (T[I].Kind == TokenKind::Directive) {
+        if (T[I].Text.find("include") != std::string::npos &&
+            T[I].Text.find("<unordered_") != std::string::npos)
+          addDiag(FC, Out, name(), T[I].Line,
+                  "unordered container header in src/obs; metric and event "
+                  "enumeration must use std::map/std::set so exports are "
+                  "byte-stable");
+        continue;
+      }
+      if (T[I].Kind != TokenKind::Identifier)
+        continue;
+      const std::string &Name = T[I].Text;
+      if (oneOf(Name, {"unordered_map", "unordered_set", "unordered_multimap",
+                       "unordered_multiset"}) &&
+          isStdOrUnqualified(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::" + Name +
+                    " in src/obs; hash iteration order would leak into "
+                    "exported bytes -- use std::map/std::set");
+        continue;
+      }
+      if (oneOf(Name, {"time", "clock", "gettimeofday", "clock_gettime",
+                       "localtime", "gmtime", "mktime", "ctime"}) &&
+          nextIs(T, I, "(") && isStdOrUnqualified(T, I) &&
+          looksLikeCall(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "wall-clock call (" + Name +
+                    ") in src/obs; the instrumented subsystem's interval "
+                    "index is the only clock exports may carry");
+        continue;
+      }
+      if (oneOf(Name, {"steady_clock", "system_clock",
+                       "high_resolution_clock", "file_clock", "utc_clock"}) &&
+          I + 2 < T.size() && isPunct(T[I + 1], "::") &&
+          isId(T[I + 2], "now")) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::chrono::" + Name +
+                    "::now() in src/obs; timestamped metrics can never "
+                    "export byte-identically across runs");
+      }
+    }
+  }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &allRules() {
@@ -580,6 +648,7 @@ const std::vector<std::unique_ptr<Rule>> &allRules() {
     R.push_back(std::make_unique<AssertSideEffectsRule>());
     R.push_back(std::make_unique<SwallowedExceptionRule>());
     R.push_back(std::make_unique<PersistSerializationRule>());
+    R.push_back(std::make_unique<ObsDeterminismRule>());
     return R;
   }();
   return Rules;

@@ -20,11 +20,16 @@
 //                    [--intervals N]
 //   regmon-cli checkpoint <workload> --dir PATH [serve flags]
 //   regmon-cli restore <workload> --dir PATH [serve flags]
+//   regmon-cli stats <workload> [--period N] [--seed N] [monitor flags]
+//                    [--format prom|json]
+//   regmon-cli trace <workload> [--period N] [--seed N] [monitor flags]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/RegionMonitor.h"
 #include "gpd/CentroidPhaseDetector.h"
+#include "obs/Export.h"
+#include "obs/Instruments.h"
 #include "persist/Checkpoint.h"
 #include "rto/Harness.h"
 #include "sampling/Sampler.h"
@@ -64,6 +69,7 @@ struct Options {
   service::OverflowPolicy Policy = service::OverflowPolicy::Block;
   std::size_t MaxIntervals = SIZE_MAX;
   std::string Dir;
+  std::string Format = "prom";
 };
 
 int usage(const char *Prog) {
@@ -78,6 +84,8 @@ int usage(const char *Prog) {
       "  serve <workload>          multi-stream monitoring service\n"
       "  checkpoint <workload>     serve with durability, then snapshot\n"
       "  restore <workload>        recover service state from a directory\n"
+      "  stats <workload>          run LPD + GPD, export metrics\n"
+      "  trace <workload>          run LPD + GPD, print the event trace\n"
       "common flags: --period N --seed N\n"
       "monitor flags: --similarity pearson|cosine|overlap "
       "--attribution tree|list\n"
@@ -86,7 +94,8 @@ int usage(const char *Prog) {
       "serve flags: --streams N --workers N --queue N "
       "--policy block|drop --intervals N\n"
       "checkpoint/restore flags: serve flags plus --dir PATH (required;\n"
-      "  the same topology flags must be used across runs on one dir)\n",
+      "  the same topology flags must be used across runs on one dir)\n"
+      "stats flags: monitor flags plus --format prom|json\n",
       Prog);
   return 2;
 }
@@ -176,6 +185,15 @@ bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
   }
   if (Flag == "--dir") {
     Opts.Dir = Next();
+    return true;
+  }
+  if (Flag == "--format") {
+    Opts.Format = Next();
+    if (Opts.Format != "prom" && Opts.Format != "json") {
+      std::fprintf(stderr, "error: unknown format '%s'\n",
+                   Opts.Format.c_str());
+      std::exit(2);
+    }
     return true;
   }
   if (Flag == "--self-monitor") {
@@ -579,6 +597,62 @@ int cmdRestore(const Options &Opts) {
   return 0;
 }
 
+// Shared by stats/trace: one deterministic single-threaded run of region
+// monitoring (LPD) plus the centroid baseline (GPD) over the workload,
+// with the full instrument catalogue attached. Single-threaded on
+// purpose: the event arrival order -- and therefore the exported bytes
+// -- is a pure function of (workload, period, seed).
+void runObserved(const Options &Opts, obs::MetricsRegistry &Registry,
+                 obs::EventTracer &Tracer) {
+  const workloads::Workload W = workloads::make(Opts.Workload);
+  sim::Engine Engine(W.Prog, W.Script, Opts.Seed);
+  sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+  sim::ProgramCodeMap Map(W.Prog);
+
+  core::RegionMonitorConfig Config;
+  Config.Similarity = Opts.Similarity;
+  Config.Attribution = Opts.Attribution;
+  Config.Lpd.AdaptiveThreshold = Opts.AdaptiveRt;
+  Config.TrackMissPhases = Opts.MissPhases;
+  if (Opts.PruneAfter) {
+    Config.PruneColdRegions = true;
+    Config.PruneAfterIdleIntervals = *Opts.PruneAfter;
+  }
+  core::RegionMonitor Monitor(Map, Config);
+  const obs::MonitorInstruments MonObs =
+      obs::makeMonitorInstruments(Registry, &Tracer, 0, "");
+  Monitor.attachObservability(&MonObs);
+
+  gpd::CentroidPhaseDetector Gpd;
+  const obs::GpdInstruments GpdObs =
+      obs::makeGpdInstruments(Registry, &Tracer, 0, "");
+  Gpd.attachObservability(&GpdObs);
+
+  Sampler.run([&](std::span<const Sample> Buffer) {
+    Monitor.observeInterval(Buffer);
+    Gpd.observeInterval(Buffer);
+  });
+}
+
+int cmdStats(const Options &Opts) {
+  obs::MetricsRegistry Registry;
+  obs::EventTracer Tracer;
+  runObserved(Opts, Registry, Tracer);
+  if (Opts.Format == "json")
+    std::printf("%s\n", obs::exportJson(Registry, &Tracer).c_str());
+  else
+    std::printf("%s", obs::exportPrometheus(Registry).c_str());
+  return 0;
+}
+
+int cmdTrace(const Options &Opts) {
+  obs::MetricsRegistry Registry;
+  obs::EventTracer Tracer;
+  runObserved(Opts, Registry, Tracer);
+  std::printf("%s", obs::exportTraceText(Tracer).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -618,5 +692,9 @@ int main(int Argc, char **Argv) {
     return cmdCheckpoint(Opts);
   if (Opts.Command == "restore")
     return cmdRestore(Opts);
+  if (Opts.Command == "stats")
+    return cmdStats(Opts);
+  if (Opts.Command == "trace")
+    return cmdTrace(Opts);
   return usage(Argv[0]);
 }
