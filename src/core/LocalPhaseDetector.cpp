@@ -41,40 +41,74 @@ LocalPhaseDetector::LocalPhaseDetector(std::size_t InstrCount,
 
 LocalPhaseState
 LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
+  // The naive (oracle) entry: the current set's self moments are
+  // recomputed in one fused pass, and the cross moment -- when the metric
+  // can use it -- is recomputed inside Metric.compare. Identical integer
+  // sums to the incremental path, therefore identical results.
+  std::uint64_t Total = 0, SumSq = 0;
+  for (std::uint32_t Bin : CurrHist) {
+    Total += Bin;
+    SumSq += static_cast<std::uint64_t>(Bin) * Bin;
+  }
+  return advance(CurrHist, Total, SumSq, 0, /*HaveSxy=*/false);
+}
+
+LocalPhaseState
+LocalPhaseDetector::observeMoments(const InstrHistogram &Curr,
+                                   std::uint64_t SxyWithStable) {
+  return advance(Curr.bins(), Curr.total(), Curr.sumOfSquares(),
+                 SxyWithStable, /*HaveSxy=*/true);
+}
+
+void LocalPhaseDetector::adopt(std::span<const std::uint32_t> CurrHist,
+                               std::uint64_t Total, std::uint64_t SumSq) {
+  std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+  PrevSum = Total;
+  PrevSumSq = SumSq;
+}
+
+LocalPhaseState
+LocalPhaseDetector::advance(std::span<const std::uint32_t> CurrHist,
+                            std::uint64_t Total, std::uint64_t SumSq,
+                            std::uint64_t Sxy, bool HaveSxy) {
   assert(CurrHist.size() == PrevHist.size() &&
          "histogram does not match the region");
   StateBefore = State;
-  if (Config.MinObserveSamples > 0) {
-    std::uint64_t Total = 0;
-    for (std::uint32_t Bin : CurrHist)
-      Total += Bin;
-    if (Total < Config.MinObserveSamples) {
-      // Degraded mode: too little sample mass for r to mean anything.
-      // The machine holds, exactly as it does over an empty interval.
-      ++SkippedUndersampled;
-      LastWasChange = false;
-      return State;
-    }
+  if (Config.MinObserveSamples > 0 && Total < Config.MinObserveSamples) {
+    // Degraded mode: too little sample mass for r to mean anything.
+    // The machine holds, exactly as it does over an empty interval.
+    ++SkippedUndersampled;
+    LastWasChange = false;
+    LastWasCompare = false;
+    return State;
   }
   ++Observed;
   const LocalPhaseState Before = StateBefore;
 
   if (!PrevValid) {
     // First non-empty interval: nothing to compare against yet.
-    std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    adopt(CurrHist, Total, SumSq);
     PrevValid = true;
     LastWasChange = false;
+    LastWasCompare = false;
     return State;
   }
 
-  LastR = Metric.compare(PrevHist, CurrHist);
+  if (HaveSxy && Metric.supportsMoments()) {
+    // O(1) interval end: every moment is already accumulated.
+    const HistMoments M{PrevSum, Total, PrevSumSq, SumSq, Sxy};
+    LastR = Metric.compareMoments(PrevHist.size(), M);
+  } else {
+    LastR = Metric.compare(PrevHist, CurrHist);
+  }
+  LastWasCompare = true;
   const bool Similar = LastR >= EffRt;
 
   switch (State) {
   case LocalPhaseState::Unstable:
     State = Similar ? LocalPhaseState::LessUnstable
                     : LocalPhaseState::Unstable;
-    std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+    adopt(CurrHist, Total, SumSq);
     break;
 
   case LocalPhaseState::LessUnstable:
@@ -82,17 +116,17 @@ LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
       // Entering stable: the current set becomes the frozen reference --
       // the latest confirmation of the behaviour we will hold others to.
       State = LocalPhaseState::Stable;
-      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+      adopt(CurrHist, Total, SumSq);
     } else {
       State = LocalPhaseState::Unstable;
-      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+      adopt(CurrHist, Total, SumSq);
     }
     break;
 
   case LocalPhaseState::Stable:
     if (!Similar) {
       State = LocalPhaseState::Unstable;
-      std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
+      adopt(CurrHist, Total, SumSq);
     }
     // else: stay stable, reference stays frozen.
     break;

@@ -32,10 +32,15 @@ obs::EventKind phaseEntryKind(LocalPhaseState S) {
 RegionMonitor::RegionMonitor(const CodeMap &CM, RegionMonitorConfig Cfg)
     : Map(CM), Config(Cfg),
       Attrib(makeAttributor(Config.Attribution)),
-      Metric(makeSimilarity(Config.Similarity, &SimilarityFellBack)) {
+      Metric(makeSimilarity(Config.Similarity.Kind, &SimilarityFellBack)) {
   assert(Config.UcrTriggerFraction >= 0 && Config.UcrTriggerFraction <= 1 &&
          "UCR trigger must be a fraction");
   assert(Config.MaxRegions > 0 && "must allow at least one region");
+  // An out-of-enum engine value (version skew, fuzzed config) selects the
+  // naive oracle: always correct, merely slower.
+  IncrementalSimilarity =
+      Config.Similarity.Engine == SimilarityEngine::Incremental &&
+      Metric->supportsMoments();
 }
 
 void RegionMonitor::setEventHandler(EventHandler H) {
@@ -44,6 +49,11 @@ void RegionMonitor::setEventHandler(EventHandler H) {
 
 void RegionMonitor::attachObservability(const obs::MonitorInstruments *O) {
   Obs = O;
+  if (Obs)
+    // Configure-time constant (0 = scalar, 1 = auto): identical whichever
+    // engine runs, so exports stay byte-stable across engines.
+    obs::setGauge(Obs->HotpathKernel,
+                  static_cast<double>(hotpathKernelId()));
   if (Obs && SimilarityFellBack) {
     obs::addTo(Obs->SimilarityFallbacks);
     obs::recordEvent(Obs->Tracer, obs::EventKind::SimilarityFallback,
@@ -221,6 +231,27 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
       CurrMissHists[Id].reset();
     }
 
+  // Incremental engine: prime the per-region cross-moment accumulators
+  // and fetch each stable set's base pointer. Pointers are re-fetched
+  // every interval -- never cached across intervals -- because a
+  // checkpoint restore can reallocate a detector's stable-set buffer.
+  const bool Fast = IncrementalSimilarity;
+  const bool FastMiss = Fast && Config.TrackMissPhases;
+  if (Fast) {
+    SxyAcc.assign(Regions.size(), 0);
+    StablePtrs.assign(Regions.size(), nullptr);
+    for (RegionId Id = 0; Id < Regions.size(); ++Id)
+      if (Active[Id])
+        StablePtrs[Id] = Detectors[Id]->stableSet().data();
+  }
+  if (FastMiss) {
+    MissSxyAcc.assign(Regions.size(), 0);
+    MissStablePtrs.assign(Regions.size(), nullptr);
+    for (RegionId Id = 0; Id < Regions.size(); ++Id)
+      if (Active[Id])
+        MissStablePtrs[Id] = MissDetectors[Id]->stableSet().data();
+  }
+
   // 1. Attribute every sample; unmatched samples belong to the UCR.
   UcrScratch.clear();
   std::uint64_t RejectedNow = 0;
@@ -232,15 +263,30 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
       continue;
     }
     for (RegionId Id : LookupScratch) {
-      if (!CurrHists[Id].tryAddSample(S.Pc)) {
+      const std::ptrdiff_t Bin = CurrHists[Id].tryAddSampleAt(S.Pc);
+      if (Bin < 0) {
         // The attribution index said the PC falls inside this region but
         // the histogram's bounds disagree -- a corrupted PC or a hostile
         // restore desynchronized the two. Count it, never write OOB.
         ++RejectedNow;
         continue;
       }
-      if (S.DCacheMiss)
-        CurrMissHists[Id].addSample(S.Pc);
+      if (Fast)
+        SxyAcc[Id] += StablePtrs[Id][Bin];
+      if (S.DCacheMiss) {
+        if (FastMiss) {
+          // Same bounds as the cycle histogram, which just accepted the
+          // PC, so the miss histogram cannot reject it.
+          const std::ptrdiff_t MissBin =
+              CurrMissHists[Id].tryAddSampleAt(S.Pc);
+          assert(MissBin >= 0 && "miss histogram disagrees on bounds");
+          if (MissBin >= 0)
+            MissSxyAcc[Id] +=
+                MissStablePtrs[Id][static_cast<std::size_t>(MissBin)];
+        } else {
+          CurrMissHists[Id].addSample(S.Pc);
+        }
+      }
     }
   }
   OutOfRegionSamples += RejectedNow;
@@ -273,8 +319,13 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
       RS.TotalSamples += Curr.total();
       LastSampledInterval[Id] = Intervals;
       if (!Undersampled) {
-        Detectors[Id]->observe(Curr.bins());
+        if (Fast)
+          Detectors[Id]->observeMoments(Curr, SxyAcc[Id]);
+        else
+          Detectors[Id]->observe(Curr.bins());
         if (Obs) {
+          if (Detectors[Id]->lastObservationComparedR())
+            obs::addTo(Obs->SimilarityCompares);
           obs::observeIn(Obs->PhaseR, Detectors[Id]->lastR());
           const LocalPhaseState Now = Detectors[Id]->state();
           if (Now != Detectors[Id]->stateBeforeLastObserve())
@@ -304,7 +355,10 @@ void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
           Cum[Bin] += Bins[Bin];
       }
       if (!Undersampled && Config.TrackMissPhases && !Misses.empty()) {
-        MissDetectors[Id]->observe(Misses.bins());
+        if (Fast)
+          MissDetectors[Id]->observeMoments(Misses, MissSxyAcc[Id]);
+        else
+          MissDetectors[Id]->observe(Misses.bins());
         RS.MissPhaseChanges = MissDetectors[Id]->phaseChanges();
         if (MissDetectors[Id]->lastObservationChangedPhase() &&
             !Detectors[Id]->lastObservationChangedPhase())

@@ -68,8 +68,13 @@ struct RegionMonitorConfig {
   std::size_t MaxRegions = 128;
   /// Sample-attribution strategy (Fig. 16 compares the two).
   AttributorKind Attribution = AttributorKind::IntervalTree;
-  /// Histogram similarity metric for local phase detection.
-  SimilarityKind Similarity = SimilarityKind::Pearson;
+  /// Histogram similarity metric for local phase detection, plus the
+  /// engine computing it (assigning a bare SimilarityKind keeps the
+  /// default incremental engine). The naive engine recomputes the moments
+  /// from scratch at each interval end and is kept as the differential-
+  /// test oracle; both engines are bit-identical (see
+  /// support/HotpathKernels.h).
+  SimilarityConfig Similarity;
   /// Per-region detector parameters.
   LocalDetectorConfig Lpd;
   /// Degraded-mode gate: intervals delivering fewer than this many
@@ -303,9 +308,24 @@ private:
   std::uint64_t UndersampledIntervals = 0;
   std::uint64_t OutOfRegionSamples = 0;
 
+  /// True when interval-end similarity runs on the incremental engine:
+  /// the configured engine is Incremental (anything else -- including an
+  /// out-of-enum value from a hostile config -- selects naive) and the
+  /// metric supports moment evaluation.
+  bool IncrementalSimilarity = false;
+
   // Reused scratch buffers (hot path).
   std::vector<RegionId> LookupScratch;
   std::vector<Addr> UcrScratch;
+  /// Incremental engine scratch, re-primed each interval: per-region
+  /// cross moments sum(prev_i * curr_i) accumulated as samples land, and
+  /// the stable-set base pointers they are accumulated against
+  /// (re-fetched each interval -- a checkpoint restore may reallocate a
+  /// detector's stable set).
+  std::vector<std::uint64_t> SxyAcc;
+  std::vector<std::uint64_t> MissSxyAcc;
+  std::vector<const std::uint32_t *> StablePtrs;
+  std::vector<const std::uint32_t *> MissStablePtrs;
 };
 
 } // namespace regmon::core

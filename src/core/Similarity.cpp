@@ -17,26 +17,35 @@ using namespace regmon::core;
 
 SimilarityMetric::~SimilarityMetric() = default;
 
+double SimilarityMetric::compareMoments(std::uint64_t,
+                                        const HistMoments &) const {
+  assert(false && "compareMoments on a metric without moment support");
+  return 0.0;
+}
+
 double
 PearsonSimilarity::compare(std::span<const std::uint32_t> Stable,
                            std::span<const std::uint32_t> Current) const {
   return pearson(Stable, Current);
 }
 
+double PearsonSimilarity::compareMoments(std::uint64_t N,
+                                         const HistMoments &M) const {
+  return pearsonFromMoments(N, M);
+}
+
 double
 CosineSimilarity::compare(std::span<const std::uint32_t> Stable,
                           std::span<const std::uint32_t> Current) const {
   assert(Stable.size() == Current.size() && "histograms must match");
-  double Dot = 0, NormS = 0, NormC = 0;
-  for (std::size_t I = 0, E = Stable.size(); I != E; ++I) {
-    const double S = Stable[I], C = Current[I];
-    Dot += S * C;
-    NormS += S * S;
-    NormC += C * C;
-  }
-  if (NormS == 0 || NormC == 0)
-    return (NormS == 0 && NormC == 0) ? 1.0 : 0.0;
-  return Dot / (std::sqrt(NormS) * std::sqrt(NormC));
+  // Integer moments, like Pearson: the from-scratch recompute is then the
+  // bit-identical oracle for the incremental engine's running moments.
+  return cosineFromMoments(recomputeMoments(Stable, Current));
+}
+
+double CosineSimilarity::compareMoments(std::uint64_t,
+                                        const HistMoments &M) const {
+  return cosineFromMoments(M);
 }
 
 double

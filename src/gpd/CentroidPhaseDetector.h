@@ -151,6 +151,9 @@ private:
   std::uint64_t Intervals = 0;
   std::uint64_t StableIntervals = 0;
   std::vector<GlobalPhaseState> Timeline;
+  /// Reused SoA scratch: the sample buffer's PC lane, transposed flat for
+  /// the vectorizable centroid sum (support/HotpathKernels.h).
+  std::vector<Addr> PcScratch;
 };
 
 } // namespace regmon::gpd

@@ -48,10 +48,16 @@ MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
   I.SimilarityFallbacks = &Registry.counter(
       "monitor_similarity_fallbacks_total",
       "out-of-enum similarity kinds replaced by Pearson", Label);
+  I.SimilarityCompares =
+      &Registry.counter("monitor_similarity_compares_total",
+                        "interval-end similarity evaluations", Label);
   I.ActiveRegions = &Registry.gauge("monitor_active_regions",
                                     "regions currently tracked", Label);
   I.LastUcrFraction = &Registry.gauge(
       "monitor_last_ucr_fraction", "UCR fraction of the last interval", Label);
+  I.HotpathKernel = &Registry.gauge(
+      "monitor_hotpath_kernel",
+      "configured hot-path kernel (0 = scalar, 1 = auto)", Label);
   I.IntervalSamples = &Registry.histogram(
       "monitor_interval_samples", {0, 64, 256, 1024, 4096, 16384},
       "samples delivered per interval", Label);

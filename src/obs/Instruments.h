@@ -70,8 +70,15 @@ struct MonitorInstruments {
   Counter *PhaseChanges = nullptr;
   Counter *MissPhaseChanges = nullptr;
   Counter *SimilarityFallbacks = nullptr;
+  /// Interval-end similarity evaluations actually computed (identical for
+  /// the naive and incremental engines: both compute r for exactly the
+  /// same observations).
+  Counter *SimilarityCompares = nullptr;
   Gauge *ActiveRegions = nullptr;
   Gauge *LastUcrFraction = nullptr;
+  /// Configure-time hot-path kernel selection: 0 = scalar, 1 = auto
+  /// (support/HotpathKernels.h).
+  Gauge *HotpathKernel = nullptr;
   BucketHistogram *IntervalSamples = nullptr;
   BucketHistogram *PhaseR = nullptr;
   EventTracer *Tracer = nullptr;

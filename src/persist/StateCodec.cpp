@@ -27,6 +27,13 @@ std::uint64_t sumOfBins(std::span<const std::uint32_t> Bins) {
   return Total;
 }
 
+std::uint64_t sumOfSquaredBins(std::span<const std::uint32_t> Bins) {
+  std::uint64_t Total = 0;
+  for (std::uint32_t B : Bins)
+    Total += static_cast<std::uint64_t>(B) * B;
+  return Total;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -37,6 +44,7 @@ void StateCodec::encode(ByteWriter &W, const InstrHistogram &H) {
   W.u64(H.StartAddr);
   W.vecU32(H.Bins);
   W.u64(H.TotalCount);
+  W.u64(H.SumSq);
 }
 
 bool StateCodec::decode(ByteReader &R, InstrHistogram &H) {
@@ -45,13 +53,18 @@ bool StateCodec::decode(ByteReader &R, InstrHistogram &H) {
   if (!R.vecU32(Bins))
     return false;
   const std::uint64_t Total = R.u64();
+  const std::uint64_t SumSq = R.u64();
+  // The running moments must agree with a from-scratch recompute over the
+  // decoded bins: a hostile payload desynchronizing them would make the
+  // incremental and naive engines disagree after restore.
   if (!R.ok() || Start != H.StartAddr || Bins.size() != H.Bins.size() ||
-      Total != sumOfBins(Bins)) {
+      Total != sumOfBins(Bins) || SumSq != sumOfSquaredBins(Bins)) {
     R.fail();
     return false;
   }
   H.Bins = std::move(Bins);
   H.TotalCount = Total;
+  H.SumSq = SumSq;
   return true;
 }
 
@@ -95,6 +108,8 @@ bool StateCodec::decode(ByteReader &R, WindowedStats &S,
 
 void StateCodec::encode(ByteWriter &W, const core::LocalPhaseDetector &D) {
   W.vecU32(D.PrevHist);
+  W.u64(D.PrevSum);
+  W.u64(D.PrevSumSq);
   W.boolean(D.PrevValid);
   W.u8(static_cast<std::uint8_t>(D.State));
   W.f64(D.LastR);
@@ -108,6 +123,8 @@ bool StateCodec::decode(ByteReader &R, core::LocalPhaseDetector &D) {
   std::vector<std::uint32_t> Prev;
   if (!R.vecU32(Prev))
     return false;
+  const std::uint64_t PrevSum = R.u64();
+  const std::uint64_t PrevSumSq = R.u64();
   const bool PrevValid = R.boolean();
   const std::uint8_t State = R.u8();
   const double LastR = R.f64();
@@ -115,11 +132,17 @@ bool StateCodec::decode(ByteReader &R, core::LocalPhaseDetector &D) {
   const std::uint64_t PhaseChanges = R.u64();
   const std::uint64_t Observed = R.u64();
   const std::uint64_t Skipped = R.u64();
-  if (!R.ok() || Prev.size() != D.PrevHist.size() || State > 2) {
+  // Like the histogram moments: the stable set's running sums must match
+  // a recompute, or the O(1) similarity path would silently diverge from
+  // the oracle after a hostile restore.
+  if (!R.ok() || Prev.size() != D.PrevHist.size() || State > 2 ||
+      PrevSum != sumOfBins(Prev) || PrevSumSq != sumOfSquaredBins(Prev)) {
     R.fail();
     return false;
   }
   D.PrevHist = std::move(Prev);
+  D.PrevSum = PrevSum;
+  D.PrevSumSq = PrevSumSq;
   D.PrevValid = PrevValid;
   D.State = static_cast<core::LocalPhaseState>(State);
   D.LastR = LastR;

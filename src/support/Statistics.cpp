@@ -6,6 +6,8 @@
 
 #include "support/Statistics.h"
 
+#include "support/HotpathKernels.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -130,7 +132,13 @@ double regmon::pearson(std::span<const double> X, std::span<const double> Y) {
 
 double regmon::pearson(std::span<const std::uint32_t> X,
                        std::span<const std::uint32_t> Y) {
-  return pearsonImpl(X, Y);
+  // Histogram bins take the exact integer-moment path: the same moments
+  // the incremental similarity engine maintains, combined by the same
+  // function, so a from-scratch recompute is the bit-identical oracle for
+  // the O(1) interval-end path (support/HotpathKernels.h).
+  if (X.size() != Y.size())
+    return 0.0;
+  return pearsonFromMoments(X.size(), recomputeMoments(X, Y));
 }
 
 double regmon::median(std::span<const double> Values) {

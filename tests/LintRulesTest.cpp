@@ -251,6 +251,32 @@ TEST(ObsDeterminismRule, GatedToObsLayerOnly) {
 }
 
 //===----------------------------------------------------------------------===//
+// R10: hotpath
+//===----------------------------------------------------------------------===//
+
+TEST(HotpathRule, FlagsAllocationGrowthAndIndirectCalls) {
+  auto Diags = lintFixture("hotpath_bad.cpp", Layer::Deterministic);
+  // new, malloc, make_unique, push_back, resize, ->compare(), ->reserve().
+  EXPECT_EQ(countRule(Diags, "hotpath"), 7);
+}
+
+TEST(HotpathRule, AcceptsFlatKernelsAndUntaggedAllocation) {
+  auto Diags = lintFixture("hotpath_good.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "hotpath"), 0);
+}
+
+TEST(HotpathRule, SupportLayerIsAlsoScanned) {
+  auto Diags = lintFixture("hotpath_bad.cpp", Layer::Support);
+  EXPECT_EQ(countRule(Diags, "hotpath"), 7);
+}
+
+TEST(HotpathRule, GatedToHotLayersOnly) {
+  for (Layer L : {Layer::Service, Layer::Obs, Layer::Tools, Layer::Bench,
+                  Layer::Tests})
+    EXPECT_EQ(countRule(lintFixture("hotpath_bad.cpp", L), "hotpath"), 0);
+}
+
+//===----------------------------------------------------------------------===//
 // Inline suppressions
 //===----------------------------------------------------------------------===//
 

@@ -846,6 +846,101 @@ TEST(PersistStateCodec, InstrHistogramRoundTripAndMismatchRejected) {
   EXPECT_FALSE(StateCodec::decode(R3, Victim));
 }
 
+TEST(PersistStateCodec, InstrHistogramMomentsSurviveRoundTrip) {
+  // Mid-interval checkpoint of a partially filled histogram: the running
+  // sum of squares (the incremental engine's Syy moment) must restore
+  // exactly, or the O(1) similarity path would diverge from the naive
+  // oracle after a warm restart.
+  InstrHistogram Orig(0x1000, 0x1000 + 32 * InstrBytes);
+  for (int I = 0; I < 77; ++I)
+    Orig.addSample(0x1000 + static_cast<Addr>((I * 7) % 32) * InstrBytes);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  InstrHistogram Copy(0x1000, 0x1000 + 32 * InstrBytes);
+  ByteReader R(Bytes);
+  ASSERT_TRUE(StateCodec::decode(R, Copy));
+  EXPECT_EQ(Copy.sumOfSquares(), Orig.sumOfSquares());
+
+  // Continuation keeps the moment in sync with the bins on both sides.
+  for (int I = 0; I < 20; ++I) {
+    Orig.addSample(0x1000 + static_cast<Addr>(I % 32) * InstrBytes);
+    Copy.addSample(0x1000 + static_cast<Addr>(I % 32) * InstrBytes);
+  }
+  EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
+  EXPECT_EQ(Copy.sumOfSquares(), Orig.sumOfSquares());
+}
+
+TEST(PersistStateCodec, InstrHistogramRejectsDesyncedSumOfSquares) {
+  // Bins and total agree, but the running sum of squares was tampered
+  // with: accepted, it would silently desynchronize the incremental
+  // similarity engine from the naive oracle. All-or-nothing demands
+  // rejection.
+  const std::vector<std::uint32_t> Bins(16, 2);
+  ByteWriter W;
+  W.u64(0x1000);
+  W.vecU32(Bins);
+  W.u64(32); // == sum of bins
+  W.u64(65); // != sum of squared bins (16 * 4 = 64)
+  InstrHistogram Victim(0x1000, 0x1000 + 16 * InstrBytes);
+  ByteReader R(W.data());
+  EXPECT_FALSE(StateCodec::decode(R, Victim));
+  // The failed decode must not have touched the target.
+  EXPECT_EQ(Victim.total(), 0U);
+  EXPECT_EQ(Victim.sumOfSquares(), 0U);
+
+  // The honest payload (SumSq == 64) is accepted.
+  ByteWriter W2;
+  W2.u64(0x1000);
+  W2.vecU32(Bins);
+  W2.u64(32);
+  W2.u64(64);
+  ByteReader R2(W2.data());
+  EXPECT_TRUE(StateCodec::decode(R2, Victim));
+  EXPECT_EQ(Victim.sumOfSquares(), 64U);
+}
+
+TEST(PersistStateCodec, LocalPhaseDetectorRejectsDesyncedStableMoments) {
+  const std::unique_ptr<core::SimilarityMetric> Metric =
+      core::makeSimilarity(core::SimilarityKind::Pearson);
+  core::LocalPhaseDetector Victim(/*InstrCount=*/8, *Metric);
+
+  // Hand-build a detector payload whose stable set is honest but whose
+  // running moments (PrevSum / PrevSumSq) disagree with it.
+  const std::vector<std::uint32_t> Prev{3, 0, 1, 0, 0, 2, 0, 0};
+  const auto BuildPayload = [&Prev](std::uint64_t Sum, std::uint64_t SumSq) {
+    ByteWriter W;
+    W.vecU32(Prev);
+    W.u64(Sum);
+    W.u64(SumSq);
+    W.boolean(true); // PrevValid
+    W.u8(2);         // Stable
+    W.f64(0.9);
+    W.boolean(false);
+    W.u64(1); // PhaseChanges
+    W.u64(4); // Observed
+    W.u64(0); // SkippedUndersampled
+    return W.take();
+  };
+
+  {
+    ByteReader R(BuildPayload(/*Sum=*/7, /*SumSq=*/14)); // wrong Sum (is 6)
+    EXPECT_FALSE(StateCodec::decode(R, Victim));
+  }
+  {
+    ByteReader R(BuildPayload(/*Sum=*/6, /*SumSq=*/13)); // wrong SumSq (14)
+    EXPECT_FALSE(StateCodec::decode(R, Victim));
+  }
+  {
+    // The honest payload decodes, and a re-encode reproduces it exactly.
+    const std::vector<std::uint8_t> Honest = BuildPayload(6, 14);
+    ByteReader R(Honest);
+    ASSERT_TRUE(StateCodec::decode(R, Victim));
+    EXPECT_TRUE(R.atEnd());
+    EXPECT_EQ(encodeBytes(Victim), Honest);
+    EXPECT_EQ(Victim.state(), core::LocalPhaseState::Stable);
+  }
+}
+
 /// Records one workload stream's intervals (the service tests' pattern).
 struct RecordedStream {
   std::unique_ptr<workloads::Workload> W;

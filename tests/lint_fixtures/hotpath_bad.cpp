@@ -1,0 +1,29 @@
+// Violations of the hotpath rule: allocation, container growth, and
+// indirect member calls inside REGMON_HOT-tagged function bodies.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#define REGMON_HOT
+
+struct Metric {
+  virtual double compare(int) = 0;
+};
+
+REGMON_HOT int hotAllocates(std::vector<int> &V, Metric *M) {
+  int *P = new int[4];            // BAD: operator new
+  void *Q = std::malloc(16);      // BAD: malloc
+  auto U = std::make_unique<int>(); // BAD: make_unique
+  V.push_back(1);                 // BAD: container growth
+  V.resize(8);                    // BAD: container growth
+  double R = M->compare(3);       // BAD: indirect member call
+  std::free(Q);
+  delete[] P;
+  return static_cast<int>(R) + *U;
+}
+
+// A second tagged function: the scan must keep finding bodies after the
+// first one ends.
+REGMON_HOT void hotGrowsAgain(std::vector<int> *V) {
+  V->reserve(64); // BAD: container growth through a pointer
+}

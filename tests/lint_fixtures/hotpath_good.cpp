@@ -1,0 +1,34 @@
+// Conforming code for the hotpath rule: flat tagged kernels, and
+// untagged functions that may allocate freely.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define REGMON_HOT
+
+// A tagged declaration without a body: nothing to scan.
+REGMON_HOT std::uint64_t hotDeclared(const std::uint32_t *X, std::size_t N);
+
+// A flat kernel: array indexing, arithmetic, and direct (`.`) member
+// calls on values are all allowed.
+REGMON_HOT std::uint64_t hotSum(const std::vector<std::uint32_t> &Bins) {
+  std::uint64_t Sum = 0;
+  for (std::size_t I = 0; I < Bins.size(); ++I)
+    Sum += Bins[I];
+  return Sum;
+}
+
+// Untagged functions may allocate: the rule scans only REGMON_HOT bodies.
+std::vector<int> coldAllocates(std::vector<int> V) {
+  V.push_back(1);
+  V.resize(32);
+  int *P = new int[8];
+  delete[] P;
+  return V;
+}
+
+// Identifier lookalikes outside any tagged body stay unflagged.
+struct Resizer {
+  void resize(int);
+};
+void coldIndirect(Resizer *R) { R->resize(3); }

@@ -635,6 +635,102 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// R10: hotpath — functions tagged REGMON_HOT (support/HotpathKernels.h)
+// run once per sample or per interval end; heap allocation or an indirect
+// member call in one of them silently undoes the flat-kernel design.
+//===----------------------------------------------------------------------===//
+
+class HotpathRule final : public Rule {
+public:
+  std::string_view name() const override { return "hotpath"; }
+  std::string_view description() const override {
+    return "src/core, src/gpd, src/sampling, src/sim, src/support: bans "
+           "heap allocation (new/malloc/make_unique), container growth "
+           "(push_back/resize/...), and indirect member calls (p->f()) "
+           "inside function bodies tagged REGMON_HOT";
+  }
+
+  void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
+    if (FC.L != Layer::Deterministic && FC.L != Layer::Support)
+      return;
+    const std::vector<Token> &T = FC.Tokens;
+    for (std::size_t I = 0; I < T.size(); ++I) {
+      if (!isId(T[I], "REGMON_HOT"))
+        continue;
+      // Walk the signature to the body: skip balanced parens (parameter
+      // lists, noexcept clauses); a `;` first means a bare declaration.
+      std::size_t J = I + 1;
+      // The tag's own definition line (`#define REGMON_HOT`) is a
+      // directive token, never an identifier, so it cannot land here.
+      while (J < T.size() && !isPunct(T[J], "{") && !isPunct(T[J], ";")) {
+        if (isPunct(T[J], "("))
+          J = skipBalanced(T, J, "(", ")");
+        else
+          ++J;
+      }
+      if (J >= T.size() || isPunct(T[J], ";"))
+        continue;
+      const std::size_t BodyEnd = skipBalanced(T, J, "{", "}");
+      checkBody(FC, T, J, BodyEnd, Out);
+      I = BodyEnd - 1;
+    }
+  }
+
+private:
+  void checkBody(const FileContext &FC, const std::vector<Token> &T,
+                 std::size_t Begin, std::size_t End,
+                 std::vector<Diagnostic> &Out) const {
+    for (std::size_t I = Begin; I < End; ++I) {
+      if (T[I].Kind != TokenKind::Identifier)
+        continue;
+      const std::string &Name = T[I].Text;
+      if (Name == "new" && isStdOrUnqualified(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "operator new inside a REGMON_HOT function; the hot path "
+                "must run allocation-free -- use pre-sized scratch owned "
+                "by the caller");
+        continue;
+      }
+      if (oneOf(Name, {"malloc", "calloc", "realloc", "aligned_alloc"}) &&
+          nextIs(T, I, "(") && isStdOrUnqualified(T, I) &&
+          looksLikeCall(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                Name + " inside a REGMON_HOT function; the hot path must "
+                       "run allocation-free");
+        continue;
+      }
+      if (oneOf(Name, {"make_unique", "make_shared"}) &&
+          isStdOrUnqualified(T, I)) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "std::" + Name +
+                    " inside a REGMON_HOT function; the hot path must run "
+                    "allocation-free");
+        continue;
+      }
+      if (oneOf(Name, {"push_back", "emplace_back", "emplace", "resize",
+                       "reserve", "insert"}) &&
+          nextIs(T, I, "(") && I > Begin &&
+          (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->"))) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "container growth (" + Name +
+                    ") inside a REGMON_HOT function; it can reallocate "
+                    "per sample -- size scratch buffers at interval start");
+        continue;
+      }
+      // p->f(): an indirect member call. Virtual or not, the compiler
+      // cannot keep the hot loop flat across an opaque pointer chase;
+      // direct (`.`) member calls on locals and fields stay allowed.
+      if (nextIs(T, I, "(") && I > Begin && isPunct(T[I - 1], "->")) {
+        addDiag(FC, Out, name(), T[I].Line,
+                "indirect member call (->" + Name +
+                    ") inside a REGMON_HOT function; hot-path kernels must "
+                    "not dispatch through pointers per sample");
+      }
+    }
+  }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &allRules() {
@@ -649,6 +745,7 @@ const std::vector<std::unique_ptr<Rule>> &allRules() {
     R.push_back(std::make_unique<SwallowedExceptionRule>());
     R.push_back(std::make_unique<PersistSerializationRule>());
     R.push_back(std::make_unique<ObsDeterminismRule>());
+    R.push_back(std::make_unique<HotpathRule>());
     return R;
   }();
   return Rules;
