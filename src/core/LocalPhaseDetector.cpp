@@ -39,7 +39,7 @@ LocalPhaseDetector::LocalPhaseDetector(std::size_t InstrCount,
   }
 }
 
-LocalPhaseState
+REGMON_PURE LocalPhaseState
 LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
   // The naive (oracle) entry: the current set's self moments are
   // recomputed in one fused pass, and the cross moment -- when the metric
@@ -53,21 +53,22 @@ LocalPhaseDetector::observe(std::span<const std::uint32_t> CurrHist) {
   return advance(CurrHist, Total, SumSq, 0, /*HaveSxy=*/false);
 }
 
-LocalPhaseState
+REGMON_PURE LocalPhaseState
 LocalPhaseDetector::observeMoments(const InstrHistogram &Curr,
                                    std::uint64_t SxyWithStable) {
   return advance(Curr.bins(), Curr.total(), Curr.sumOfSquares(),
                  SxyWithStable, /*HaveSxy=*/true);
 }
 
-void LocalPhaseDetector::adopt(std::span<const std::uint32_t> CurrHist,
+REGMON_PURE void
+LocalPhaseDetector::adopt(std::span<const std::uint32_t> CurrHist,
                                std::uint64_t Total, std::uint64_t SumSq) {
   std::copy(CurrHist.begin(), CurrHist.end(), PrevHist.begin());
   PrevSum = Total;
   PrevSumSq = SumSq;
 }
 
-LocalPhaseState
+REGMON_PURE LocalPhaseState
 LocalPhaseDetector::advance(std::span<const std::uint32_t> CurrHist,
                             std::uint64_t Total, std::uint64_t SumSq,
                             std::uint64_t Sxy, bool HaveSxy) {

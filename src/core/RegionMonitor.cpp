@@ -221,7 +221,8 @@ RegionMonitor::stateTimeline(RegionId Id) const {
   return StateTimelines[Id];
 }
 
-void RegionMonitor::observeInterval(std::span<const Sample> Samples) {
+REGMON_PURE void
+RegionMonitor::observeInterval(std::span<const Sample> Samples) {
   assert(!Samples.empty() && "an interval carries a full sample buffer");
 
   // Fresh histograms for this interval.

@@ -23,18 +23,19 @@ double SimilarityMetric::compareMoments(std::uint64_t,
   return 0.0;
 }
 
-double
+REGMON_PURE double
 PearsonSimilarity::compare(std::span<const std::uint32_t> Stable,
                            std::span<const std::uint32_t> Current) const {
   return pearson(Stable, Current);
 }
 
-double PearsonSimilarity::compareMoments(std::uint64_t N,
-                                         const HistMoments &M) const {
+REGMON_PURE double
+PearsonSimilarity::compareMoments(std::uint64_t N,
+                                  const HistMoments &M) const {
   return pearsonFromMoments(N, M);
 }
 
-double
+REGMON_PURE double
 CosineSimilarity::compare(std::span<const std::uint32_t> Stable,
                           std::span<const std::uint32_t> Current) const {
   assert(Stable.size() == Current.size() && "histograms must match");
@@ -43,12 +44,13 @@ CosineSimilarity::compare(std::span<const std::uint32_t> Stable,
   return cosineFromMoments(recomputeMoments(Stable, Current));
 }
 
-double CosineSimilarity::compareMoments(std::uint64_t,
-                                        const HistMoments &M) const {
+REGMON_PURE double
+CosineSimilarity::compareMoments(std::uint64_t,
+                                 const HistMoments &M) const {
   return cosineFromMoments(M);
 }
 
-double
+REGMON_PURE double
 OverlapSimilarity::compare(std::span<const std::uint32_t> Stable,
                            std::span<const std::uint32_t> Current) const {
   assert(Stable.size() == Current.size() && "histograms must match");

@@ -38,7 +38,7 @@ const char *faults::toString(BatchFault F) {
   return "?";
 }
 
-void faults::poisonBatch(std::vector<Sample> &Batch) {
+REGMON_PURE void faults::poisonBatch(std::vector<Sample> &Batch) {
   if (Batch.empty()) {
     // An empty batch carries nothing to malform; give it one impossible
     // sample so validation still has something to reject.
@@ -64,7 +64,8 @@ StreamFaultInjector::StreamFaultInjector(std::uint64_t Seed, FaultConfig Cfg)
          "truncation must keep a positive fraction");
 }
 
-std::vector<Sample> StreamFaultInjector::apply(std::span<const Sample> Clean) {
+REGMON_PURE std::vector<Sample>
+StreamFaultInjector::apply(std::span<const Sample> Clean) {
   ++Stats.BatchesSeen;
   Stats.SamplesSeen += Clean.size();
 
@@ -143,7 +144,7 @@ std::vector<Sample> StreamFaultInjector::apply(std::span<const Sample> Clean) {
   return Out;
 }
 
-BatchFault StreamFaultInjector::nextBatchFault() {
+REGMON_PURE BatchFault StreamFaultInjector::nextBatchFault() {
   // Two independent draws per batch, always consumed, so the poison and
   // stall sequences never shift each other.
   const bool Poison = BatchRng.nextDouble() < Config.PoisonRate;
@@ -159,6 +160,6 @@ BatchFault StreamFaultInjector::nextBatchFault() {
   return BatchFault::None;
 }
 
-StreamFaultInjector FaultPlan::forStream(std::uint32_t Id) const {
+REGMON_PURE StreamFaultInjector FaultPlan::forStream(std::uint32_t Id) const {
   return StreamFaultInjector(mix64(Seed) ^ mix64(Id), Config);
 }

@@ -36,6 +36,7 @@
 #ifndef REGMON_FAULTS_FAULTPLAN_H
 #define REGMON_FAULTS_FAULTPLAN_H
 
+#include "support/Contracts.h"
 #include "support/Rng.h"
 #include "support/Types.h"
 

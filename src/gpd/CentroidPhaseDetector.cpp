@@ -36,7 +36,7 @@ CentroidPhaseDetector::CentroidPhaseDetector(CentroidConfig Cfg)
          "adaptive window bounds are inconsistent");
 }
 
-GlobalPhaseState
+REGMON_PURE GlobalPhaseState
 CentroidPhaseDetector::observeInterval(std::span<const Sample> Samples) {
   assert(!Samples.empty() && "an interval has a full buffer of samples");
   // SoA transpose: gather the PC lane out of the 24-byte Sample records
@@ -52,7 +52,8 @@ CentroidPhaseDetector::observeInterval(std::span<const Sample> Samples) {
                          static_cast<double>(Samples.size()));
 }
 
-GlobalPhaseState CentroidPhaseDetector::observeCentroid(double Centroid) {
+REGMON_PURE GlobalPhaseState
+CentroidPhaseDetector::observeCentroid(double Centroid) {
   const GlobalPhaseState Before = State;
   State = step(Centroid);
   LastWasChange = (Before == GlobalPhaseState::Stable) !=

@@ -1,0 +1,43 @@
+//===- support/Contracts.h - Lint-checked function contracts ----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The annotation macros regmon-lint's call-graph purity pass keys on.
+/// Both expand to nothing -- they cost zero bytes and zero cycles in every
+/// build -- and exist purely so the analyzer can anchor whole-program
+/// obligations on specific functions instead of pattern-matching syntax.
+///
+/// REGMON_HOT marks per-sample / per-bin hot-path code. The `hotpath`
+/// token rule bans allocation and indirect dispatch inside the tagged body
+/// itself; the `purity-hot` graph rule extends the same ban to everything
+/// the body transitively calls, so a helper three hops down cannot launder
+/// a heap allocation past the gate.
+///
+/// REGMON_PURE marks a decision path whose outputs must be a pure function
+/// of its explicit inputs: LPD interval-end transitions, RegionMonitor
+/// interval processing, FaultPlan decision draws, Similarity combines.
+/// The `purity` graph rule proves that nothing transitively reachable from
+/// a tagged body reads a wall clock or libc randomness, performs I/O, or
+/// writes file-scope mutable state. Allocation is permitted (interval-end
+/// paths may grow scratch); concurrency confinement is enforced separately
+/// by the `purity-confinement` rule (DESIGN.md §13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SUPPORT_CONTRACTS_H
+#define REGMON_SUPPORT_CONTRACTS_H
+
+/// Marks a function as sampling hot-path code: no heap allocation, no
+/// indirect member calls, in the body or anything it transitively calls
+/// (regmon-lint rules `hotpath` and `purity-hot`).
+#define REGMON_HOT
+
+/// Marks a function as a replay-critical decision path: no wall clocks,
+/// libc randomness, I/O, or global writes anywhere in its transitive call
+/// graph (regmon-lint rule `purity`).
+#define REGMON_PURE
+
+#endif // REGMON_SUPPORT_CONTRACTS_H

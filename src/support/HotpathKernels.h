@@ -36,16 +36,18 @@
 /// is the portable single-accumulator fallback. Integer associativity
 /// makes the two kernels bit-identical; the selection only moves time.
 ///
-/// REGMON_HOT tags a function as per-sample / per-bin hot-path code. The
-/// macro expands to nothing; it exists so regmon-lint's `hotpath` rule can
-/// mechanically forbid heap allocation and indirect dispatch inside tagged
-/// functions (DESIGN.md §8).
+/// REGMON_HOT (support/Contracts.h) tags a function as per-sample /
+/// per-bin hot-path code. The macro expands to nothing; it exists so
+/// regmon-lint's `hotpath` and `purity-hot` rules can mechanically forbid
+/// heap allocation and indirect dispatch in tagged functions and
+/// everything they transitively call (DESIGN.md §8, §13).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REGMON_SUPPORT_HOTPATHKERNELS_H
 #define REGMON_SUPPORT_HOTPATHKERNELS_H
 
+#include "support/Contracts.h"
 #include "support/Types.h"
 
 #include <algorithm>
@@ -53,10 +55,6 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
-
-/// Marks a function as sampling hot-path code: no heap allocation, no
-/// indirect member calls (regmon-lint rule `hotpath` enforces both).
-#define REGMON_HOT
 
 namespace regmon {
 
@@ -155,7 +153,8 @@ recomputeMoments(std::span<const std::uint32_t> X,
 /// zero-variance vector against a varying one is a shape change, r = 0.
 /// The result is clamped finite and into [-1, 1] so a degenerate value can
 /// never wedge the `r >= rt` comparisons of the LPD state machine.
-inline double pearsonFromMoments(std::uint64_t N, const HistMoments &M) {
+REGMON_PURE inline double pearsonFromMoments(std::uint64_t N,
+                                             const HistMoments &M) {
   if (N == 0)
     return 1.0;
   // N*Sxx - SumX^2 = N * sum (x_i - mean)^2 >= 0 by Cauchy-Schwarz, so the
@@ -180,7 +179,7 @@ inline double pearsonFromMoments(std::uint64_t N, const HistMoments &M) {
 /// Same contract as \ref pearsonFromMoments: both-zero norms (two empty
 /// histograms) are identical, cos = 1; one zero norm is a shape change,
 /// cos = 0; the result is clamped finite and into [-1, 1].
-inline double cosineFromMoments(const HistMoments &M) {
+REGMON_PURE inline double cosineFromMoments(const HistMoments &M) {
   if (M.Sxx == 0 || M.Syy == 0)
     return (M.Sxx == 0 && M.Syy == 0) ? 1.0 : 0.0;
   const double C = static_cast<double>(M.Sxy) /

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Baseline.h"
+#include "CallGraph.h"
 #include "Driver.h"
 #include "Lint.h"
 
@@ -370,6 +371,125 @@ TEST(Lexer, LiteralsAndCommentsAreOpaque) {
   EXPECT_TRUE(runRules(FC).empty());
 }
 
+TEST(Lexer, PrefixedMultilineRawStringIsOpaque) {
+  // u8R/uR/UR/LR prefixes must route to the raw-string scanner like plain
+  // R; a violation *after* the literal is still caught, on its real line.
+  FileContext FC = buildContext("src/core/x.cpp",
+                                "const char *Doc = u8R\"(\n"
+                                "  std::rand() and time(nullptr)\n"
+                                ")\";\n"
+                                "int Seed = std::rand();\n",
+                                Layer::Deterministic);
+  auto Diags = runRules(FC);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Rule, "nondeterminism");
+  EXPECT_EQ(Diags[0].Line, 4);
+}
+
+TEST(Lexer, SplicedIdentifiersLexAsOneToken) {
+  // A backslash-newline splice inside an identifier must not split it in
+  // two -- `std::ra\<nl>nd()` is a std::rand() call.
+  FileContext FC = buildContext("src/core/x.cpp",
+                                "int X = std::ra\\\nnd();\n",
+                                Layer::Deterministic);
+  EXPECT_EQ(countRule(runRules(FC), "nondeterminism"), 1);
+}
+
+TEST(Lexer, SplicedLineCommentSwallowsContinuation) {
+  // A line comment ending in `\` continues onto the next physical line;
+  // that line is comment text, not code.
+  FileContext FC = buildContext("src/core/x.cpp",
+                                "// hidden \\\nstd::rand();\nint X = 0;\n",
+                                Layer::Deterministic);
+  EXPECT_TRUE(runRules(FC).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// R11-R13: call-graph purity rules
+//===----------------------------------------------------------------------===//
+
+std::vector<Diagnostic> lintGraphFixture(const std::string &Name, Layer L) {
+  std::vector<FileContext> Files;
+  Files.push_back(buildContext("fixture/" + Name, readFixture(Name), L));
+  CallGraph G = CallGraph::build(Files);
+  return runGraphRules(G, Files);
+}
+
+TEST(PurityGraph, TokenRuleMissesWhatTheGraphProves) {
+  // Every seeded violation sits at least one call below the annotated
+  // body, so the per-file hotpath scan stays clean -- only the graph pass
+  // convicts (laundering + the three-hop allocation).
+  auto TokenDiags = lintFixture("purity_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(TokenDiags, "hotpath"), 0);
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "purity-hot"), 2);
+}
+
+TEST(PurityGraph, IndirectCallLaunderingCaught) {
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity-hot" &&
+        D.Message.find("hotLaundered -> launder") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PurityGraph, ThreeHopAllocationChainReported) {
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity-hot" &&
+        D.Message.find("hotDeepAlloc -> hopOne -> hopTwo -> hopThree") !=
+            std::string::npos &&
+        D.Message.find("operator new") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PurityGraph, PureRootClockViolationCarriesChain) {
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  EXPECT_EQ(countRule(Diags, "purity"), 1);
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity" &&
+        D.Message.find("detectorDecide -> helperClock") !=
+            std::string::npos &&
+        D.Message.find("steady_clock") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PurityGraph, ConfinementFlagsSmuggledConcurrencyOnly) {
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  // guardedBump's own mutex (chain length 1) is the token `concurrency`
+  // rule's territory; only the laundered reach through intervalEnd fires.
+  EXPECT_EQ(countRule(Diags, "purity-confinement"), 1);
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity-confinement") {
+      EXPECT_NE(D.Message.find("intervalEnd -> guardedBump"),
+                std::string::npos);
+    }
+}
+
+TEST(PurityGraph, DiagnosticsAnchorAtTheAnnotatedRoot) {
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  for (const Diagnostic &D : Diags) {
+    if (D.Rule == "purity-confinement")
+      continue; // anchored at the (unannotated) deterministic caller
+    EXPECT_FALSE(D.Snippet.empty());
+    EXPECT_NE(D.Snippet.find("REGMON_"), std::string::npos)
+        << D.Rule << ": " << D.Snippet;
+  }
+}
+
+TEST(PurityGraph, GoodFixtureAndAllowExemptionStayClean) {
+  // hotExempted reaches an allocation, but the evidence line carries
+  // `allow(purity-hot)`; pureAlloc allocates, which REGMON_PURE permits.
+  auto Diags = lintGraphFixture("purity_good.cpp", Layer::Deterministic);
+  EXPECT_TRUE(Diags.empty());
+}
+
 TEST(Driver, RunsOverFixtureTreeAndSortsDiagnostics) {
   DriverOptions Options;
   Options.Root = REGMON_LINT_FIXTURE_DIR;
@@ -384,6 +504,41 @@ TEST(Driver, RunsOverFixtureTreeAndSortsDiagnostics) {
     const Diagnostic &A = R.Diags[I - 1], &B = R.Diags[I];
     EXPECT_TRUE(A.Path < B.Path || (A.Path == B.Path && A.Line <= B.Line));
   }
+}
+
+TEST(Driver, BuildsCallGraphOverScannedFiles) {
+  DriverOptions Options;
+  Options.Root = REGMON_LINT_FIXTURE_DIR;
+  Options.Paths = {"purity_bad.cpp"};
+  Options.UseBaseline = false;
+  RunResult R = runLint(Options);
+  ASSERT_TRUE(R.Graph != nullptr);
+  EXPECT_GT(R.Graph->nodes().size(), 5u);
+  std::ostringstream Dot, Json;
+  R.Graph->dumpDot(Dot);
+  R.Graph->dumpJson(Json);
+  EXPECT_NE(Dot.str().find("digraph"), std::string::npos);
+  EXPECT_NE(Json.str().find("\"nodes\""), std::string::npos);
+}
+
+TEST(Driver, CheckBaselineTurnsStaleEntriesIntoErrors) {
+  std::string Path = testing::TempDir() + "regmon_stale_baseline.txt";
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "concurrency|no/such/file.cpp|std::mutex Gone;\n";
+  }
+  DriverOptions Options;
+  Options.Root = REGMON_LINT_FIXTURE_DIR;
+  Options.Paths = {"concurrency_good.cpp"};
+  Options.BaselinePath = Path;
+  RunResult R = runLint(Options);
+  ASSERT_EQ(R.Stale.size(), 1u);
+  EXPECT_TRUE(R.Errors.empty()); // default: stale is only a warning
+  Options.CheckBaseline = true;
+  RunResult Strict = runLint(Options);
+  ASSERT_EQ(Strict.Stale.size(), 1u);
+  EXPECT_FALSE(Strict.Errors.empty());
+  EXPECT_EQ(exitCode(Strict), 2);
 }
 
 } // namespace

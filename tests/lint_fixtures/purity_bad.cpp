@@ -1,0 +1,50 @@
+// Fixture: violations of the call-graph purity contracts that the
+// per-file token rules cannot see. Every offending effect sits at least
+// one call below the annotated root, so the `hotpath` token scan of the
+// tagged bodies stays clean -- the graph pass has to prove the violation.
+// Linted with a Layer::Deterministic override.
+
+#include "support/Contracts.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace fixture {
+
+struct Widget {
+  int poke();
+};
+
+// 1. Indirect-call laundering: the REGMON_HOT body is token-clean; the
+// helper one hop down dispatches through a pointer.
+inline int launder(Widget *W) { return W->poke(); }
+
+REGMON_HOT inline int hotLaundered(Widget *W) { return launder(W); }
+
+// 2. Allocation three hops below a REGMON_HOT body.
+inline int *hopThree() { return new int(3); }
+inline int *hopTwo() { return hopThree(); }
+inline int *hopOne() { return hopTwo(); }
+
+REGMON_HOT inline int hotDeepAlloc() { return *hopOne(); }
+
+// 3. A REGMON_PURE decision path reaching a wall clock through a helper.
+inline long helperClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+REGMON_PURE inline long detectorDecide(long Seed) {
+  return Seed + helperClock();
+}
+
+// 4. Concurrency smuggled into the deterministic layer via a helper: the
+// caller's own body never names a primitive.
+inline void guardedBump(int &X) {
+  std::mutex M;
+  std::lock_guard<std::mutex> Lock(M);
+  ++X;
+}
+
+inline void intervalEnd(int &X) { guardedBump(X); }
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: the call-graph purity pass must stay quiet here. Linted with a
+// Layer::Deterministic override.
+
+#include "support/Contracts.h"
+
+#include <vector>
+
+namespace fixture {
+
+// Clean transitive math under a REGMON_HOT root.
+inline int combine(int A, int B) { return A * 31 + B; }
+
+REGMON_HOT inline int hotClean(int A, int B) { return combine(A, B); }
+
+// A known-benign allocation exempted at the evidence line: the root stays
+// clean even though a reachable helper grows a buffer.
+inline void growScratch(std::vector<int> &V) {
+  V.push_back(0); // regmon-lint: allow(purity-hot)
+}
+
+REGMON_HOT inline void hotExempted(std::vector<int> &V) { growScratch(V); }
+
+// REGMON_PURE roots may allocate: the contract bans clocks, I/O and
+// global writes, not memory.
+REGMON_PURE inline int *pureAlloc() { return new int(7); }
+
+} // namespace fixture

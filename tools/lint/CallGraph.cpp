@@ -1,0 +1,351 @@
+//===- tools/lint/CallGraph.cpp - Cross-TU call graph ---------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CallGraph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+
+using namespace regmon::lint;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// True when repo path \p Path is what `#include "Inc"` refers to: equal,
+/// or ends with "/Inc".
+bool includeMatches(const std::string &Path, const std::string &Inc) {
+  if (Path == Inc)
+    return true;
+  if (Path.size() <= Inc.size())
+    return false;
+  return Path[Path.size() - Inc.size() - 1] == '/' &&
+         Path.compare(Path.size() - Inc.size(), Inc.size(), Inc) == 0;
+}
+
+std::string effectListJson(unsigned Mask) {
+  std::string S = "[";
+  bool First = true;
+  for (unsigned Bit : {EffAlloc, EffNondet, EffConcurrency, EffIo,
+                       EffGlobalWrite, EffIndirect})
+    if (Mask & Bit) {
+      if (!First)
+        S += ",";
+      First = false;
+      S += '"';
+      S += effectName(Bit);
+      S += '"';
+    }
+  return S + "]";
+}
+
+} // namespace
+
+CallGraph CallGraph::build(const std::vector<FileContext> &Files) {
+  CallGraph G;
+
+  std::vector<ParsedFile> Parsed;
+  Parsed.reserve(Files.size());
+  for (const FileContext &FC : Files)
+    Parsed.push_back(parseFile(FC));
+
+  // Global class table: names, per-class transitive ancestors, and the
+  // inverse (derived) closure for virtual dispatch edges.
+  std::set<std::string> ClassNames;
+  std::map<std::string, std::set<std::string>> BasesOf;
+  for (const ParsedFile &P : Parsed)
+    for (const auto &[C, Bs] : P.Classes) {
+      ClassNames.insert(C);
+      for (const std::string &B : Bs)
+        BasesOf[C].insert(B);
+    }
+  std::map<std::string, std::set<std::string>> Ancestors, DerivedOf;
+  for (const std::string &C : ClassNames) {
+    std::set<std::string> Anc;
+    std::vector<std::string> Work{C};
+    while (!Work.empty()) {
+      std::string Cur = Work.back();
+      Work.pop_back();
+      auto It = BasesOf.find(Cur);
+      if (It == BasesOf.end())
+        continue;
+      for (const std::string &B : It->second)
+        if (Anc.insert(B).second)
+          Work.push_back(B);
+    }
+    for (const std::string &B : Anc)
+      DerivedOf[B].insert(C);
+    Ancestors[C] = std::move(Anc);
+  }
+
+  // Nodes: one per function *definition*. A qualifier that is not a known
+  // class was a namespace — demote to free function.
+  std::vector<std::size_t> NodeFile;
+  std::map<std::string, unsigned> DeclFlags; // "Class::name" / "name" -> bits
+  auto flagKey = [](const std::string &Cls, const std::string &Name) {
+    return Cls.empty() ? Name : Cls + "::" + Name;
+  };
+  for (std::size_t FI = 0; FI < Files.size(); ++FI) {
+    for (const ParsedFunction &F : Parsed[FI].Functions) {
+      std::string Cls = F.ClassName;
+      if (!Cls.empty() && ClassNames.count(Cls) == 0)
+        Cls.clear();
+      if (F.Hot || F.Pure)
+        DeclFlags[flagKey(Cls, F.Name)] |=
+            (F.Hot ? 1u : 0u) | (F.Pure ? 2u : 0u);
+      if (!F.HasBody)
+        continue;
+      GraphNode N;
+      N.Name = F.Name;
+      N.ClassName = Cls;
+      N.Display = flagKey(Cls, F.Name);
+      N.File = Files[FI].Path;
+      N.Line = F.Line;
+      N.L = Files[FI].L;
+      N.Hot = F.Hot;
+      N.Pure = F.Pure;
+      N.Internal = F.Internal;
+      FunctionFacts Facts =
+          extractFacts(Files[FI], F, Parsed[FI].MutableGlobals);
+      N.Direct = Facts.Direct;
+      N.Evidence = std::move(Facts.Evidence);
+      N.Calls = std::move(Facts.Calls);
+      G.Nodes.push_back(std::move(N));
+      NodeFile.push_back(FI);
+    }
+  }
+  // Annotations on out-of-line declarations (header tags the contract, the
+  // .cpp holds the body) reach the definition node here.
+  for (GraphNode &N : G.Nodes) {
+    auto It = DeclFlags.find(N.Display);
+    if (It == DeclFlags.end())
+      continue;
+    N.Hot = N.Hot || (It->second & 1u);
+    N.Pure = N.Pure || (It->second & 2u);
+  }
+
+  // Symbol table: methods by "Class::name", free functions by name.
+  std::map<std::string, std::vector<std::size_t>> MethodIndex, FreeIndex;
+  for (std::size_t NI = 0; NI < G.Nodes.size(); ++NI) {
+    const GraphNode &N = G.Nodes[NI];
+    if (N.ClassName.empty())
+      FreeIndex[N.Name].push_back(NI);
+    else
+      MethodIndex[N.Display].push_back(NI);
+  }
+
+  // Per-file visible classes: classes named anywhere in the file or in a
+  // directly-included repo header, expanded by the derived closure so a
+  // call through a base reference links to every override.
+  std::vector<std::set<std::string>> VisClasses(Files.size());
+  for (std::size_t FI = 0; FI < Files.size(); ++FI) {
+    std::set<std::string> Idents = Parsed[FI].Identifiers;
+    for (const std::string &Inc : Parsed[FI].Includes)
+      for (std::size_t FJ = 0; FJ < Files.size(); ++FJ)
+        if (includeMatches(Files[FJ].Path, Inc))
+          Idents.insert(Parsed[FJ].Identifiers.begin(),
+                        Parsed[FJ].Identifiers.end());
+    std::set<std::string> Vis;
+    for (const std::string &C : ClassNames)
+      if (Idents.count(C) != 0)
+        Vis.insert(C);
+    for (const std::string &C : Vis)
+      if (auto It = DerivedOf.find(C); It != DerivedOf.end())
+        VisClasses[FI].insert(It->second.begin(), It->second.end());
+    VisClasses[FI].insert(Vis.begin(), Vis.end());
+  }
+
+  // Edge resolution.
+  for (std::size_t NI = 0; NI < G.Nodes.size(); ++NI) {
+    GraphNode &N = G.Nodes[NI];
+    const std::size_t FI = NodeFile[NI];
+    std::set<std::size_t> Edges;
+    for (const CallSiteInfo &CS : N.Calls) {
+      if (CS.StdQualified || CS.Qualifier == "std")
+        continue; // std effects are extracted directly, not via edges
+      std::set<std::size_t> Cand;
+      auto addMethods = [&](const std::string &Cls) {
+        auto It = MethodIndex.find(Cls + "::" + CS.Name);
+        if (It != MethodIndex.end())
+          Cand.insert(It->second.begin(), It->second.end());
+      };
+      auto addFree = [&] {
+        auto It = FreeIndex.find(CS.Name);
+        if (It != FreeIndex.end())
+          Cand.insert(It->second.begin(), It->second.end());
+      };
+      if (!CS.Qualifier.empty()) {
+        if (ClassNames.count(CS.Qualifier) != 0) {
+          addMethods(CS.Qualifier);
+          if (Cand.empty())
+            for (const std::string &A : Ancestors[CS.Qualifier])
+              addMethods(A);
+        } else {
+          addFree(); // namespace-qualified free call
+        }
+      } else if (CS.Member && !CS.ThisCall) {
+        for (const std::string &C : VisClasses[FI])
+          addMethods(C);
+      } else {
+        // Unqualified (or this->): same class first, then the base chain
+        // and overrides, then constructors, then free functions.
+        if (!N.ClassName.empty()) {
+          addMethods(N.ClassName);
+          if (auto It = Ancestors.find(N.ClassName); It != Ancestors.end())
+            for (const std::string &A : It->second)
+              addMethods(A);
+          if (auto It = DerivedOf.find(N.ClassName); It != DerivedOf.end())
+            for (const std::string &D : It->second)
+              addMethods(D);
+        }
+        if (Cand.empty() && ClassNames.count(CS.Name) != 0)
+          addMethods(CS.Name); // constructor: Name::Name
+        if (Cand.empty())
+          addFree();
+      }
+      // Internal-linkage symbols only resolve from their own file.
+      for (auto It = Cand.begin(); It != Cand.end();)
+        if (G.Nodes[*It].Internal && NodeFile[*It] != FI)
+          It = Cand.erase(It);
+        else
+          ++It;
+      if (Cand.empty())
+        ++N.Unresolved;
+      else
+        Edges.insert(Cand.begin(), Cand.end());
+    }
+    N.Callees.assign(Edges.begin(), Edges.end());
+  }
+
+  // Effect propagation to a fixed point (bitwise-OR join; monotone over a
+  // finite lattice, so this terminates).
+  for (GraphNode &N : G.Nodes)
+    N.Transitive = N.Direct;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (GraphNode &N : G.Nodes) {
+      unsigned M = N.Transitive;
+      for (std::size_t C : N.Callees)
+        M |= G.Nodes[C].Transitive;
+      if (M != N.Transitive) {
+        N.Transitive = M;
+        Changed = true;
+      }
+    }
+  }
+  return G;
+}
+
+std::vector<std::size_t>
+CallGraph::chain(std::size_t Root,
+                 const std::function<bool(const GraphNode &)> &Pred) const {
+  std::vector<std::size_t> Parent(Nodes.size(), SIZE_MAX);
+  std::vector<char> Seen(Nodes.size(), 0);
+  std::deque<std::size_t> Queue{Root};
+  Seen[Root] = 1;
+  while (!Queue.empty()) {
+    std::size_t Cur = Queue.front();
+    Queue.pop_front();
+    if (Pred(Nodes[Cur])) {
+      std::vector<std::size_t> Path;
+      for (std::size_t P = Cur; P != SIZE_MAX; P = Parent[P])
+        Path.push_back(P);
+      std::reverse(Path.begin(), Path.end());
+      return Path;
+    }
+    for (std::size_t C : Nodes[Cur].Callees)
+      if (!Seen[C]) {
+        Seen[C] = 1;
+        Parent[C] = Cur;
+        Queue.push_back(C);
+      }
+  }
+  return {};
+}
+
+std::string CallGraph::formatChain(const std::vector<std::size_t> &Path) const {
+  std::string S;
+  for (std::size_t N : Path) {
+    if (!S.empty())
+      S += " -> ";
+    S += Nodes[N].Display;
+  }
+  return S;
+}
+
+void CallGraph::dumpJson(std::ostream &OS) const {
+  OS << "{\n  \"nodes\": [\n";
+  for (std::size_t NI = 0; NI < Nodes.size(); ++NI) {
+    const GraphNode &N = Nodes[NI];
+    OS << "    {\"id\": " << NI << ", \"name\": \"" << jsonEscape(N.Display)
+       << "\", \"file\": \"" << jsonEscape(N.File)
+       << "\", \"line\": " << N.Line << ", \"layer\": \"" << layerName(N.L)
+       << "\", \"hot\": " << (N.Hot ? "true" : "false")
+       << ", \"pure\": " << (N.Pure ? "true" : "false")
+       << ", \"internal\": " << (N.Internal ? "true" : "false")
+       << ", \"direct\": " << effectListJson(N.Direct)
+       << ", \"transitive\": " << effectListJson(N.Transitive)
+       << ", \"unresolved\": " << N.Unresolved << ", \"callees\": [";
+    for (std::size_t CI = 0; CI < N.Callees.size(); ++CI)
+      OS << (CI ? ", " : "") << N.Callees[CI];
+    OS << "], \"evidence\": [";
+    for (std::size_t EI = 0; EI < N.Evidence.size(); ++EI) {
+      const EffectEvidence &E = N.Evidence[EI];
+      OS << (EI ? ", " : "") << "{\"effect\": \"" << effectName(E.Bit)
+         << "\", \"line\": " << E.Line << ", \"detail\": \""
+         << jsonEscape(E.Detail) << "\"}";
+    }
+    OS << "]}" << (NI + 1 < Nodes.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+}
+
+void CallGraph::dumpDot(std::ostream &OS) const {
+  OS << "digraph regmon_callgraph {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  for (std::size_t NI = 0; NI < Nodes.size(); ++NI) {
+    const GraphNode &N = Nodes[NI];
+    OS << "  n" << NI << " [label=\"" << jsonEscape(N.Display) << "\\n"
+       << jsonEscape(N.File) << ":" << N.Line;
+    if (N.Direct != 0)
+      OS << "\\n[" << effectList(N.Direct) << "]";
+    OS << "\"";
+    if (N.Hot)
+      OS << ", color=red";
+    else if (N.Pure)
+      OS << ", color=blue";
+    OS << "];\n";
+  }
+  for (std::size_t NI = 0; NI < Nodes.size(); ++NI)
+    for (std::size_t C : Nodes[NI].Callees)
+      OS << "  n" << NI << " -> n" << C << ";\n";
+  OS << "}\n";
+}

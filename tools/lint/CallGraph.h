@@ -1,0 +1,104 @@
+//===- tools/lint/CallGraph.h - Cross-TU call graph -------------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-repo call graph the purity rules run on. Built from every
+/// scanned file's ParsedFile in one shot: function definitions become
+/// nodes, call sites are resolved by name against a symbol table (with a
+/// class-visibility heuristic for member calls and a derived-class closure
+/// so virtual dispatch edges reach overrides), and direct effect sets are
+/// propagated callee-to-caller to a fixed point.
+///
+/// Resolution is intentionally over-approximate — a member call `x.f()`
+/// links to every method `f` of every class the calling file can see —
+/// because the rules only ever *ban* effects: extra edges can cause a
+/// false positive (which we fix by tightening the heuristic), never a
+/// silently missed violation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_CALLGRAPH_H
+#define REGMON_TOOLS_LINT_CALLGRAPH_H
+
+#include "Effects.h"
+#include "Lint.h"
+#include "Parser.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace regmon::lint {
+
+/// One function definition in the repo.
+struct GraphNode {
+  std::string Display;   ///< "Class::name" or "name"
+  std::string Name;      ///< last component
+  std::string ClassName; ///< "" for free functions
+  std::string File;      ///< repo-relative path
+  int Line = 0;
+  Layer L = Layer::Other;
+  bool Hot = false;  ///< REGMON_HOT (here or on a matching declaration)
+  bool Pure = false; ///< REGMON_PURE (likewise)
+  bool Internal = false;
+  unsigned Direct = 0;     ///< effects observed in this body
+  unsigned Transitive = 0; ///< Direct | union over reachable callees
+  std::vector<EffectEvidence> Evidence;
+  std::vector<CallSiteInfo> Calls; ///< raw call sites (kept for dumps)
+  std::vector<std::size_t> Callees; ///< sorted, unique node indices
+  int Unresolved = 0; ///< call sites with no repo candidate
+};
+
+class CallGraph {
+public:
+  /// Builds the graph over \p Files. Contexts must outlive the call (they
+  /// are only read during construction).
+  static CallGraph build(const std::vector<FileContext> &Files);
+
+  const std::vector<GraphNode> &nodes() const { return Nodes; }
+
+  /// Shortest call chain (BFS, node indices, starting at \p Root) to a
+  /// node satisfying \p Pred; empty when nothing reachable matches.
+  std::vector<std::size_t>
+  chain(std::size_t Root,
+        const std::function<bool(const GraphNode &)> &Pred) const;
+
+  /// Renders a chain as "a -> B::b -> c" for diagnostics.
+  std::string formatChain(const std::vector<std::size_t> &Path) const;
+
+  void dumpJson(std::ostream &OS) const;
+  void dumpDot(std::ostream &OS) const;
+
+private:
+  std::vector<GraphNode> Nodes;
+};
+
+/// Name + one-line description of a graph-pass rule (the logic lives in
+/// runGraphRules; these feed --list-rules and the docs).
+struct GraphRuleInfo {
+  std::string_view Name;
+  std::string_view Description;
+};
+
+/// The graph-rule registry, in stable order.
+const std::vector<GraphRuleInfo> &graphRules();
+
+/// Runs the purity/confinement rules over \p G. \p Files supplies root
+/// snippets (baseline keys) and inline `allow()` suppression; results are
+/// ordered by (path, line, rule). Implemented in Rules.cpp.
+std::vector<Diagnostic> runGraphRules(const CallGraph &G,
+                                      const std::vector<FileContext> &Files);
+
+/// Long-form text for `--explain <rule>`: the contract, why it exists and
+/// how to fix or suppress findings. Falls back to the one-line description
+/// for per-file rules; empty for unknown names.
+std::string ruleExplanation(std::string_view RuleName);
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_CALLGRAPH_H

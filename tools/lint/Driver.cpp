@@ -7,6 +7,7 @@
 #include "Driver.h"
 
 #include "Baseline.h"
+#include "CallGraph.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -107,6 +108,10 @@ RunResult runLint(const DriverOptions &Options) {
   std::sort(Files.begin(), Files.end());
   Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
 
+  // Lex everything first: the per-file rules consume one context at a
+  // time, but the call-graph pass needs the whole set at once.
+  std::vector<FileContext> Contexts;
+  Contexts.reserve(Files.size());
   for (const fs::path &File : Files) {
     std::string Source, Error;
     if (!readFile(File, Source, Error)) {
@@ -114,10 +119,18 @@ RunResult runLint(const DriverOptions &Options) {
       continue;
     }
     ++R.FilesScanned;
-    FileContext FC = buildContext(relPath(File, Root), Source);
+    Contexts.push_back(buildContext(relPath(File, Root), Source));
+  }
+
+  for (const FileContext &FC : Contexts) {
     std::vector<Diagnostic> Diags = runRules(FC);
     R.Diags.insert(R.Diags.end(), Diags.begin(), Diags.end());
   }
+
+  auto Graph = std::make_shared<CallGraph>(CallGraph::build(Contexts));
+  std::vector<Diagnostic> GraphDiags = runGraphRules(*Graph, Contexts);
+  R.Diags.insert(R.Diags.end(), GraphDiags.begin(), GraphDiags.end());
+  R.Graph = std::move(Graph);
 
   std::stable_sort(R.Diags.begin(), R.Diags.end(),
                    [](const Diagnostic &A, const Diagnostic &B) {
@@ -148,6 +161,12 @@ RunResult runLint(const DriverOptions &Options) {
       R.Errors.push_back("baseline not found: " + BasePath.generic_string());
     }
   }
+
+  // --check-baseline: a suppression whose violation no longer exists must
+  // be deleted, or the baseline rots into a list of free passes.
+  if (Options.CheckBaseline)
+    for (const std::string &S : R.Stale)
+      R.Errors.push_back("stale baseline entry (--check-baseline): " + S);
 
   for (const Diagnostic &D : R.Diags)
     D.Baselined ? ++R.BaselinedCount : ++R.NewCount;

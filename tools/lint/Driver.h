@@ -10,10 +10,13 @@
 #include "Lint.h"
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace regmon::lint {
+
+class CallGraph;
 
 struct DriverOptions {
   std::string Root = ".";          ///< repo root; rel paths resolve here
@@ -24,6 +27,7 @@ struct DriverOptions {
   bool UseBaseline = true;
   bool Json = false;
   bool WriteBaseline = false;
+  bool CheckBaseline = false; ///< stale baseline entries become errors
 };
 
 struct RunResult {
@@ -33,10 +37,14 @@ struct RunResult {
   std::size_t FilesScanned = 0;
   std::size_t NewCount = 0;           ///< non-baselined diagnostics
   std::size_t BaselinedCount = 0;
+  /// The cross-TU call graph built over the scanned files (for --graph
+  /// dumps and tests); always populated on a successful run.
+  std::shared_ptr<const CallGraph> Graph;
 };
 
 /// Collects the C++ sources under Options.Paths (sorted, so output and
-/// baselines are reproducible), lints each file, and applies the baseline.
+/// baselines are reproducible), lints each file, runs the whole-repo
+/// call-graph purity pass over the set, and applies the baseline.
 RunResult runLint(const DriverOptions &Options);
 
 /// Renders \p R human-readable (default) to \p OS.

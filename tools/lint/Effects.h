@@ -1,0 +1,80 @@
+//===- tools/lint/Effects.h - Per-function effect extraction ----*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effect lattice of the call-graph purity pass. Each function body is
+/// scanned once for *direct* facts — does it allocate, touch a wall clock
+/// or libc randomness, use a concurrency primitive, perform I/O, write
+/// file-scope mutable state, or make an indirect (`p->f()`) call — plus
+/// the call sites that link it into the graph. CallGraph.cpp then unions
+/// the facts over the graph to a fixed point, so every function carries a
+/// computed transitive effect set (the join of everything it can reach).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_EFFECTS_H
+#define REGMON_TOOLS_LINT_EFFECTS_H
+
+#include "Lint.h"
+#include "Parser.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace regmon::lint {
+
+/// Effect bits. The lattice is the powerset ordered by inclusion; the
+/// propagation join is bitwise OR.
+enum : unsigned {
+  EffAlloc = 1u << 0,       ///< heap allocation or container growth
+  EffNondet = 1u << 1,      ///< wall clock, libc rand, random_device
+  EffConcurrency = 1u << 2, ///< std::thread/mutex/atomic and friends
+  EffIo = 1u << 3,          ///< FILE*/fstream/stdio traffic
+  EffGlobalWrite = 1u << 4, ///< write to file-scope mutable state
+  EffIndirect = 1u << 5,    ///< indirect member call (p->f(), p != this)
+};
+
+/// Stable short name for one effect bit ("alloc", "nondet", ...).
+const char *effectName(unsigned Bit);
+
+/// Comma-joined effectName list for a mask; "" for an empty mask.
+std::string effectList(unsigned Mask);
+
+/// Where a direct effect was observed, for call-chain diagnostics.
+struct EffectEvidence {
+  unsigned Bit = 0;
+  int Line = 0;
+  std::string Detail; ///< e.g. "operator new", "std::chrono::...::now()"
+};
+
+/// One call site inside a function body, as the resolver consumes it.
+struct CallSiteInfo {
+  std::string Name;      ///< callee's last name component
+  std::string Qualifier; ///< innermost explicit qualifier ("" when none)
+  bool StdQualified = false;
+  bool Member = false; ///< written `x.name(...)` or `x->name(...)`
+  bool Arrow = false;  ///< written `x->name(...)`
+  bool ThisCall = false;
+  int Line = 0;
+};
+
+/// Direct facts of one function body.
+struct FunctionFacts {
+  unsigned Direct = 0;
+  std::vector<EffectEvidence> Evidence;
+  std::vector<CallSiteInfo> Calls;
+};
+
+/// Scans \p F's body tokens in \p FC. \p MutableGlobals is the file's
+/// namespace-scope mutable variable set (from the Parser) — writes to
+/// those names become EffGlobalWrite.
+FunctionFacts extractFacts(const FileContext &FC, const ParsedFunction &F,
+                           const std::set<std::string> &MutableGlobals);
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_EFFECTS_H

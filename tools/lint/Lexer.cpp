@@ -63,6 +63,26 @@ struct Scanner {
     return C;
   }
 
+  /// Consumes one backslash-newline splice (phase-2 line splicing) when the
+  /// cursor sits on it. Splices join physical lines before tokenization, so
+  /// an identifier or line comment may continue on the next physical line;
+  /// without this, `std::ra\<newline>nd` lexes as two harmless identifiers
+  /// and a rule match is silently missed.
+  bool skipSplice() {
+    if (peek() != '\\')
+      return false;
+    std::size_t Off = 1;
+    if (peek(Off) == '\r')
+      ++Off;
+    if (peek(Off) != '\n')
+      return false;
+    advance(); // backslash
+    if (peek() == '\r')
+      advance();
+    advance(); // newline (bumps Line)
+    return true;
+  }
+
   void emit(TokenKind K, std::string Text, int AtLine) {
     if (K != TokenKind::Directive)
       LastCodeLine = AtLine;
@@ -104,8 +124,15 @@ struct Scanner {
     int StartLine = Line;
     bool Shares = LastCodeLine == StartLine;
     std::size_t Begin = Pos;
-    while (!atEnd() && peek() != '\n')
+    while (!atEnd()) {
+      // A line comment ending in a backslash splice swallows the next
+      // physical line too -- that line is comment text, not code.
+      if (peek() == '\\' && skipSplice())
+        continue;
+      if (peek() == '\n')
+        break;
       ++Pos;
+    }
     recordSuppressions(Src.substr(Begin, Pos - Begin), StartLine, Shares);
   }
 
@@ -212,6 +239,8 @@ struct Scanner {
         advance();
         continue;
       }
+      if (C == '\\' && skipSplice())
+        continue; // splice between tokens: not a punctuator
       if (C == '/' && peek(1) == '/') {
         Pos += 2;
         skipLineComment();
@@ -253,13 +282,26 @@ struct Scanner {
       if (isIdentStart(C)) {
         int StartLine = Line;
         std::string Text;
-        while (!atEnd() && isIdentChar(peek()))
-          Text.push_back(advance());
-        // Raw/encoded string prefixes glued to a quote: u8"...", L"..."
+        while (!atEnd()) {
+          if (isIdentChar(peek()))
+            Text.push_back(advance());
+          else if (!skipSplice()) // spliced identifiers continue next line
+            break;
+        }
+        // Encoded string prefixes glued to a quote: u8"...", L"..."
         if (peek() == '"' &&
             (Text == "u8" || Text == "u" || Text == "U" || Text == "L")) {
           advance();
           skipQuoted('"');
+          emit(TokenKind::Literal, "\"\"", StartLine);
+        } else if (peek() == '"' && (Text == "u8R" || Text == "uR" ||
+                                     Text == "UR" || Text == "LR")) {
+          // Encoded *raw* string prefixes: the payload may span lines and
+          // contain unescaped quotes, so it must go through the raw-string
+          // scanner -- skipQuoted would cut it short and leak the payload
+          // into the token stream as code.
+          advance();
+          skipRawString();
           emit(TokenKind::Literal, "\"\"", StartLine);
         } else {
           emit(TokenKind::Identifier, std::move(Text), StartLine);

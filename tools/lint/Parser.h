@@ -1,0 +1,68 @@
+//===- tools/lint/Parser.h - Declaration parser for the graph ---*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight declaration parser on top of the Lexer's token stream.
+/// It recovers just enough structure for the cross-TU call graph: which
+/// functions and methods a file defines (with their enclosing namespace /
+/// class and annotation tags), which classes it declares and what they
+/// derive from, which file-scope mutable variables exist, and which repo
+/// headers it includes. It is *not* a C++ front end: function bodies are
+/// treated as opaque token ranges (Effects.cpp scans them), templates are
+/// skipped structurally, and anything it cannot classify degrades to "no
+/// symbol recorded" rather than a wrong one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_TOOLS_LINT_PARSER_H
+#define REGMON_TOOLS_LINT_PARSER_H
+
+#include "Lint.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace regmon::lint {
+
+/// One function or method declaration/definition found in a file.
+struct ParsedFunction {
+  std::string Name;      ///< last component, e.g. "observeInterval"
+  std::string ClassName; ///< enclosing or explicitly qualified class; ""
+                         ///< for free functions
+  std::string Scope;     ///< namespace scope at the declaration ("a::b")
+  bool Hot = false;      ///< tagged REGMON_HOT
+  bool Pure = false;     ///< tagged REGMON_PURE
+  bool Internal = false; ///< internal linkage (static / anonymous ns)
+  bool HasBody = false;
+  std::size_t BodyBegin = 0; ///< token index of the body's `{`
+  std::size_t BodyEnd = 0;   ///< one past the matching `}`
+  int Line = 0;
+};
+
+/// Everything the call-graph pass needs from one file.
+struct ParsedFile {
+  std::vector<ParsedFunction> Functions;
+  /// Classes/structs *defined* in this file (name -> base-class names,
+  /// unqualified; empty vector when the class has no bases).
+  std::map<std::string, std::vector<std::string>> Classes;
+  /// File-scope mutable variables (namespace scope, not const/constexpr).
+  std::set<std::string> MutableGlobals;
+  /// Every identifier token in the file — the cheap visibility proxy the
+  /// resolver uses to decide which classes a file "knows about".
+  std::set<std::string> Identifiers;
+  /// Quoted #include paths as written (e.g. "core/RegionMonitor.h").
+  std::vector<std::string> Includes;
+};
+
+/// Parses \p FC's token stream. Never fails; unparseable constructs are
+/// skipped.
+ParsedFile parseFile(const FileContext &FC);
+
+} // namespace regmon::lint
+
+#endif // REGMON_TOOLS_LINT_PARSER_H

@@ -15,79 +15,16 @@
 
 #include "Lint.h"
 
+#include "CallGraph.h"
+#include "Effects.h"
+#include "TokenUtil.h"
+
 #include <algorithm>
-#include <initializer_list>
+#include <functional>
 
 namespace regmon::lint {
 
 namespace {
-
-bool isId(const Token &T, std::string_view S) {
-  return T.Kind == TokenKind::Identifier && T.Text == S;
-}
-
-bool isPunct(const Token &T, std::string_view S) {
-  return T.Kind == TokenKind::Punct && T.Text == S;
-}
-
-bool oneOf(std::string_view S, std::initializer_list<std::string_view> Set) {
-  return std::find(Set.begin(), Set.end(), S) != Set.end();
-}
-
-/// True when Tokens[I] is written `std::<name>` or unqualified; false when
-/// it is a member access (`x.name`, `x->name`) or qualified by a namespace
-/// other than std (`mylib::name`).
-bool isStdOrUnqualified(const std::vector<Token> &Toks, std::size_t I) {
-  if (I == 0)
-    return true;
-  const Token &Prev = Toks[I - 1];
-  if (isPunct(Prev, ".") || isPunct(Prev, "->"))
-    return false;
-  if (isPunct(Prev, "::"))
-    return I >= 2 && isId(Toks[I - 2], "std");
-  return true;
-}
-
-/// True when Tokens[I] is written exactly `std::<name>`.
-bool isStdQualified(const std::vector<Token> &Toks, std::size_t I) {
-  return I >= 2 && isPunct(Toks[I - 1], "::") && isId(Toks[I - 2], "std");
-}
-
-bool nextIs(const std::vector<Token> &Toks, std::size_t I,
-            std::string_view Punct) {
-  return I + 1 < Toks.size() && isPunct(Toks[I + 1], Punct);
-}
-
-/// Distinguishes `time(...)` the call from `long time()` the declaration:
-/// a call site is preceded by punctuation (`=`, `(`, `,`, `;`, `{`, ...)
-/// or by `return`; a declaration is preceded by its return type.
-bool looksLikeCall(const std::vector<Token> &Toks, std::size_t I) {
-  if (I == 0)
-    return false;
-  const Token &Prev = Toks[I - 1];
-  if (Prev.Kind == TokenKind::Identifier)
-    return Prev.Text == "return" || Prev.Text == "co_return";
-  return Prev.Kind == TokenKind::Punct;
-}
-
-/// Index one past the closing delimiter matching Toks[Open] (which must be
-/// `(` `[` `{` or `<`). Returns Toks.size() when unbalanced.
-std::size_t skipBalanced(const std::vector<Token> &Toks, std::size_t Open,
-                         std::string_view OpenSym, std::string_view CloseSym) {
-  int Depth = 0;
-  for (std::size_t I = Open; I < Toks.size(); ++I) {
-    if (isPunct(Toks[I], OpenSym))
-      ++Depth;
-    else if (isPunct(Toks[I], CloseSym) && --Depth == 0)
-      return I + 1;
-    else if (OpenSym == "<" && isPunct(Toks[I], ">>")) {
-      Depth -= 2;
-      if (Depth <= 0)
-        return I + 1;
-    }
-  }
-  return Toks.size();
-}
 
 void addDiag(const FileContext &FC, std::vector<Diagnostic> &Out,
              std::string_view RuleName, int Line, std::string Message) {
@@ -769,6 +706,214 @@ std::vector<Diagnostic> runRules(const FileContext &FC) {
                      return A.Rule < B.Rule;
                    });
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph rules (R11-R13): run once over the whole-repo call graph instead
+// of per file. Where the token rules pattern-match a body's own text, the
+// graph rules *prove* the transitive contract: an annotated root is clean
+// only if nothing reachable from it carries a banned effect. Findings are
+// anchored at the root's declaration line (so the baseline key works like
+// any other rule) and carry the full offending call chain in the message.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string_view effectNoun(unsigned Bit) {
+  switch (Bit) {
+  case EffAlloc:
+    return "heap allocation";
+  case EffNondet:
+    return "nondeterminism (wall clock / libc rand / random_device)";
+  case EffConcurrency:
+    return "a concurrency primitive";
+  case EffIo:
+    return "I/O";
+  case EffGlobalWrite:
+    return "a write to file-scope mutable state";
+  case EffIndirect:
+    return "an indirect member call";
+  }
+  return "a banned effect";
+}
+
+} // namespace
+
+const std::vector<GraphRuleInfo> &graphRules() {
+  static const std::vector<GraphRuleInfo> Rules = {
+      {"purity-hot",
+       "everything transitively reachable from a REGMON_HOT body must be "
+       "allocation-free, deterministic, and free of indirect calls"},
+      {"purity",
+       "REGMON_PURE functions must not transitively reach wall clocks, "
+       "I/O, or writes to file-scope mutable state (allocation and "
+       "layer-confined atomics are permitted)"},
+      {"purity-confinement",
+       "deterministic/support-layer functions must not transitively reach "
+       "concurrency primitives that live outside src/service and src/obs"},
+  };
+  return Rules;
+}
+
+std::vector<Diagnostic>
+runGraphRules(const CallGraph &G, const std::vector<FileContext> &Files) {
+  std::vector<Diagnostic> Out;
+  std::map<std::string, const FileContext *> ByPath;
+  for (const FileContext &FC : Files)
+    ByPath[FC.Path] = &FC;
+
+  auto allowedAt = [&](const std::string &Path, int Line,
+                       std::string_view RuleName) {
+    auto It = ByPath.find(Path);
+    if (It == ByPath.end())
+      return false;
+    auto AIt = It->second->Allowed.find(Line);
+    if (AIt == It->second->Allowed.end())
+      return false;
+    return AIt->second.count(std::string(RuleName)) != 0 ||
+           AIt->second.count("all") != 0;
+  };
+
+  // One diagnostic per (root, banned bit): shortest chain to a node whose
+  // *direct* facts carry the bit. Inline `allow()` works at the root line
+  // (waive the whole contract for this root) and at the evidence line
+  // (exempt one known-benign effect for every root that reaches it).
+  auto emit = [&](std::size_t RootIdx, std::string_view RuleName,
+                  unsigned Bit, std::string_view Why,
+                  const std::function<bool(const GraphNode &)> &TargetPred,
+                  std::size_t MinChain) {
+    const GraphNode &Root = G.nodes()[RootIdx];
+    std::vector<std::size_t> Path = G.chain(RootIdx, TargetPred);
+    if (Path.empty() || Path.size() < MinChain)
+      return;
+    const GraphNode &Target = G.nodes()[Path.back()];
+    const EffectEvidence *Ev = nullptr;
+    for (const EffectEvidence &E : Target.Evidence)
+      if (E.Bit == Bit) {
+        Ev = &E;
+        break;
+      }
+    const int EvLine = Ev ? Ev->Line : Target.Line;
+    if (allowedAt(Root.File, Root.Line, RuleName) ||
+        allowedAt(Target.File, EvLine, RuleName))
+      return;
+    std::string Snippet;
+    if (auto It = ByPath.find(Root.File); It != ByPath.end())
+      Snippet = normalizeLine(It->second->line(Root.Line));
+    std::string Msg = std::string(Why);
+    Msg += effectNoun(Bit);
+    Msg += ": ";
+    Msg += G.formatChain(Path);
+    Msg += " (";
+    Msg += Target.File;
+    Msg += ":";
+    Msg += std::to_string(EvLine);
+    Msg += ": ";
+    Msg += Ev ? Ev->Detail : std::string(effectName(Bit));
+    Msg += ")";
+    Out.push_back(Diagnostic{std::string(RuleName), Root.File, Root.Line,
+                             std::move(Msg), std::move(Snippet), false});
+  };
+
+  const std::vector<GraphNode> &Nodes = G.nodes();
+  for (std::size_t NI = 0; NI < Nodes.size(); ++NI) {
+    const GraphNode &N = Nodes[NI];
+    if (N.Hot) {
+      for (unsigned Bit : {EffAlloc, EffNondet, EffIndirect})
+        if (N.Transitive & Bit)
+          emit(
+              NI, "purity-hot", Bit, "REGMON_HOT function reaches ",
+              [Bit](const GraphNode &T) { return (T.Direct & Bit) != 0; },
+              1);
+    }
+    if (N.Pure) {
+      for (unsigned Bit : {EffNondet, EffIo, EffGlobalWrite})
+        if (N.Transitive & Bit)
+          emit(
+              NI, "purity", Bit, "REGMON_PURE function reaches ",
+              [Bit](const GraphNode &T) { return (T.Direct & Bit) != 0; },
+              1);
+    }
+    // Concurrency confinement: a deterministic/support root may reach
+    // atomics that *live* in their sanctioned homes (src/service, src/obs
+    // -- and tests/bench exercising them), but not concurrency smuggled
+    // into the deterministic layers through a helper. Direct usage
+    // (chain length 1) is already the token `concurrency` rule's job.
+    if ((N.L == Layer::Deterministic || N.L == Layer::Support) &&
+        (N.Transitive & EffConcurrency) != 0)
+      emit(
+          NI, "purity-confinement", EffConcurrency,
+          "deterministic-layer function reaches ",
+          [](const GraphNode &T) {
+            return (T.Direct & EffConcurrency) != 0 &&
+                   T.L != Layer::Service && T.L != Layer::Obs &&
+                   T.L != Layer::Tests && T.L != Layer::Bench;
+          },
+          2);
+  }
+
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Path != B.Path)
+                       return A.Path < B.Path;
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     return A.Rule < B.Rule;
+                   });
+  return Out;
+}
+
+std::string ruleExplanation(std::string_view RuleName) {
+  if (RuleName == "purity-hot")
+    return "purity-hot -- the REGMON_HOT transitive contract\n"
+           "\n"
+           "Functions tagged REGMON_HOT (support/Contracts.h) run once per\n"
+           "sample or per interval end. The per-file `hotpath` rule scans\n"
+           "only the tagged body's own tokens, so an allocation hidden one\n"
+           "call below it -- or laundered through a pointer -- passes. This\n"
+           "rule closes that hole: it builds the whole-repo call graph,\n"
+           "propagates per-function effect sets to a fixed point, and\n"
+           "reports any REGMON_HOT root that can transitively reach heap\n"
+           "allocation, nondeterminism, or an indirect member call. The\n"
+           "finding is anchored at the root and carries the full offending\n"
+           "chain, e.g.\n"
+           "    recomputeMoments -> helper -> grow (src/x.cpp:42: operator "
+           "new)\n"
+           "\n"
+           "Fix by hoisting the allocation to the caller (pre-sized\n"
+           "scratch), or exempt a known-benign site with\n"
+           "`// regmon-lint: allow(purity-hot)` on the evidence line.";
+  if (RuleName == "purity")
+    return "purity -- the REGMON_PURE determinism contract\n"
+           "\n"
+           "REGMON_PURE marks the replay-critical decision paths: detector\n"
+           "interval-end transitions, fault-plan draws, and similarity\n"
+           "combines. Their outputs must be a pure function of their\n"
+           "inputs, so nothing they transitively call may read wall\n"
+           "clocks, libc randomness or std::random_device, perform I/O, or\n"
+           "write file-scope mutable state. Allocation is deliberately\n"
+           "allowed (adopting a phase table allocates) and so are atomics\n"
+           "confined to src/obs (the observability counters are designed\n"
+           "to be replay-stable); see purity-confinement for the latter.\n"
+           "Violations print the full call chain from the annotated root\n"
+           "to the offending token.";
+  if (RuleName == "purity-confinement")
+    return "purity-confinement -- concurrency stays in its sanctioned "
+           "homes\n"
+           "\n"
+           "The per-file `concurrency` rule bans std::thread/mutex/atomic\n"
+           "tokens from deterministic-layer files, but cannot see a helper\n"
+           "defined elsewhere that wraps a mutex and is called from\n"
+           "src/core. This rule checks reachability: a deterministic- or\n"
+           "support-layer function must not transitively reach a function\n"
+           "that directly uses a concurrency primitive unless that\n"
+           "function lives in src/service or src/obs (or tests/bench).\n"
+           "Chains of length 1 are the token rule's territory and are not\n"
+           "re-reported here.";
+  for (const std::unique_ptr<Rule> &R : allRules())
+    if (R->name() == RuleName)
+      return std::string(R->name()) + " -- " + std::string(R->description());
+  return {};
 }
 
 } // namespace regmon::lint

@@ -15,7 +15,11 @@
 ///   --baseline <file>   baseline file (default: <root>/tools/lint/baseline.txt)
 ///   --no-baseline       report grandfathered violations as errors too
 ///   --write-baseline    rewrite the baseline from the current violations
+///   --check-baseline    fail (exit 2) on stale baseline entries
 ///   --json              machine-readable report on stdout
+///   --graph <dot|json>  dump the cross-TU call graph (with per-node
+///                       effect sets) to stdout; report goes to stderr
+///   --explain <rule>    print the rule's contract and how to fix findings
 ///   --list-rules        print the rule registry and exit
 ///
 /// Paths default to src, tools and bench. Exit codes: 0 clean, 1 new
@@ -24,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Baseline.h"
+#include "CallGraph.h"
 #include "Driver.h"
 
 #include <filesystem>
@@ -38,8 +43,10 @@ namespace {
 int usage(std::ostream &OS, int Code) {
   OS << "usage: regmon-lint [--root <dir>] [--baseline <file>] "
         "[--no-baseline]\n"
-        "                   [--write-baseline] [--json] [--list-rules] "
-        "[paths...]\n";
+        "                   [--write-baseline] [--check-baseline] [--json]\n"
+        "                   [--graph <dot|json>] [--explain <rule>] "
+        "[--list-rules]\n"
+        "                   [paths...]\n";
   return Code;
 }
 
@@ -48,6 +55,8 @@ int usage(std::ostream &OS, int Code) {
 int main(int Argc, char **Argv) {
   DriverOptions Options;
   bool ListRules = false;
+  std::string GraphFormat;
+  std::string ExplainRule;
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
     auto NeedsValue = [&](std::string &Out) {
@@ -68,8 +77,22 @@ int main(int Argc, char **Argv) {
       Options.UseBaseline = false;
     } else if (Arg == "--write-baseline") {
       Options.WriteBaseline = true;
+    } else if (Arg == "--check-baseline") {
+      Options.CheckBaseline = true;
     } else if (Arg == "--json") {
       Options.Json = true;
+    } else if (Arg == "--graph") {
+      if (!NeedsValue(GraphFormat))
+        return usage(std::cerr, 2);
+      if (GraphFormat != "dot" && GraphFormat != "json") {
+        std::cerr << "regmon-lint: error: --graph wants 'dot' or 'json', "
+                     "got '"
+                  << GraphFormat << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--explain") {
+      if (!NeedsValue(ExplainRule))
+        return usage(std::cerr, 2);
     } else if (Arg == "--list-rules") {
       ListRules = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -82,9 +105,22 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (!ExplainRule.empty()) {
+    std::string Text = ruleExplanation(ExplainRule);
+    if (Text.empty()) {
+      std::cerr << "regmon-lint: error: unknown rule '" << ExplainRule
+                << "' (see --list-rules)\n";
+      return 2;
+    }
+    std::cout << Text << "\n";
+    return 0;
+  }
+
   if (ListRules) {
     for (const auto &R : allRules())
       std::cout << R->name() << "\n    " << R->description() << "\n";
+    for (const GraphRuleInfo &R : graphRules())
+      std::cout << R.Name << " (graph)\n    " << R.Description << "\n";
     return 0;
   }
 
@@ -107,6 +143,16 @@ int main(int Argc, char **Argv) {
               << (R.Diags.size() == 1 ? "y" : "ies") << " to "
               << BasePath.generic_string() << "\n";
     return R.Errors.empty() ? 0 : 2;
+  }
+
+  if (!GraphFormat.empty() && R.Graph) {
+    // Graph on stdout (the CI artifact), report on stderr.
+    if (GraphFormat == "dot")
+      R.Graph->dumpDot(std::cout);
+    else
+      R.Graph->dumpJson(std::cout);
+    printHuman(R, std::cerr);
+    return exitCode(R);
   }
 
   if (Options.Json)
