@@ -1,0 +1,206 @@
+//===- bench/bench_fleet_rollup.cpp - Fleet aggregation cost gates --------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Gates the cost of the hierarchical fleet rollup (fleet/FleetTree.h)
+// across a leaves x tree-depth sweep. Every shape runs a fault-free
+// deterministic FleetSim, so the byte counts are exact and replayable;
+// only the latencies are wall-clock.
+//
+//  1. rollup latency: building the root's FleetView (coverage + staleness
+//     arithmetic + the merged rollup) must stay cheap enough to take on
+//     every scrape. Gate: <= 100 us per leaf at every swept shape, which
+//     is generous for the intended O(leaves) reduction but fails fast on
+//     an accidental quadratic blowup.
+//  2. merged bytes per leaf: the encoded root state -- what a parent
+//     re-transmits per epoch -- must stay bounded per leaf regardless of
+//     tree shape. Gate: <= 2048 bytes/leaf (a canonical entry is ~600
+//     bytes: stats + stable-fraction histogram + a 16-entry top-K).
+//  3. transport bytes per leaf-epoch-level: total link traffic divided by
+//     (leaves x epochs x levels); each leaf's entry crosses one link per
+//     level, so this normalization is shape-independent. Same per-leaf
+//     bound as gate 2.
+//
+// Fault-free runs must also report exact full coverage (coverage 1.0,
+// staleness 0) at every shape -- a correctness precondition checked
+// alongside the gates, since a view that silently drops leaves would
+// also look "fast".
+//
+// Emits JSON on stdout for the BENCH_fleet.json CI artifact; the human
+// summary goes to stderr. `--smoke` shrinks the sweep and epoch count
+// for CI while keeping all gates enforced. Exit 0 iff every gate holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "fleet/Codec.h"
+#include "fleet/FleetFaultPlan.h"
+#include "fleet/FleetTree.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::bench;
+
+namespace {
+
+/// One swept tree shape. Fanout is chosen per row so the sweep covers
+/// depth 1 (every leaf under the root) through depth 4.
+struct Shape {
+  std::uint32_t Leaves = 0;
+  std::uint32_t Fanout = 0;
+};
+
+struct Row {
+  Shape S;
+  std::uint32_t Levels = 0;
+  std::uint64_t Epochs = 0;
+  double EpochMs = 0;      ///< Full epoch (ingest + emit + merge).
+  double RollupUs = 0;     ///< One FleetView build at the root.
+  std::uint64_t StateBytes = 0; ///< Encoded root FleetSummary.
+  double StateBytesPerLeaf = 0;
+  double WireBytesPerLeafEpochLevel = 0;
+  bool FullCoverage = false;
+};
+
+/// Rollup latency budget, per leaf: generous for O(leaves), fatal for
+/// O(leaves^2).
+constexpr double RollupBudgetUsPerLeaf = 100.0;
+/// Encoded per-leaf footprint bound, shared by gates 2 and 3.
+constexpr double BytesPerLeafBudget = 2048.0;
+
+Row runShape(Shape S, std::uint64_t Epochs, std::size_t ViewIters) {
+  fleet::FleetSimConfig Cfg;
+  Cfg.Leaves = S.Leaves;
+  Cfg.Fanout = S.Fanout;
+  Cfg.StreamsPerLeaf = 1;
+  Cfg.BatchesPerEpoch = 1;
+  Cfg.Seed = 17;
+  // Default FleetFaultConfig injects nothing and the plan seed is inert
+  // without rates, so the run is the fault-free reference.
+  fleet::FleetSim Sim(Cfg, fleet::FleetFaultPlan(/*PlanSeed=*/1));
+
+  Row R;
+  R.S = S;
+  R.Levels = Sim.topology().levels();
+  R.Epochs = Epochs;
+
+  const double RunSec = timeSeconds([&] { Sim.run(Epochs); });
+  R.EpochMs = RunSec * 1e3 / static_cast<double>(Epochs);
+
+  // Time the view path alone: repeated rollups over the settled root
+  // state, the scrape-time cost a metrics endpoint pays.
+  std::uint64_t Acc = 0; // consumed so the timed views cannot be dropped
+  const double ViewSec = timeSeconds([&] {
+    for (std::size_t I = 0; I < ViewIters; ++I)
+      Acc += Sim.view().Rollup.Totals.TotalSamples;
+  });
+  R.RollupUs = ViewSec * 1e6 / static_cast<double>(ViewIters);
+
+  const fleet::FleetView V = Sim.view();
+  R.FullCoverage = Acc > 0 && V.LeavesPresent == S.Leaves &&
+                   V.LeavesExpired == 0 && V.MaxStaleness == 0 &&
+                   V.Rollup.Totals.Streams == S.Leaves;
+
+  R.StateBytes = fleet::Codec::encodeState(Sim.rootState()).size();
+  R.StateBytesPerLeaf =
+      static_cast<double>(R.StateBytes) / static_cast<double>(S.Leaves);
+  R.WireBytesPerLeafEpochLevel =
+      static_cast<double>(Sim.bytesSent()) /
+      static_cast<double>(static_cast<std::uint64_t>(S.Leaves) * Epochs *
+                          R.Levels);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const bool Smoke = Argc > 1 && std::strcmp(Argv[1], "--smoke") == 0;
+  const std::uint64_t Epochs = Smoke ? 4 : 8;
+  const std::size_t ViewIters = Smoke ? 50 : 400;
+
+  std::vector<Shape> Sweep = {{4, 4}, {8, 2}, {16, 4}};
+  if (!Smoke) {
+    Sweep.push_back({16, 2});
+    Sweep.push_back({32, 4});
+    Sweep.push_back({32, 2});
+  }
+
+  std::vector<Row> Rows;
+  Rows.reserve(Sweep.size());
+  for (const Shape &S : Sweep)
+    Rows.push_back(runShape(S, Epochs, ViewIters));
+
+  bool GateRollup = true, GateState = true, GateWire = true,
+       Coverage = true;
+  for (const Row &R : Rows) {
+    GateRollup = GateRollup &&
+                 R.RollupUs <= RollupBudgetUsPerLeaf *
+                                   static_cast<double>(R.S.Leaves);
+    GateState = GateState && R.StateBytesPerLeaf <= BytesPerLeafBudget;
+    GateWire = GateWire && R.WireBytesPerLeafEpochLevel <= BytesPerLeafBudget;
+    Coverage = Coverage && R.FullCoverage;
+  }
+  const bool Pass = GateRollup && GateState && GateWire && Coverage;
+
+  std::fprintf(stderr, "[fleet] mode=%s epochs=%llu\n", Smoke ? "smoke" : "full",
+               static_cast<unsigned long long>(Epochs));
+  for (const Row &R : Rows)
+    std::fprintf(stderr,
+                 "  leaves=%2u fanout=%u levels=%u: epoch %.2f ms, "
+                 "rollup %.1f us, state %.0f B/leaf, wire %.0f "
+                 "B/leaf-epoch-level, coverage %s\n",
+                 R.S.Leaves, R.S.Fanout, R.Levels, R.EpochMs, R.RollupUs,
+                 R.StateBytesPerLeaf, R.WireBytesPerLeafEpochLevel,
+                 R.FullCoverage ? "full" : "DEGRADED");
+  std::fprintf(stderr,
+               "  gates: rollup <= %.0f us/leaf: %s, state <= %.0f B/leaf: "
+               "%s, wire <= %.0f B/leaf: %s, coverage exact: %s\n",
+               RollupBudgetUsPerLeaf, GateRollup ? "pass" : "FAIL",
+               BytesPerLeafBudget, GateState ? "pass" : "FAIL",
+               BytesPerLeafBudget, GateWire ? "pass" : "FAIL",
+               Coverage ? "pass" : "FAIL");
+
+  std::printf("{\n"
+              "  \"bench\": \"fleet_rollup\",\n"
+              "  \"mode\": \"%s\",\n"
+              "  \"epochs\": %llu,\n"
+              "  \"sweep\": [\n",
+              Smoke ? "smoke" : "full",
+              static_cast<unsigned long long>(Epochs));
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::printf("    {\"leaves\": %u, \"fanout\": %u, \"levels\": %u, "
+                "\"epoch_ms\": %.3f, \"rollup_us\": %.2f, "
+                "\"state_bytes\": %llu, \"state_bytes_per_leaf\": %.1f, "
+                "\"wire_bytes_per_leaf_epoch_level\": %.1f, "
+                "\"full_coverage\": %s}%s\n",
+                R.S.Leaves, R.S.Fanout, R.Levels, R.EpochMs, R.RollupUs,
+                static_cast<unsigned long long>(R.StateBytes),
+                R.StateBytesPerLeaf, R.WireBytesPerLeafEpochLevel,
+                R.FullCoverage ? "true" : "false",
+                I + 1 < Rows.size() ? "," : "");
+  }
+  std::printf("  ],\n"
+              "  \"rollup_budget_us_per_leaf\": %.0f,\n"
+              "  \"bytes_per_leaf_budget\": %.0f,\n"
+              "  \"rollup_gate\": %s,\n"
+              "  \"state_bytes_gate\": %s,\n"
+              "  \"wire_bytes_gate\": %s,\n"
+              "  \"coverage_exact\": %s,\n"
+              "  \"pass\": %s\n"
+              "}\n",
+              RollupBudgetUsPerLeaf, BytesPerLeafBudget,
+              GateRollup ? "true" : "false", GateState ? "true" : "false",
+              GateWire ? "true" : "false", Coverage ? "true" : "false",
+              Pass ? "true" : "false");
+
+  return Pass ? 0 : 1;
+}

@@ -38,6 +38,54 @@ const char *faults::toString(BatchFault F) {
   return "?";
 }
 
+const char *faults::toString(TransportFault F) {
+  switch (F) {
+  case TransportFault::None:
+    return "none";
+  case TransportFault::Drop:
+    return "drop";
+  case TransportFault::Duplicate:
+    return "duplicate";
+  case TransportFault::Reorder:
+    return "reorder";
+  case TransportFault::Stale:
+    return "stale";
+  }
+  return "?";
+}
+
+LinkFaultInjector::LinkFaultInjector(std::uint64_t Seed,
+                                     TransportFaultConfig Cfg)
+    : Config(Cfg), MsgRng(mix64(Seed ^ 0x96969696'96969696ULL)) {}
+
+REGMON_PURE TransportFault LinkFaultInjector::nextFault() {
+  ++Stats.MessagesSeen;
+  // One decision per fault class per message, always drawn, so the
+  // consumed random stream is independent of which faults fire -- the
+  // same discipline StreamFaultInjector::apply uses.
+  const bool Drop = MsgRng.nextDouble() < Config.DropRate;
+  const bool Duplicate = MsgRng.nextDouble() < Config.DuplicateRate;
+  const bool Reorder = MsgRng.nextDouble() < Config.ReorderRate;
+  const bool Stale = MsgRng.nextDouble() < Config.StaleRate;
+  if (Drop) {
+    ++Stats.Dropped;
+    return TransportFault::Drop;
+  }
+  if (Duplicate) {
+    ++Stats.Duplicated;
+    return TransportFault::Duplicate;
+  }
+  if (Reorder) {
+    ++Stats.Reordered;
+    return TransportFault::Reorder;
+  }
+  if (Stale) {
+    ++Stats.Stale;
+    return TransportFault::Stale;
+  }
+  return TransportFault::None;
+}
+
 REGMON_PURE void faults::poisonBatch(std::vector<Sample> &Batch) {
   if (Batch.empty()) {
     // An empty batch carries nothing to malform; give it one impossible
@@ -162,4 +210,12 @@ REGMON_PURE BatchFault StreamFaultInjector::nextBatchFault() {
 
 REGMON_PURE StreamFaultInjector FaultPlan::forStream(std::uint32_t Id) const {
   return StreamFaultInjector(mix64(Seed) ^ mix64(Id), Config);
+}
+
+REGMON_PURE LinkFaultInjector
+FaultPlan::forLink(std::uint32_t Id, TransportFaultConfig Cfg) const {
+  // A distinct mixing constant decorrelates link Id from stream Id, so a
+  // fleet reusing one plan seed for both draws independent sequences.
+  return LinkFaultInjector(mix64(Seed ^ 0x7171717171717171ULL) ^ mix64(Id),
+                           Cfg);
 }

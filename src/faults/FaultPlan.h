@@ -58,6 +58,69 @@ enum class BatchFault : std::uint8_t {
 /// Returns a short human-readable name for \p F.
 const char *toString(BatchFault F);
 
+/// Fate of one summary message on a fleet-tree link (child -> parent),
+/// decided deterministically by a \ref LinkFaultInjector. Models what a
+/// real summary transport (UDP rollup, gossip hop, RPC retry queue) does
+/// to in-flight rollup messages; the fleet layer must absorb every one of
+/// these without the merged view going silently wrong.
+enum class TransportFault : std::uint8_t {
+  None,      ///< Deliver normally.
+  Drop,      ///< Message lost; the parent keeps its stale entry.
+  Duplicate, ///< Delivered twice; merges must be idempotent.
+  Reorder,   ///< Delayed one round and delivered after its successor.
+  Stale,     ///< A previously sent message is re-delivered *instead of*
+             ///< the current one (retry queue replaying an old payload).
+};
+
+/// Returns a short human-readable name for \p F.
+const char *toString(TransportFault F);
+
+/// Summary-transport fault rates, all probabilities in [0, 1]. A
+/// default-constructed config injects nothing.
+struct TransportFaultConfig {
+  double DropRate = 0;
+  double DuplicateRate = 0;
+  double ReorderRate = 0;
+  double StaleRate = 0;
+};
+
+/// Counters of everything a link injector did.
+struct LinkFaultStats {
+  std::uint64_t MessagesSeen = 0;
+  std::uint64_t Dropped = 0;
+  std::uint64_t Duplicated = 0;
+  std::uint64_t Reordered = 0;
+  std::uint64_t Stale = 0;
+};
+
+/// Decides the fate of each summary message crossing one fleet-tree link.
+/// Stateful in the same sense as \ref StreamFaultInjector: the K-th call
+/// judges the K-th message, and every decision draw is always consumed,
+/// so the identical seed yields the identical fault sequence regardless
+/// of which faults actually fire (bit-identical replay).
+class LinkFaultInjector {
+public:
+  /// Creates an injector with its own derived generator. Prefer
+  /// \ref FaultPlan::forLink over calling this directly.
+  LinkFaultInjector(std::uint64_t Seed, TransportFaultConfig Config);
+
+  /// Decides the next message's fate. One decision per fault class per
+  /// message, always drawn; precedence drop > duplicate > reorder >
+  /// stale when several fire at once.
+  TransportFault nextFault();
+
+  /// Returns the running fault counters.
+  const LinkFaultStats &stats() const { return Stats; }
+
+  /// Returns the configuration in use.
+  const TransportFaultConfig &config() const { return Config; }
+
+private:
+  TransportFaultConfig Config;
+  Rng MsgRng;
+  LinkFaultStats Stats;
+};
+
 /// Fault rates and shapes. All rates are probabilities in [0, 1]; a
 /// default-constructed config injects nothing.
 struct FaultConfig {
@@ -154,6 +217,13 @@ public:
   /// Returns stream \p Id's injector. Pure in (plan seed, \p Id): the
   /// result is independent of call order and of other streams.
   StreamFaultInjector forStream(std::uint32_t Id) const;
+
+  /// Returns link \p Id's summary-transport injector, drawing from
+  /// \p Cfg. Pure in (plan seed, \p Id), and derived from a different
+  /// mixing constant than \ref forStream so link K's faults are
+  /// independent of stream K's.
+  LinkFaultInjector forLink(std::uint32_t Id,
+                            TransportFaultConfig Cfg) const;
 
   /// Returns the plan seed.
   std::uint64_t seed() const { return Seed; }

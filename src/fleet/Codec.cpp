@@ -1,0 +1,199 @@
+//===- fleet/Codec.cpp - Wire codec for fleet summaries -------------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Codec.h"
+
+#include <algorithm>
+
+using namespace regmon;
+using namespace regmon::fleet;
+
+void Codec::encode(persist::ByteWriter &W, const LeafStats &S) {
+  W.u64(S.Streams);
+  W.u64(S.BatchesProcessed);
+  W.u64(S.Intervals);
+  W.u64(S.PhaseChanges);
+  W.u64(S.FormationTriggers);
+  W.u64(S.ActiveRegions);
+  W.u64(S.StableRegions);
+  W.u64(S.TotalSamples);
+  W.u64(S.UcrSamples);
+  W.u64(S.QuarantinedStreams);
+  W.u64(S.Crashes);
+}
+
+bool Codec::decode(persist::ByteReader &R, LeafStats &Out) {
+  Out.Streams = R.u64();
+  Out.BatchesProcessed = R.u64();
+  Out.Intervals = R.u64();
+  Out.PhaseChanges = R.u64();
+  Out.FormationTriggers = R.u64();
+  Out.ActiveRegions = R.u64();
+  Out.StableRegions = R.u64();
+  Out.TotalSamples = R.u64();
+  Out.UcrSamples = R.u64();
+  Out.QuarantinedStreams = R.u64();
+  Out.Crashes = R.u64();
+  return R.ok();
+}
+
+void Codec::encode(persist::ByteWriter &W, const MergeableHistogram &H) {
+  W.vecF64(H.Upper);
+  W.vecU64(H.Buckets);
+  W.u64(H.Total);
+}
+
+bool Codec::decode(persist::ByteReader &R, MergeableHistogram &Out) {
+  if (!R.vecF64(Out.Upper) || !R.vecU64(Out.Buckets))
+    return false;
+  Out.Total = R.u64();
+  if (!R.ok())
+    return false;
+  // An empty histogram (never constructed with bounds) serializes as two
+  // empty vectors; anything else must carry the +Inf bucket and counts
+  // that sum to Total, and ascending bounds.
+  if (Out.Buckets.empty()) {
+    if (!Out.Upper.empty() || Out.Total != 0) {
+      R.fail();
+      return false;
+    }
+    return true;
+  }
+  if (Out.Buckets.size() != Out.Upper.size() + 1 ||
+      !std::is_sorted(Out.Upper.begin(), Out.Upper.end())) {
+    R.fail();
+    return false;
+  }
+  std::uint64_t Sum = 0;
+  for (std::uint64_t C : Out.Buckets)
+    Sum += C;
+  if (Sum != Out.Total) {
+    R.fail();
+    return false;
+  }
+  return true;
+}
+
+void Codec::encode(persist::ByteWriter &W, const TopKSketch &S) {
+  W.u32(S.Cap);
+  W.u64(S.Entries.size());
+  for (const TopKEntry &E : S.Entries) {
+    W.u32(E.Stream);
+    W.u32(E.Region);
+    W.u64(E.PhaseChanges);
+  }
+}
+
+bool Codec::decode(persist::ByteReader &R, TopKSketch &Out) {
+  Out.Cap = R.u32();
+  const std::uint64_t N = R.u64();
+  // 16 bytes per entry: reject a length prefix the buffer cannot hold
+  // before allocating, and a count beyond the declared capacity outright.
+  if (!R.ok() || N > Out.Cap || N > R.remaining() / 16) {
+    R.fail();
+    return false;
+  }
+  Out.Entries.clear();
+  Out.Entries.reserve(N);
+  for (std::uint64_t I = 0; I < N; ++I) {
+    TopKEntry E;
+    E.Stream = R.u32();
+    E.Region = R.u32();
+    E.PhaseChanges = R.u64();
+    if (!R.ok())
+      return false;
+    // Canonical order is part of the format: out-of-order or duplicate
+    // entries mean a corrupt or non-canonical encoder.
+    if (I > 0 && !topKBefore(Out.Entries.back(), E)) {
+      R.fail();
+      return false;
+    }
+    Out.Entries.push_back(E);
+  }
+  return true;
+}
+
+void Codec::encode(persist::ByteWriter &W, const LeafSummary &S) {
+  W.u32(S.Leaf);
+  W.u64(S.Epoch);
+  encode(W, S.Stats);
+  encode(W, S.StableHist);
+  encode(W, S.TopK);
+}
+
+bool Codec::decode(persist::ByteReader &R, LeafSummary &Out) {
+  Out.Leaf = R.u32();
+  Out.Epoch = R.u64();
+  return decode(R, Out.Stats) && decode(R, Out.StableHist) &&
+         decode(R, Out.TopK);
+}
+
+void Codec::encode(persist::ByteWriter &W, const FleetSummary &S) {
+  W.u64(S.Entries.size());
+  for (const LeafSummary &E : S.Entries)
+    encode(W, E);
+}
+
+bool Codec::decode(persist::ByteReader &R, FleetSummary &Out) {
+  const std::uint64_t N = R.u64();
+  // Each entry is at least the fixed LeafSummary prefix (leaf + epoch +
+  // stats) wide; bound the allocation by that before trusting N.
+  constexpr std::uint64_t MinEntryBytes = 4 + 8 + 11 * 8;
+  if (!R.ok() || N > R.remaining() / MinEntryBytes) {
+    R.fail();
+    return false;
+  }
+  Out.Entries.clear();
+  Out.Entries.reserve(N);
+  for (std::uint64_t I = 0; I < N; ++I) {
+    LeafSummary S;
+    if (!decode(R, S))
+      return false;
+    // Strictly ascending leaf ids: sortedness and uniqueness in one check.
+    if (I > 0 && Out.Entries.back().Leaf >= S.Leaf) {
+      R.fail();
+      return false;
+    }
+    Out.Entries.push_back(std::move(S));
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Codec::encodeMessage(const LeafSummary &S) {
+  persist::ByteWriter W;
+  W.u32(Version);
+  encode(W, S);
+  return W.take();
+}
+
+std::optional<LeafSummary>
+Codec::decodeMessage(std::span<const std::uint8_t> Bytes) {
+  persist::ByteReader R(Bytes);
+  if (R.u32() != Version)
+    return std::nullopt;
+  LeafSummary S;
+  if (!decode(R, S) || !R.atEnd())
+    return std::nullopt;
+  return S;
+}
+
+std::vector<std::uint8_t> Codec::encodeState(const FleetSummary &S) {
+  persist::ByteWriter W;
+  W.u32(Version);
+  encode(W, S);
+  return W.take();
+}
+
+std::optional<FleetSummary>
+Codec::decodeState(std::span<const std::uint8_t> Bytes) {
+  persist::ByteReader R(Bytes);
+  if (R.u32() != Version)
+    return std::nullopt;
+  FleetSummary S;
+  if (!decode(R, S) || !R.atEnd())
+    return std::nullopt;
+  return S;
+}

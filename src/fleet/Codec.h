@@ -1,0 +1,74 @@
+//===- fleet/Codec.h - Wire codec for fleet summaries ----------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary wire format for the summary types of fleet/Summary.h, built on
+/// the persist layer's bounds-checked ByteWriter/ByteReader. Encoding is
+/// canonical -- entries are already sorted, so the same logical summary
+/// always yields the same bytes (byte-stable transport and golden tests).
+/// Decoding is all-or-nothing and validates structure, not just bounds:
+/// leaf ids must ascend strictly, top-K entries must arrive in canonical
+/// order within capacity, histogram bucket counts must match the bound
+/// count, and every byte must be consumed. A summary that fails any check
+/// decodes to nothing; the aggregator counts it and keeps its previous
+/// entry -- exactly the degradation contract a lossy transport demands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_FLEET_CODEC_H
+#define REGMON_FLEET_CODEC_H
+
+#include "fleet/Summary.h"
+#include "persist/Bytes.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace regmon::fleet {
+
+/// Static encode/decode routines for every transported summary type.
+/// Stateless; a class only so Summary.h can grant friendship to reach
+/// private fields without exposing setters to the merge API.
+class Codec {
+public:
+  /// Bumped whenever the wire layout changes; decoders reject other
+  /// versions rather than guessing.
+  static constexpr std::uint32_t Version = 1;
+
+  static void encode(persist::ByteWriter &W, const LeafStats &S);
+  static void encode(persist::ByteWriter &W, const MergeableHistogram &H);
+  static void encode(persist::ByteWriter &W, const TopKSketch &S);
+  static void encode(persist::ByteWriter &W, const LeafSummary &S);
+  static void encode(persist::ByteWriter &W, const FleetSummary &S);
+
+  static bool decode(persist::ByteReader &R, LeafStats &Out);
+  static bool decode(persist::ByteReader &R, MergeableHistogram &Out);
+  static bool decode(persist::ByteReader &R, TopKSketch &Out);
+  static bool decode(persist::ByteReader &R, LeafSummary &Out);
+  static bool decode(persist::ByteReader &R, FleetSummary &Out);
+
+  /// Encodes \p S as a self-contained versioned message (the unit the
+  /// tree's links carry).
+  static std::vector<std::uint8_t> encodeMessage(const LeafSummary &S);
+
+  /// Decodes a message produced by \ref encodeMessage. Returns nullopt on
+  /// any structural or semantic violation, including trailing bytes.
+  static std::optional<LeafSummary>
+  decodeMessage(std::span<const std::uint8_t> Bytes);
+
+  /// Encodes a whole merged summary (checkpointable aggregator state).
+  static std::vector<std::uint8_t> encodeState(const FleetSummary &S);
+
+  /// Decodes aggregator state produced by \ref encodeState.
+  static std::optional<FleetSummary>
+  decodeState(std::span<const std::uint8_t> Bytes);
+};
+
+} // namespace regmon::fleet
+
+#endif // REGMON_FLEET_CODEC_H

@@ -1,0 +1,158 @@
+//===- fleet/Summary.cpp - Mergeable fleet rollup summaries ---------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Summary.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace regmon;
+using namespace regmon::fleet;
+
+REGMON_PURE void LeafStats::merge(const LeafStats &Other) {
+  Streams += Other.Streams;
+  BatchesProcessed += Other.BatchesProcessed;
+  Intervals += Other.Intervals;
+  PhaseChanges += Other.PhaseChanges;
+  FormationTriggers += Other.FormationTriggers;
+  ActiveRegions += Other.ActiveRegions;
+  StableRegions += Other.StableRegions;
+  TotalSamples += Other.TotalSamples;
+  UcrSamples += Other.UcrSamples;
+  QuarantinedStreams += Other.QuarantinedStreams;
+  Crashes += Other.Crashes;
+}
+
+MergeableHistogram::MergeableHistogram(std::vector<double> UpperBounds)
+    : Upper(std::move(UpperBounds)), Buckets(Upper.size() + 1, 0) {
+  assert(std::is_sorted(Upper.begin(), Upper.end()) &&
+         "bucket bounds must ascend");
+}
+
+void MergeableHistogram::add(double X) {
+  if (Buckets.empty())
+    Buckets.resize(Upper.size() + 1, 0);
+  const auto It = std::lower_bound(Upper.begin(), Upper.end(), X);
+  ++Buckets[static_cast<std::size_t>(It - Upper.begin())];
+  ++Total;
+}
+
+REGMON_PURE void MergeableHistogram::merge(const MergeableHistogram &Other) {
+  if (Other.Buckets.empty())
+    return;
+  if (Buckets.empty()) {
+    *this = Other;
+    return;
+  }
+  assert(Upper == Other.Upper && "one fleet, one canonical bucket shape");
+  if (Upper != Other.Upper)
+    return;
+  for (std::size_t I = 0; I < Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Total += Other.Total;
+}
+
+std::vector<double> fleet::stableFractionBounds() {
+  return {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99};
+}
+
+REGMON_PURE bool fleet::topKBefore(const TopKEntry &A, const TopKEntry &B) {
+  if (A.PhaseChanges != B.PhaseChanges)
+    return A.PhaseChanges > B.PhaseChanges;
+  if (A.Stream != B.Stream)
+    return A.Stream < B.Stream;
+  return A.Region < B.Region;
+}
+
+void TopKSketch::add(const TopKEntry &E) {
+  for (TopKEntry &Have : Entries) {
+    if (Have.Stream == E.Stream && Have.Region == E.Region) {
+      // Max, not sum: re-adding the same observation must be a no-op
+      // (idempotence under transport re-delivery).
+      Have.PhaseChanges = std::max(Have.PhaseChanges, E.PhaseChanges);
+      std::sort(Entries.begin(), Entries.end(), topKBefore);
+      return;
+    }
+  }
+  Entries.push_back(E);
+  std::sort(Entries.begin(), Entries.end(), topKBefore);
+  if (Entries.size() > Cap)
+    Entries.resize(Cap);
+}
+
+REGMON_PURE void TopKSketch::merge(const TopKSketch &Other) {
+  if (Other.Entries.empty())
+    return;
+  assert(Cap == Other.Cap && "one fleet, one canonical sketch capacity");
+  if (Cap != Other.Cap)
+    return;
+  std::vector<TopKEntry> Union;
+  Union.reserve(Entries.size() + Other.Entries.size());
+  Union = Entries;
+  for (const TopKEntry &E : Other.Entries) {
+    bool Collided = false;
+    for (TopKEntry &Have : Union) {
+      if (Have.Stream == E.Stream && Have.Region == E.Region) {
+        Have.PhaseChanges = std::max(Have.PhaseChanges, E.PhaseChanges);
+        Collided = true;
+        break;
+      }
+    }
+    if (!Collided)
+      Union.push_back(E);
+  }
+  std::sort(Union.begin(), Union.end(), topKBefore);
+  if (Union.size() > Cap)
+    Union.resize(Cap);
+  Entries = std::move(Union);
+}
+
+REGMON_PURE bool FleetSummary::absorb(const LeafSummary &S) {
+  const auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), S.Leaf,
+      [](const LeafSummary &E, LeafId Leaf) { return E.Leaf < Leaf; });
+  if (It != Entries.end() && It->Leaf == S.Leaf) {
+    // Last-writer-wins by epoch; a tie is the same emission re-delivered,
+    // which the register may keep or ignore identically (same payload).
+    if (S.Epoch <= It->Epoch)
+      return false;
+    *It = S;
+    return true;
+  }
+  Entries.insert(It, S);
+  return true;
+}
+
+REGMON_PURE void FleetSummary::merge(const FleetSummary &Other) {
+  for (const LeafSummary &S : Other.Entries)
+    absorb(S);
+}
+
+const LeafSummary *FleetSummary::find(LeafId Leaf) const {
+  const auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Leaf,
+      [](const LeafSummary &E, LeafId L) { return E.Leaf < L; });
+  if (It != Entries.end() && It->Leaf == Leaf)
+    return &*It;
+  return nullptr;
+}
+
+REGMON_PURE FleetRollup fleet::rollup(const FleetSummary &Summary,
+                                      std::uint64_t MinEpoch,
+                                      std::vector<double> HistBounds,
+                                      std::uint32_t TopKCap) {
+  FleetRollup R;
+  R.StableHist = MergeableHistogram(std::move(HistBounds));
+  R.TopK = TopKSketch(TopKCap);
+  for (const LeafSummary &S : Summary.entries()) {
+    if (S.Epoch < MinEpoch)
+      continue;
+    R.Totals.merge(S.Stats);
+    R.StableHist.merge(S.StableHist);
+    R.TopK.merge(S.TopK);
+  }
+  return R;
+}

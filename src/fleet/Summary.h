@@ -1,0 +1,232 @@
+//===- fleet/Summary.h - Mergeable fleet rollup summaries ------*- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary algebra of the fleet aggregation tree (DESIGN.md §14).
+/// Everything above a leaf operates on these types only -- never raw
+/// samples -- so the rollup cost is a function of the tree, not of ingest
+/// volume. Three mergeable building blocks:
+///
+///  * \ref LeafStats -- exact per-leaf counters, merged by addition;
+///  * \ref MergeableHistogram -- fixed-bound bucket counts, merged by
+///    elementwise addition;
+///  * \ref TopKSketch -- a deterministic bounded sketch of the most
+///    phase-unstable (stream, region) pairs, merged by key union with
+///    max-on-collision and rank truncation.
+///
+/// The unit that actually travels up the tree is \ref FleetSummary: a map
+/// from leaf id to that leaf's latest epoch-stamped \ref LeafSummary.
+/// Its merge is a *join-semilattice*: per leaf, the entry with the higher
+/// epoch wins (a last-writer-wins register keyed by epoch). That makes
+/// merge associative, commutative, and idempotent **by construction**, so
+/// the summary transport may drop, duplicate, reorder, or replay stale
+/// messages and the merged state is still a pure function of the set of
+/// freshest entries that got through -- the algebra, not the network,
+/// carries the correctness argument. Every merge function is REGMON_PURE:
+/// regmon-lint's call-graph purity rule proves the whole merge path free
+/// of clocks, I/O, and global writes (replay-stability is checkable, not
+/// aspirational).
+///
+/// The TopKSketch truncation deserves one note: rank truncation after a
+/// union is associative as long as colliding keys never *increase* a
+/// count (max-on-collision guarantees that). Dropping a key means C
+/// entries beat it; those entries survive into every later merge and
+/// still beat it there, so early truncation and late truncation agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_FLEET_SUMMARY_H
+#define REGMON_FLEET_SUMMARY_H
+
+#include "support/Contracts.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace regmon::fleet {
+
+/// Identifies one leaf (one MonitorService shard of the fleet).
+using LeafId = std::uint32_t;
+
+/// Exact per-leaf counters, summed at view time across the freshest
+/// per-leaf entries. Merged by addition: associative and commutative;
+/// duplicate suppression is the FleetSummary semilattice's job, so plain
+/// sums are safe here.
+struct LeafStats {
+  std::uint64_t Streams = 0;
+  std::uint64_t BatchesProcessed = 0;
+  std::uint64_t Intervals = 0;
+  std::uint64_t PhaseChanges = 0;
+  std::uint64_t FormationTriggers = 0;
+  std::uint64_t ActiveRegions = 0;
+  std::uint64_t StableRegions = 0;
+  std::uint64_t TotalSamples = 0;
+  std::uint64_t UcrSamples = 0;
+  std::uint64_t QuarantinedStreams = 0;
+  /// Times this leaf crashed and re-entered through the persist ladder.
+  std::uint64_t Crashes = 0;
+
+  /// Adds \p Other into this. Associative and commutative.
+  REGMON_PURE void merge(const LeafStats &Other);
+
+  bool operator==(const LeafStats &) const = default;
+};
+
+/// A histogram over fixed, construction-time bucket bounds whose merge is
+/// elementwise addition. The canonical fleet instance buckets per-region
+/// stable-time fractions (see \ref stableFractionBounds), answering "what
+/// fraction of monitored regions fleet-wide is phase-stable how often?".
+class MergeableHistogram {
+public:
+  MergeableHistogram() = default;
+
+  /// Creates a histogram with \p UpperBounds (ascending); an implicit
+  /// +Inf bucket catches everything above the last bound.
+  explicit MergeableHistogram(std::vector<double> UpperBounds);
+
+  /// Counts \p X into its bucket.
+  void add(double X);
+
+  /// Merges \p Other's counts in. Bounds must be identical (summaries of
+  /// one fleet share one canonical shape); mismatched shapes are a config
+  /// error, asserted in debug and absorbed as a no-op in release.
+  REGMON_PURE void merge(const MergeableHistogram &Other);
+
+  std::span<const double> bounds() const { return Upper; }
+  std::span<const std::uint64_t> counts() const { return Buckets; }
+  std::uint64_t total() const { return Total; }
+
+  bool operator==(const MergeableHistogram &) const = default;
+
+private:
+  friend class Codec;
+  std::vector<double> Upper;
+  std::vector<std::uint64_t> Buckets; ///< Upper.size() + 1 (+Inf bucket)
+  std::uint64_t Total = 0;
+};
+
+/// The canonical bucket bounds for per-region stable-fraction summaries.
+std::vector<double> stableFractionBounds();
+
+/// One entry of the top-K-unstable sketch: a (stream, region) pair and
+/// its lifetime phase-change count. Streams are globally numbered across
+/// the fleet, so keys are unique to one leaf and never collide between
+/// sibling summaries.
+struct TopKEntry {
+  std::uint32_t Stream = 0;
+  std::uint32_t Region = 0;
+  std::uint64_t PhaseChanges = 0;
+
+  bool operator==(const TopKEntry &) const = default;
+};
+
+/// Canonical ordering: most phase changes first, ties broken by
+/// ascending (stream, region) so equal-count entries rank identically on
+/// every node and every replay.
+REGMON_PURE bool topKBefore(const TopKEntry &A, const TopKEntry &B);
+
+/// A deterministic bounded sketch of the most phase-unstable regions.
+/// Holds at most \ref capacity entries in canonical order. Merge is key
+/// union with max-on-collision followed by rank truncation: associative
+/// (keys only ever lose rank as more entries union in), commutative (set
+/// semantics), and idempotent (max, not sum, on collision).
+class TopKSketch {
+public:
+  TopKSketch() = default;
+  explicit TopKSketch(std::uint32_t Capacity) : Cap(Capacity) {}
+
+  /// Inserts or refreshes one entry (max-on-collision), then truncates.
+  void add(const TopKEntry &E);
+
+  /// Merges \p Other in. Capacities must match (one canonical fleet
+  /// shape); asserted in debug, no-op on mismatch in release.
+  REGMON_PURE void merge(const TopKSketch &Other);
+
+  /// Returns the entries in canonical order (size() <= capacity()).
+  std::span<const TopKEntry> entries() const { return Entries; }
+  std::uint32_t capacity() const { return Cap; }
+
+  bool operator==(const TopKSketch &) const = default;
+
+private:
+  friend class Codec;
+  std::uint32_t Cap = 32;
+  std::vector<TopKEntry> Entries; ///< canonical order, truncated to Cap
+};
+
+/// One leaf's rollup at one epoch -- the payload of every message on the
+/// tree. Built by the leaf from its MonitorService state; immutable once
+/// emitted.
+struct LeafSummary {
+  LeafId Leaf = 0;
+  /// The leaf's ingest epoch when the summary was built. The semilattice
+  /// key: a higher epoch for the same leaf supersedes, a lower one is
+  /// stale and ignored.
+  std::uint64_t Epoch = 0;
+  LeafStats Stats;
+  /// Per-region stable-fraction distribution of this leaf's regions.
+  MergeableHistogram StableHist;
+  /// This leaf's most phase-unstable (stream, region) pairs.
+  TopKSketch TopK;
+
+  bool operator==(const LeafSummary &) const = default;
+};
+
+/// The mergeable state of any node above a leaf: the freshest known
+/// LeafSummary per leaf, kept sorted by leaf id (deterministic iteration
+/// and byte-stable encoding -- never hash order).
+///
+/// merge() is the tree's one aggregation operator, and it is a proper
+/// join-semilattice: associative, commutative, idempotent (FleetTest
+/// proves all three over random permutations and tree shapes).
+class FleetSummary {
+public:
+  /// Inserts \p S, keeping it only if it is fresher than (or first for)
+  /// its leaf. Returns true when the entry advanced.
+  REGMON_PURE bool absorb(const LeafSummary &S);
+
+  /// Semilattice join with \p Other: per leaf, the higher epoch wins.
+  REGMON_PURE void merge(const FleetSummary &Other);
+
+  /// Entries in ascending leaf-id order.
+  std::span<const LeafSummary> entries() const { return Entries; }
+
+  /// Returns the entry for \p Leaf, or nullptr.
+  const LeafSummary *find(LeafId Leaf) const;
+
+  std::size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  void clear() { Entries.clear(); }
+
+  bool operator==(const FleetSummary &) const = default;
+
+private:
+  friend class Codec;
+  std::vector<LeafSummary> Entries; ///< sorted by Leaf, unique
+};
+
+/// The reduction of a FleetSummary at view time: exact sums over the
+/// freshest (non-expired) per-leaf entries plus the merged histogram and
+/// sketch. Not itself transported -- recomputed wherever a view is taken.
+struct FleetRollup {
+  LeafStats Totals;
+  MergeableHistogram StableHist;
+  TopKSketch TopK;
+};
+
+/// Reduces the entries of \p Summary whose epoch is >= \p MinEpoch
+/// (pass 0 to include everything). \p HistBounds and \p TopKCap give the
+/// canonical shapes for the merged histogram and sketch.
+REGMON_PURE FleetRollup rollup(const FleetSummary &Summary,
+                               std::uint64_t MinEpoch,
+                               std::vector<double> HistBounds,
+                               std::uint32_t TopKCap);
+
+} // namespace regmon::fleet
+
+#endif // REGMON_FLEET_SUMMARY_H

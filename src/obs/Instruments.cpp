@@ -134,4 +134,70 @@ PersistInstruments makePersistInstruments(MetricsRegistry &Registry,
   return I;
 }
 
+FleetInstruments makeFleetInstruments(MetricsRegistry &Registry,
+                                      const std::vector<double> &StableBounds,
+                                      std::string_view Label) {
+  FleetInstruments I;
+  I.SummariesEmitted = &Registry.counter(
+      "fleet_summaries_emitted_total", "leaf summaries built", Label);
+  I.MessagesSent = &Registry.counter("fleet_messages_sent_total",
+                                     "summary messages sent on links", Label);
+  I.MessagesDelivered =
+      &Registry.counter("fleet_messages_delivered_total",
+                        "summary messages delivered by links", Label);
+  I.MessagesDropped = &Registry.counter(
+      "fleet_messages_dropped_total", "summary messages lost in transit",
+      Label);
+  I.MessagesDuplicated =
+      &Registry.counter("fleet_messages_duplicated_total",
+                        "summary messages delivered twice", Label);
+  I.MessagesReordered =
+      &Registry.counter("fleet_messages_reordered_total",
+                        "summary messages delayed one epoch", Label);
+  I.MessagesStale = &Registry.counter(
+      "fleet_messages_stale_total",
+      "deliveries replaced by a replayed older payload", Label);
+  I.DecodeFailures =
+      &Registry.counter("fleet_decode_failures_total",
+                        "summary messages rejected by the codec", Label);
+  I.BytesSent = &Registry.counter("fleet_bytes_sent_total",
+                                  "summary bytes sent on links", Label);
+  I.ResyncAttempts = &Registry.counter(
+      "fleet_resync_attempts_total", "pull-path re-syncs attempted", Label);
+  I.ResyncSuccesses = &Registry.counter(
+      "fleet_resync_successes_total", "pull-path re-syncs succeeded", Label);
+  I.AggEpochsStalled = &Registry.counter(
+      "fleet_agg_epochs_stalled_total", "aggregator merge rounds skipped",
+      Label);
+  I.LeafCrashes = &Registry.counter("fleet_leaf_crashes_total",
+                                    "leaf services crashed", Label);
+  I.LeafRestores = &Registry.counter("fleet_leaf_restores_total",
+                                     "leaf services restarted", Label);
+  I.LeafColdRestores =
+      &Registry.counter("fleet_leaf_cold_restores_total",
+                        "leaf restarts that recovered no state", Label);
+  I.LeafBatchesDiscarded =
+      &Registry.counter("fleet_leaf_batches_discarded_total",
+                        "batches sampled while the leaf was down", Label);
+  I.Epoch = &Registry.gauge("fleet_epoch", "epochs completed", Label);
+  I.LeavesTotal =
+      &Registry.gauge("fleet_leaves_total", "leaves in the topology", Label);
+  I.LeavesPresent =
+      &Registry.gauge("fleet_leaves_present",
+                      "leaves within the staleness horizon", Label);
+  I.LeavesExpired = &Registry.gauge(
+      "fleet_leaves_expired", "leaves aged past the staleness horizon",
+      Label);
+  I.CoverageFraction = &Registry.gauge(
+      "fleet_coverage_fraction", "exact rollup coverage (present/total)",
+      Label);
+  I.MaxStalenessEpochs =
+      &Registry.gauge("fleet_max_staleness_epochs",
+                      "max staleness of in-view entries", Label);
+  I.StableFraction = &Registry.histogram(
+      "fleet_region_stable_fraction", StableBounds,
+      "per-region stable-time fraction fleet-wide", Label);
+  return I;
+}
+
 } // namespace regmon::obs

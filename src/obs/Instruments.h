@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace regmon::obs {
 
@@ -120,6 +121,37 @@ struct PersistInstruments {
   std::uint32_t Stream = 0;
 };
 
+/// Instruments for the fleet aggregation tree (src/fleet, DESIGN.md §14).
+/// Counters accumulate transport/recovery totals; gauges publish the
+/// root view's degradation contract -- exact coverage and staleness --
+/// so a scrape can alarm on "the rollup is running partial" directly.
+struct FleetInstruments {
+  Counter *SummariesEmitted = nullptr;
+  Counter *MessagesSent = nullptr;
+  Counter *MessagesDelivered = nullptr;
+  Counter *MessagesDropped = nullptr;
+  Counter *MessagesDuplicated = nullptr;
+  Counter *MessagesReordered = nullptr;
+  Counter *MessagesStale = nullptr;
+  Counter *DecodeFailures = nullptr;
+  Counter *BytesSent = nullptr;
+  Counter *ResyncAttempts = nullptr;
+  Counter *ResyncSuccesses = nullptr;
+  Counter *AggEpochsStalled = nullptr;
+  Counter *LeafCrashes = nullptr;
+  Counter *LeafRestores = nullptr;
+  Counter *LeafColdRestores = nullptr;
+  Counter *LeafBatchesDiscarded = nullptr;
+  Gauge *Epoch = nullptr;
+  Gauge *LeavesTotal = nullptr;
+  Gauge *LeavesPresent = nullptr;
+  Gauge *LeavesExpired = nullptr;
+  Gauge *CoverageFraction = nullptr;
+  Gauge *MaxStalenessEpochs = nullptr;
+  /// Rollup distribution of per-region stable-time fractions fleet-wide.
+  BucketHistogram *StableFraction = nullptr;
+};
+
 /// Registers the monitor metric catalogue for stream \p Stream under the
 /// label \p Label (pass "" for an unlabelled single-monitor setup).
 MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
@@ -142,6 +174,13 @@ PersistInstruments makePersistInstruments(MetricsRegistry &Registry,
                                           EventTracer *Tracer,
                                           std::uint32_t Stream,
                                           std::string_view Label);
+
+/// Registers the fleet metric catalogue. \p StableBounds gives the bucket
+/// bounds of the stable-fraction histogram (the fleet layer's canonical
+/// bounds, passed in so obs stays independent of it).
+FleetInstruments makeFleetInstruments(MetricsRegistry &Registry,
+                                      const std::vector<double> &StableBounds,
+                                      std::string_view Label);
 
 /// Formats the canonical per-stream label `stream="N"`.
 std::string streamLabel(std::uint32_t Stream);

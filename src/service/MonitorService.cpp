@@ -141,6 +141,8 @@ void MonitorService::start() {
   assert(!Started && "MonitorService supports one start/stop cycle");
   Started = true;
   Running.store(true, std::memory_order_release);
+  if (Config.Inline)
+    return; // submit() processes synchronously; no workers to spawn.
   for (auto &S : Shards)
     S->Worker = std::thread([this, Raw = S.get()] { workerLoop(*Raw); });
 }
@@ -205,6 +207,19 @@ bool MonitorService::submit(SampleBatch Batch) {
   if (Config.ValidateBatches &&
       !admit(St, structurallyValid(Batch.Samples)))
     return false;
+  if (Config.Inline) {
+    // Worker-less mode: the submitting thread is the worker. Mirror the
+    // dequeue path exactly (hook, process, shard accounting) so every
+    // counter an embedding reads means the same thing in both modes.
+    Submitted.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsSubmitted);
+    if (WorkerHook)
+      WorkerHook(St.Shard, Batch);
+    process(Batch);
+    Shards[St.Shard]->BatchesProcessed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    return true;
+  }
   // Count before pushing: once the push lands, a worker may process the
   // batch immediately, and a snapshot must never observe more processed
   // than submitted. A rejected push is uncounted again.
@@ -432,7 +447,8 @@ ServiceSnapshot MonitorService::snapshot() const {
 
 const core::RegionMonitor &MonitorService::monitor(StreamId Stream) const {
   assert(Stream < Streams.size() && "unknown stream");
-  assert(!running() && "monitors are only inspectable while stopped");
+  assert((!running() || Config.Inline) &&
+         "monitors are only inspectable while stopped (or inline)");
   return *Streams[Stream]->Monitor;
 }
 
@@ -446,7 +462,8 @@ void MonitorService::attachPersistence(persist::CheckpointManager &Store) {
 }
 
 std::vector<std::uint8_t> MonitorService::encodeState() const {
-  assert(!running() && "state can only be encoded while quiescent");
+  assert((!running() || Config.Inline) &&
+         "state can only be encoded while quiescent");
   std::vector<persist::SnapshotSection> Sections;
   {
     persist::ByteWriter W;
@@ -681,7 +698,8 @@ RestoreOutcome MonitorService::restore() {
 
 bool MonitorService::checkpoint() {
   assert(Persist && "attachPersistence() first");
-  assert(!running() && "checkpoint() requires a quiescent service");
+  assert((!running() || Config.Inline) &&
+         "checkpoint() requires a quiescent service");
   const std::vector<std::uint8_t> Encoded = encodeState();
   if (!Persist->commitSnapshot(Encoded, SnapshotSeq))
     return false;

@@ -80,6 +80,17 @@ struct ServiceConfig {
   bool ValidateBatches = true;
   /// Health state machine tuning. Ignored unless ValidateBatches.
   HealthConfig Health;
+  /// Worker-less execution: \ref MonitorService::submit journals, admits
+  /// and processes each batch synchronously on the calling thread --
+  /// start() spawns nothing and the shard queues sit unused. Admission,
+  /// health, persistence and per-stream results are identical to the
+  /// threaded mode (per-stream processing is single-owner either way);
+  /// what changes is that the embedding owns the schedule, which is what
+  /// a deterministic simulation (the fleet tree, ISSUE 8) needs. In this
+  /// mode monitors stay inspectable and state encodable between submits
+  /// even while the service is "running", since the submitting thread is
+  /// the only mutator.
+  bool Inline = false;
 };
 
 /// Point-in-time statistics of one stream. All counters are published by
@@ -238,7 +249,8 @@ public:
   ServiceSnapshot snapshot() const;
 
   /// Returns \p Stream's monitor for inspection. Only safe while the
-  /// service is not running (before \ref start or after \ref stop).
+  /// service is not running (before \ref start or after \ref stop), or at
+  /// any quiescent point of an Inline service (no submit in flight).
   const core::RegionMonitor &monitor(StreamId Stream) const;
 
   /// Returns the number of registered streams.

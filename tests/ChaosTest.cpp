@@ -214,6 +214,99 @@ TEST(FaultInjector, PoisonBatchFailsStructuralValidation) {
 }
 
 //===----------------------------------------------------------------------===//
+// Summary-transport faults (fleet-tree links, see fleet/FleetTree.h)
+//===----------------------------------------------------------------------===//
+
+TEST(TransportFaults, ReplayIsBitIdentical) {
+  const TransportFaultConfig Cfg = {0.2, 0.2, 0.2, 0.2};
+  FaultPlan Plan(77);
+  LinkFaultInjector A = Plan.forLink(5, Cfg);
+  LinkFaultInjector B = Plan.forLink(5, Cfg);
+  for (int I = 0; I < 500; ++I)
+    ASSERT_EQ(A.nextFault(), B.nextFault()) << "message " << I;
+  EXPECT_EQ(A.stats().MessagesSeen, 500u);
+  EXPECT_EQ(A.stats().Dropped, B.stats().Dropped);
+  EXPECT_EQ(A.stats().Duplicated, B.stats().Duplicated);
+  EXPECT_EQ(A.stats().Reordered, B.stats().Reordered);
+  EXPECT_EQ(A.stats().Stale, B.stats().Stale);
+}
+
+TEST(TransportFaults, DistinctLinksGetDistinctFaults) {
+  const TransportFaultConfig Cfg = {0.3, 0.3, 0.3, 0.3};
+  FaultPlan Plan(77);
+  LinkFaultInjector A = Plan.forLink(1, Cfg);
+  LinkFaultInjector B = Plan.forLink(2, Cfg);
+  bool Differ = false;
+  for (int I = 0; I < 200 && !Differ; ++I)
+    Differ = A.nextFault() != B.nextFault();
+  EXPECT_TRUE(Differ);
+}
+
+TEST(TransportFaults, DecisionStreamIndependentOfFiring) {
+  // The always-drawn contract: one draw per fault class per message, at a
+  // fixed position in the stream, consumed whether or not another class
+  // fires. Observably, each class's per-message decision pattern is
+  // invariant under every other class's rate -- maxing the later classes
+  // cannot shift the drop pattern, and vice versa.
+  FaultPlan Plan(123);
+
+  LinkFaultInjector DropOnly = Plan.forLink(9, {0.5, 0.0, 0.0, 0.0});
+  LinkFaultInjector DropNoisy = Plan.forLink(9, {0.5, 1.0, 1.0, 1.0});
+  for (int I = 0; I < 400; ++I) {
+    const bool Dropped = DropOnly.nextFault() == TransportFault::Drop;
+    const bool NoisyDropped = DropNoisy.nextFault() == TransportFault::Drop;
+    ASSERT_EQ(Dropped, NoisyDropped) << "message " << I;
+  }
+  EXPECT_EQ(DropOnly.stats().Dropped, DropNoisy.stats().Dropped);
+  EXPECT_GT(DropOnly.stats().Dropped, 0u);
+
+  // Symmetric: the reorder pattern is unmoved by the stale rate behind it.
+  LinkFaultInjector ReorderOnly = Plan.forLink(9, {0.0, 0.0, 0.5, 0.0});
+  LinkFaultInjector ReorderNoisy = Plan.forLink(9, {0.0, 0.0, 0.5, 1.0});
+  for (int I = 0; I < 400; ++I) {
+    const bool Held = ReorderOnly.nextFault() == TransportFault::Reorder;
+    const bool NoisyHeld = ReorderNoisy.nextFault() == TransportFault::Reorder;
+    ASSERT_EQ(Held, NoisyHeld) << "message " << I;
+  }
+  EXPECT_GT(ReorderOnly.stats().Reordered, 0u);
+}
+
+TEST(TransportFaults, PrecedenceIsDropDuplicateReorderStale) {
+  // Every class at certainty: drop wins the returned fate (and the stats
+  // record the winning fate only); zeroing the winner promotes the next.
+  LinkFaultInjector All(7, {1.0, 1.0, 1.0, 1.0});
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(All.nextFault(), TransportFault::Drop);
+  EXPECT_EQ(All.stats().Dropped, 50u);
+  EXPECT_EQ(All.stats().Duplicated + All.stats().Reordered +
+                All.stats().Stale,
+            0u);
+
+  LinkFaultInjector NoDrop(7, {0.0, 1.0, 1.0, 1.0});
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(NoDrop.nextFault(), TransportFault::Duplicate);
+
+  LinkFaultInjector NoDup(7, {0.0, 0.0, 1.0, 1.0});
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(NoDup.nextFault(), TransportFault::Reorder);
+
+  LinkFaultInjector StaleOnly(7, {0.0, 0.0, 0.0, 1.0});
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(StaleOnly.nextFault(), TransportFault::Stale);
+}
+
+TEST(TransportFaults, DefaultConfigInjectsNothing) {
+  FaultPlan Plan(9);
+  LinkFaultInjector Clean = Plan.forLink(0, {});
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Clean.nextFault(), TransportFault::None);
+  EXPECT_EQ(Clean.stats().MessagesSeen, 100u);
+  EXPECT_EQ(Clean.stats().Dropped + Clean.stats().Duplicated +
+                Clean.stats().Reordered + Clean.stats().Stale,
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Service health machine (single-threaded: admission happens at submit)
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,351 @@
+//===- tests/FleetChaosTest.cpp - Faulted fleet replay determinism --------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Chaos suite for the fleet aggregation tree: a faulted run -- leaf
+// crashes recovering through the persist checkpoint ladder, aggregator
+// stalls, and every summary-transport fault -- is a pure function of
+// (config, plan seed) and replays bit-identically, down to the encoded
+// root state, every counter, and the byte-stable metrics export. Fault
+// storms at certainty rates exercise each absorption mechanism in
+// isolation: idempotent merges absorb duplicates, the delay queue bounds
+// reorder lag to exactly one epoch, and the pull path rides through total
+// message loss. Runs under TSan/ASan via the CI chaos shards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Codec.h"
+#include "fleet/FleetFaultPlan.h"
+#include "fleet/FleetTree.h"
+
+#include "obs/Export.h"
+#include "obs/Instruments.h"
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::fleet;
+
+namespace {
+
+/// A fresh scratch directory under the gtest temp root, unique per call
+/// and per process (parallel sanitizer sweeps share the temp root).
+std::string scratchDir(const std::string &Tag) {
+  static int Counter = 0;
+  const std::string Dir = testing::TempDir() + "regmon_fleetchaos_" +
+                          std::to_string(getpid()) + "_" + Tag +
+                          std::to_string(Counter++);
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// The chaotic baseline config: every fault class on at once.
+FleetFaultConfig chaosConfig() {
+  FleetFaultConfig FC;
+  FC.LeafCrashRate = 0.25;
+  FC.LeafRestartEpochs = 2;
+  FC.AggStallRate = 0.15;
+  FC.Transport = {0.1, 0.1, 0.1, 0.1};
+  FC.MaxStalenessEpochs = 4;
+  return FC;
+}
+
+void expectIdenticalRuns(const FleetSim &A, const FleetSim &B) {
+  ASSERT_EQ(Codec::encodeState(A.rootState()), Codec::encodeState(B.rootState()));
+  const FleetView VA = A.view(), VB = B.view();
+  EXPECT_EQ(VA.render(), VB.render());
+  EXPECT_EQ(VA.LeavesPresent, VB.LeavesPresent);
+  EXPECT_EQ(VA.LeavesExpired, VB.LeavesExpired);
+  EXPECT_EQ(VA.MaxStaleness, VB.MaxStaleness);
+  EXPECT_EQ(A.bytesSent(), B.bytesSent());
+
+  const FleetTopology &Topo = A.topology();
+  for (std::uint32_t L = 0; L < Topo.leaves(); ++L) {
+    const LeafAgentStats &SA = A.leafStats(L), &SB = B.leafStats(L);
+    EXPECT_EQ(SA.Crashes, SB.Crashes) << "leaf " << L;
+    EXPECT_EQ(SA.Restores, SB.Restores) << "leaf " << L;
+    EXPECT_EQ(SA.ColdRestores, SB.ColdRestores) << "leaf " << L;
+    EXPECT_EQ(SA.EpochsDown, SB.EpochsDown) << "leaf " << L;
+    EXPECT_EQ(SA.BatchesDiscarded, SB.BatchesDiscarded) << "leaf " << L;
+    EXPECT_EQ(SA.SummariesEmitted, SB.SummariesEmitted) << "leaf " << L;
+  }
+  for (const FleetTopology::AggNode &N : Topo.aggs()) {
+    const AggregatorStats &SA = A.aggStats(N.Id), &SB = B.aggStats(N.Id);
+    EXPECT_EQ(SA.MessagesIngested, SB.MessagesIngested) << "agg " << N.Id;
+    EXPECT_EQ(SA.DecodeFailures, SB.DecodeFailures) << "agg " << N.Id;
+    EXPECT_EQ(SA.EpochsStalled, SB.EpochsStalled) << "agg " << N.Id;
+    EXPECT_EQ(SA.ResyncAttempts, SB.ResyncAttempts) << "agg " << N.Id;
+    EXPECT_EQ(SA.ResyncSuccesses, SB.ResyncSuccesses) << "agg " << N.Id;
+  }
+  const std::uint32_t NumLinks =
+      Topo.leaves() + static_cast<std::uint32_t>(Topo.aggs().size());
+  for (std::uint32_t I = 0; I < NumLinks; ++I) {
+    const LinkStats &SA = A.linkStats(I), &SB = B.linkStats(I);
+    EXPECT_EQ(SA.Sent, SB.Sent) << "link " << I;
+    EXPECT_EQ(SA.Delivered, SB.Delivered) << "link " << I;
+    EXPECT_EQ(SA.Faults.Dropped, SB.Faults.Dropped) << "link " << I;
+    EXPECT_EQ(SA.Faults.Duplicated, SB.Faults.Duplicated) << "link " << I;
+    EXPECT_EQ(SA.Faults.Reordered, SB.Faults.Reordered) << "link " << I;
+    EXPECT_EQ(SA.Faults.Stale, SB.Faults.Stale) << "link " << I;
+  }
+}
+
+TEST(FleetChaos, FaultedRunsReplayBitIdentical) {
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 6;
+  Cfg.Fanout = 2;
+  Cfg.Seed = 31;
+  Cfg.CheckpointEveryEpochs = 2;
+  const FleetFaultConfig FC = chaosConfig();
+
+  FleetSimConfig CfgA = Cfg, CfgB = Cfg;
+  CfgA.PersistDir = scratchDir("replayA");
+  CfgB.PersistDir = scratchDir("replayB");
+
+  FleetSim A(CfgA, FleetFaultPlan(55, FC));
+  FleetSim B(CfgB, FleetFaultPlan(55, FC));
+  for (int E = 0; E < 10; ++E) {
+    A.runEpoch();
+    B.runEpoch();
+  }
+  expectIdenticalRuns(A, B);
+
+  // The run was actually chaotic, and recovery came through the persist
+  // ladder warm (journal replay, never a cold start).
+  std::uint64_t Crashes = 0, Restores = 0, Cold = 0;
+  for (std::uint32_t L = 0; L < A.topology().leaves(); ++L) {
+    Crashes += A.leafStats(L).Crashes;
+    Restores += A.leafStats(L).Restores;
+    Cold += A.leafStats(L).ColdRestores;
+  }
+  EXPECT_GT(Crashes, 0u);
+  EXPECT_GT(Restores, 0u);
+  EXPECT_EQ(Cold, 0u);
+
+  std::filesystem::remove_all(CfgA.PersistDir);
+  std::filesystem::remove_all(CfgB.PersistDir);
+}
+
+TEST(FleetChaos, RunMatchesEpochByEpochStepping) {
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 4;
+  Cfg.Fanout = 2;
+  Cfg.Seed = 13;
+  const FleetFaultConfig FC = chaosConfig();
+
+  FleetSim OneShot(Cfg, FleetFaultPlan(7, FC));
+  OneShot.run(8);
+  FleetSim Stepped(Cfg, FleetFaultPlan(7, FC));
+  for (int E = 0; E < 8; ++E)
+    Stepped.runEpoch();
+  expectIdenticalRuns(OneShot, Stepped);
+}
+
+TEST(FleetChaos, MetricsExportIsByteStableAcrossReplays) {
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 5;
+  Cfg.Fanout = 3;
+  Cfg.Seed = 17;
+  const FleetFaultConfig FC = chaosConfig();
+
+  auto exportOnce = [&] {
+    FleetSim Sim(Cfg, FleetFaultPlan(99, FC));
+    Sim.run(8);
+    obs::MetricsRegistry Registry;
+    const obs::FleetInstruments I =
+        obs::makeFleetInstruments(Registry, stableFractionBounds(), "");
+    publishFleetMetrics(Sim, I);
+    return std::pair{obs::exportPrometheus(Registry),
+                     obs::exportJson(Registry)};
+  };
+  const auto [PromA, JsonA] = exportOnce();
+  const auto [PromB, JsonB] = exportOnce();
+  EXPECT_EQ(PromA, PromB);
+  EXPECT_EQ(JsonA, JsonB);
+  EXPECT_NE(PromA.find("fleet_coverage_fraction"), std::string::npos);
+}
+
+TEST(FleetChaos, DuplicateStormIsAbsorbedByIdempotence) {
+  // Every message delivered twice: the merged root state must be
+  // bit-identical to the fault-free run's -- the semilattice absorbs
+  // duplication outright.
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 5;
+  Cfg.Fanout = 2;
+  Cfg.Seed = 23;
+  FleetFaultConfig Dup;
+  Dup.Transport.DuplicateRate = 1.0;
+
+  FleetSim Clean(Cfg, FleetFaultPlan(3));
+  FleetSim Storm(Cfg, FleetFaultPlan(3, Dup));
+  Clean.run(6);
+  Storm.run(6);
+  EXPECT_EQ(Codec::encodeState(Storm.rootState()),
+            Codec::encodeState(Clean.rootState()));
+
+  // Every sending link really did deliver double.
+  const FleetTopology &Topo = Storm.topology();
+  const std::uint32_t NumLinks =
+      Topo.leaves() + static_cast<std::uint32_t>(Topo.aggs().size());
+  for (std::uint32_t I = 0; I < NumLinks; ++I) {
+    const LinkStats &S = Storm.linkStats(I);
+    EXPECT_EQ(S.Delivered, 2 * S.Sent) << "link " << I;
+  }
+}
+
+TEST(FleetChaos, DropStormRecoversThroughPullPath) {
+  // Total message loss on a single-level tree: the links deliver nothing,
+  // and the root stays perfectly fresh anyway because every epoch's miss
+  // triggers an immediate, successful pull-path re-sync.
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 3;
+  Cfg.Fanout = 4; // single aggregator == root
+  Cfg.Seed = 29;
+  FleetFaultConfig Drop;
+  Drop.Transport.DropRate = 1.0;
+
+  FleetSim Sim(Cfg, FleetFaultPlan(5, Drop));
+  const std::uint64_t Epochs = 6;
+  Sim.run(Epochs);
+
+  const FleetView V = Sim.view();
+  EXPECT_EQ(V.LeavesPresent, Cfg.Leaves);
+  EXPECT_EQ(V.MaxStaleness, 0u);
+  EXPECT_DOUBLE_EQ(V.coverage(), 1.0);
+
+  const std::uint32_t Root = Sim.topology().root();
+  EXPECT_EQ(Sim.aggStats(Root).ResyncAttempts,
+            Epochs * std::uint64_t{Cfg.Leaves});
+  EXPECT_EQ(Sim.aggStats(Root).ResyncSuccesses,
+            Epochs * std::uint64_t{Cfg.Leaves});
+  for (std::uint32_t L = 0; L < Cfg.Leaves; ++L) {
+    EXPECT_EQ(Sim.linkStats(L).Sent, Epochs);
+    EXPECT_EQ(Sim.linkStats(L).Delivered, 0u);
+    EXPECT_EQ(Sim.linkStats(L).Faults.Dropped, Epochs);
+  }
+}
+
+TEST(FleetChaos, ReorderStormLagsExactlyOneEpoch) {
+  // Certain reorder holds every message one epoch and flushes it after
+  // its successor: from the second epoch on, the root tracks each leaf
+  // with a lag of exactly one epoch -- bounded, visible staleness.
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 3;
+  Cfg.Fanout = 4;
+  Cfg.Seed = 37;
+  FleetFaultConfig Reorder;
+  Reorder.Transport.ReorderRate = 1.0;
+
+  FleetSim Sim(Cfg, FleetFaultPlan(5, Reorder));
+  const std::uint64_t Epochs = 6;
+  Sim.run(Epochs);
+
+  const FleetView V = Sim.view();
+  EXPECT_EQ(V.LeavesPresent, Cfg.Leaves);
+  EXPECT_EQ(V.MaxStaleness, 1u);
+  for (const LeafSummary &S : Sim.rootState().entries())
+    EXPECT_EQ(S.Epoch, Epochs - 1);
+}
+
+TEST(FleetChaos, StaleStormNeverDeliversAndPullPathCompensates) {
+  // Certain stale replay: the link only ever re-sends its last delivered
+  // payload, but nothing was ever delivered fresh, so the links carry
+  // zero messages -- and the pull path still keeps coverage whole.
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 3;
+  Cfg.Fanout = 4;
+  Cfg.Seed = 41;
+  FleetFaultConfig Stale;
+  Stale.Transport.StaleRate = 1.0;
+
+  FleetSim Sim(Cfg, FleetFaultPlan(5, Stale));
+  const std::uint64_t Epochs = 5;
+  Sim.run(Epochs);
+
+  const FleetView V = Sim.view();
+  EXPECT_EQ(V.LeavesPresent, Cfg.Leaves);
+  EXPECT_EQ(V.MaxStaleness, 0u);
+  for (std::uint32_t L = 0; L < Cfg.Leaves; ++L) {
+    EXPECT_EQ(Sim.linkStats(L).Delivered, 0u);
+    EXPECT_EQ(Sim.linkStats(L).Faults.Stale, Epochs);
+  }
+}
+
+TEST(FleetChaos, CrashScheduleIsAlwaysDrawnThroughDowntime) {
+  // The always-drawn discipline, proven end to end: replaying the plan's
+  // leaf injector through the crash/restart state machine *outside* the
+  // sim predicts the sim's crash count exactly. If downtime skipped
+  // draws, the two streams would diverge after the first crash.
+  FleetSimConfig Cfg;
+  Cfg.Leaves = 4;
+  Cfg.Fanout = 2;
+  Cfg.Seed = 43;
+  FleetFaultConfig FC;
+  FC.LeafCrashRate = 0.5;
+  FC.LeafRestartEpochs = 2;
+
+  const std::uint64_t Epochs = 12;
+  FleetSim Sim(Cfg, FleetFaultPlan(61, FC));
+  Sim.run(Epochs);
+
+  const FleetFaultPlan Plan(61, FC);
+  for (std::uint32_t L = 0; L < Cfg.Leaves; ++L) {
+    NodeFaultInjector Injector = Plan.forLeaf(L);
+    std::uint64_t Crashes = 0, DownUntil = 0;
+    bool Down = false;
+    for (std::uint64_t E = 1; E <= Epochs; ++E) {
+      const bool Fires = Injector.nextFires();
+      if (Down) {
+        if (E >= DownUntil)
+          Down = false;
+      } else if (Fires) {
+        ++Crashes;
+        Down = true;
+        DownUntil = E + FC.LeafRestartEpochs;
+      }
+    }
+    EXPECT_EQ(Sim.leafStats(L).Crashes, Crashes) << "leaf " << L;
+  }
+}
+
+TEST(FleetChaos, NodeInjectorsAreDecorrelatedByClassAndId) {
+  FleetFaultConfig FC;
+  FC.LeafCrashRate = 0.5;
+  FC.AggStallRate = 0.5;
+  const FleetFaultPlan Plan(71, FC);
+
+  // Same derivation twice: identical schedule.
+  NodeFaultInjector A1 = Plan.forLeaf(3);
+  NodeFaultInjector A2 = Plan.forLeaf(3);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(A1.nextFires(), A2.nextFires());
+
+  // Leaf 3 and aggregator 3 share a numeric id but not a schedule.
+  NodeFaultInjector Leaf = Plan.forLeaf(3);
+  NodeFaultInjector Agg = Plan.forAggregator(3);
+  bool Differ = false;
+  for (int I = 0; I < 100 && !Differ; ++I)
+    Differ = Leaf.nextFires() != Agg.nextFires();
+  EXPECT_TRUE(Differ);
+
+  // Distinct leaves differ too.
+  NodeFaultInjector L0 = Plan.forLeaf(0);
+  NodeFaultInjector L1 = Plan.forLeaf(1);
+  Differ = false;
+  for (int I = 0; I < 100 && !Differ; ++I)
+    Differ = L0.nextFires() != L1.nextFires();
+  EXPECT_TRUE(Differ);
+}
+
+} // namespace

@@ -449,11 +449,26 @@ TEST(PurityGraph, ThreeHopAllocationChainReported) {
 
 TEST(PurityGraph, PureRootClockViolationCarriesChain) {
   auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
-  EXPECT_EQ(countRule(Diags, "purity"), 1);
+  EXPECT_EQ(countRule(Diags, "purity"), 2);
   bool Found = false;
   for (const Diagnostic &D : Diags)
     if (D.Rule == "purity" &&
         D.Message.find("detectorDecide -> helperClock") !=
+            std::string::npos &&
+        D.Message.find("steady_clock") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PurityGraph, PureMergeSmugglingClockThroughHelperCaught) {
+  // A summary merge annotated REGMON_PURE whose tie-break helper reads a
+  // wall clock: the merge body itself is token-clean, so only the graph
+  // pass can prove replay instability.
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity" &&
+        D.Message.find("mergeSummaries -> mergeTieBreak") !=
             std::string::npos &&
         D.Message.find("steady_clock") != std::string::npos)
       Found = true;

@@ -47,4 +47,17 @@ inline void guardedBump(int &X) {
 
 inline void intervalEnd(int &X) { guardedBump(X); }
 
+// 5. A REGMON_PURE summary merge that smuggles a clock: the merge body is
+// token-clean arithmetic; the tie-break helper one hop down reads
+// steady_clock, so two replays of the same merge can disagree.
+inline long mergeTieBreak() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+REGMON_PURE inline long mergeSummaries(long A, long B) {
+  if (A == B)
+    return A + mergeTieBreak();
+  return A > B ? A : B;
+}
+
 } // namespace fixture

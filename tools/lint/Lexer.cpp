@@ -355,7 +355,7 @@ Layer classifyPath(std::string_view RelPath) {
   };
   if (StartsWith("src/core/") || StartsWith("src/sim/") ||
       StartsWith("src/gpd/") || StartsWith("src/sampling/") ||
-      StartsWith("src/faults/"))
+      StartsWith("src/faults/") || StartsWith("src/fleet/"))
     return Layer::Deterministic;
   if (StartsWith("src/service/"))
     return Layer::Service;

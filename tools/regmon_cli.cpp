@@ -23,10 +23,16 @@
 //   regmon-cli stats <workload> [--period N] [--seed N] [monitor flags]
 //                    [--format prom|json]
 //   regmon-cli trace <workload> [--period N] [--seed N] [monitor flags]
+//   regmon-cli fleet <workload> [--leaves N] [--fanout N] [--epochs N]
+//                    [--streams-per-leaf N] [--period N] [--seed N]
+//                    [--crash-rate P] [--stall-rate P] [--drop-rate P]
+//                    [--dup-rate P] [--reorder-rate P] [--stale-rate P]
+//                    [--staleness N] [--dir PATH] [--metrics prom|json]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/RegionMonitor.h"
+#include "fleet/FleetTree.h"
 #include "gpd/CentroidPhaseDetector.h"
 #include "obs/Export.h"
 #include "obs/Instruments.h"
@@ -70,6 +76,19 @@ struct Options {
   std::size_t MaxIntervals = SIZE_MAX;
   std::string Dir;
   std::string Format = "prom";
+  // fleet command
+  std::uint32_t Leaves = 8;
+  std::uint32_t Fanout = 4;
+  std::uint32_t StreamsPerLeaf = 1;
+  std::uint64_t Epochs = 12;
+  double CrashRate = 0;
+  double StallRate = 0;
+  double DropRate = 0;
+  double DupRate = 0;
+  double ReorderRate = 0;
+  double StaleRate = 0;
+  std::uint64_t Staleness = 8;
+  std::string Metrics; ///< empty = human report
 };
 
 int usage(const char *Prog) {
@@ -86,6 +105,7 @@ int usage(const char *Prog) {
       "  restore <workload>        recover service state from a directory\n"
       "  stats <workload>          run LPD + GPD, export metrics\n"
       "  trace <workload>          run LPD + GPD, print the event trace\n"
+      "  fleet <workload>          hierarchical fleet aggregation demo\n"
       "common flags: --period N --seed N\n"
       "monitor flags: --similarity pearson|cosine|overlap "
       "--attribution tree|list\n"
@@ -95,7 +115,11 @@ int usage(const char *Prog) {
       "--policy block|drop --intervals N\n"
       "checkpoint/restore flags: serve flags plus --dir PATH (required;\n"
       "  the same topology flags must be used across runs on one dir)\n"
-      "stats flags: monitor flags plus --format prom|json\n",
+      "stats flags: monitor flags plus --format prom|json\n"
+      "fleet flags: --leaves N --fanout N --epochs N --streams-per-leaf N\n"
+      "             --crash-rate P --stall-rate P --drop-rate P --dup-rate P\n"
+      "             --reorder-rate P --stale-rate P --staleness N\n"
+      "             --dir PATH (leaf checkpoints) --metrics prom|json\n",
       Prog);
   return 2;
 }
@@ -192,6 +216,60 @@ bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
     if (Opts.Format != "prom" && Opts.Format != "json") {
       std::fprintf(stderr, "error: unknown format '%s'\n",
                    Opts.Format.c_str());
+      std::exit(2);
+    }
+    return true;
+  }
+  if (Flag == "--leaves") {
+    Opts.Leaves = static_cast<std::uint32_t>(std::strtoul(Next(), nullptr, 10));
+    return true;
+  }
+  if (Flag == "--fanout") {
+    Opts.Fanout = static_cast<std::uint32_t>(std::strtoul(Next(), nullptr, 10));
+    return true;
+  }
+  if (Flag == "--streams-per-leaf") {
+    Opts.StreamsPerLeaf =
+        static_cast<std::uint32_t>(std::strtoul(Next(), nullptr, 10));
+    return true;
+  }
+  if (Flag == "--epochs") {
+    Opts.Epochs = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--crash-rate") {
+    Opts.CrashRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--stall-rate") {
+    Opts.StallRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--drop-rate") {
+    Opts.DropRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--dup-rate") {
+    Opts.DupRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--reorder-rate") {
+    Opts.ReorderRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--stale-rate") {
+    Opts.StaleRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--staleness") {
+    Opts.Staleness = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--metrics") {
+    Opts.Metrics = Next();
+    if (Opts.Metrics != "prom" && Opts.Metrics != "json") {
+      std::fprintf(stderr, "error: unknown metrics format '%s'\n",
+                   Opts.Metrics.c_str());
       std::exit(2);
     }
     return true;
@@ -653,6 +731,78 @@ int cmdTrace(const Options &Opts) {
   return 0;
 }
 
+// A deterministic fleet run: N leaf services under an aggregation tree,
+// with optional crash/stall/transport faults injected from the seed.
+// The same flags always print the same bytes -- faults included.
+int cmdFleet(const Options &Opts) {
+  if (Opts.Leaves == 0 || Opts.StreamsPerLeaf == 0 || Opts.Epochs == 0) {
+    std::fprintf(stderr,
+                 "error: --leaves, --streams-per-leaf and --epochs "
+                 "must be > 0\n");
+    return 2;
+  }
+  fleet::FleetSimConfig Cfg;
+  Cfg.Leaves = Opts.Leaves;
+  Cfg.Fanout = Opts.Fanout;
+  Cfg.StreamsPerLeaf = Opts.StreamsPerLeaf;
+  Cfg.Workload = Opts.Workload;
+  Cfg.PeriodCycles = Opts.Period;
+  Cfg.Seed = Opts.Seed;
+  Cfg.PersistDir = Opts.Dir;
+
+  fleet::FleetFaultConfig Faults;
+  Faults.LeafCrashRate = Opts.CrashRate;
+  Faults.AggStallRate = Opts.StallRate;
+  Faults.Transport = {Opts.DropRate, Opts.DupRate, Opts.ReorderRate,
+                      Opts.StaleRate};
+  Faults.MaxStalenessEpochs = Opts.Staleness;
+
+  fleet::FleetSim Sim(Cfg, fleet::FleetFaultPlan(Opts.Seed, Faults));
+  Sim.run(Opts.Epochs);
+
+  if (!Opts.Metrics.empty()) {
+    obs::MetricsRegistry Registry;
+    const obs::FleetInstruments Inst = obs::makeFleetInstruments(
+        Registry, fleet::stableFractionBounds(), "");
+    fleet::publishFleetMetrics(Sim, Inst);
+    if (Opts.Metrics == "json")
+      std::printf("%s\n", obs::exportJson(Registry, nullptr).c_str());
+    else
+      std::printf("%s", obs::exportPrometheus(Registry).c_str());
+    return 0;
+  }
+
+  const fleet::FleetTopology &Topo = Sim.topology();
+  std::printf("%s x %u leaves x %u stream(s), fanout %u "
+              "(%zu aggregator(s), %u level(s))\n",
+              Opts.Workload.c_str(), Topo.leaves(), Opts.StreamsPerLeaf,
+              Topo.fanout(), Topo.aggs().size(), Topo.levels());
+  std::uint64_t Crashes = 0, Discarded = 0;
+  for (std::uint32_t L = 0; L < Topo.leaves(); ++L) {
+    Crashes += Sim.leafStats(L).Crashes;
+    Discarded += Sim.leafStats(L).BatchesDiscarded;
+  }
+  std::uint64_t Sent = 0, Delivered = 0, Resyncs = 0;
+  const std::uint32_t NumLinks =
+      Topo.leaves() + static_cast<std::uint32_t>(Topo.aggs().size());
+  for (std::uint32_t I = 0; I < NumLinks; ++I) {
+    Sent += Sim.linkStats(I).Sent;
+    Delivered += Sim.linkStats(I).Delivered;
+  }
+  for (const auto &N : Topo.aggs())
+    Resyncs += Sim.aggStats(N.Id).ResyncSuccesses;
+  std::printf("  faults: %llu leaf crash(es), %llu batch(es) lost to "
+              "downtime; links %llu sent / %llu delivered; "
+              "%llu re-sync(s)\n",
+              static_cast<unsigned long long>(Crashes),
+              static_cast<unsigned long long>(Discarded),
+              static_cast<unsigned long long>(Sent),
+              static_cast<unsigned long long>(Delivered),
+              static_cast<unsigned long long>(Resyncs));
+  std::printf("%s", Sim.view().render().c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -696,5 +846,7 @@ int main(int Argc, char **Argv) {
     return cmdStats(Opts);
   if (Opts.Command == "trace")
     return cmdTrace(Opts);
+  if (Opts.Command == "fleet")
+    return cmdFleet(Opts);
   return usage(Argv[0]);
 }
