@@ -49,8 +49,9 @@ int main() {
       double Acc = 0;
       for (std::size_t I = Lo; I < Hi; ++I)
         Acc += History[I];
-      Table.row({"Q" + std::to_string(Q + 1),
-                 TextTable::percent(Hi > Lo ? Acc / (Hi - Lo) : 0)});
+      std::string Label = "Q";
+      Label += std::to_string(Q + 1);
+      Table.row({Label, TextTable::percent(Hi > Lo ? Acc / (Hi - Lo) : 0)});
     }
     std::printf("%s\n", Table.render().c_str());
   }

@@ -56,10 +56,12 @@ int main() {
     std::size_t Rank = 1;
     for (const std::string &RName : Order) {
       const auto &Row = Counts[RName];
-      Table.row({Rank == 1 ? Name : "",
-                 "r" + std::to_string(Rank) + " " + RName,
-                 TextTable::count(Row[0]), TextTable::count(Row[1]),
-                 TextTable::count(Row[2])});
+      std::string Label = "r";
+      Label += std::to_string(Rank);
+      Label += " ";
+      Label += RName;
+      Table.row({Rank == 1 ? Name : "", Label, TextTable::count(Row[0]),
+                 TextTable::count(Row[1]), TextTable::count(Row[2])});
       ++Rank;
     }
   }

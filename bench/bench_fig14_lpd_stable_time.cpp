@@ -52,10 +52,12 @@ int main() {
     std::size_t Rank = 1;
     for (const std::string &RName : Order) {
       const auto &Row = Fractions[RName];
-      Table.row({Rank == 1 ? Name : "",
-                 "r" + std::to_string(Rank) + " " + RName,
-                 TextTable::percent(Row[0]), TextTable::percent(Row[1]),
-                 TextTable::percent(Row[2])});
+      std::string Label = "r";
+      Label += std::to_string(Rank);
+      Label += " ";
+      Label += RName;
+      Table.row({Rank == 1 ? Name : "", Label, TextTable::percent(Row[0]),
+                 TextTable::percent(Row[1]), TextTable::percent(Row[2])});
       ++Rank;
     }
   }

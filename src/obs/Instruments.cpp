@@ -134,6 +134,25 @@ PersistInstruments makePersistInstruments(MetricsRegistry &Registry,
   return I;
 }
 
+TraceInstruments makeTraceInstruments(MetricsRegistry &Registry,
+                                      std::string_view Label) {
+  TraceInstruments I;
+  I.RecordsTotal = &Registry.counter("trace_records_total",
+                                     "flight-recorder records appended",
+                                     Label);
+  I.RecordsDropped =
+      &Registry.counter("trace_records_dropped_total",
+                        "drop records appended (batches evicted by the "
+                        "DropOldest policy while recording)",
+                        Label);
+  I.BytesTotal = &Registry.counter("trace_bytes_total",
+                                   "flight-recorder bytes appended", Label);
+  I.AppendFailures =
+      &Registry.counter("trace_append_failures_total",
+                        "flight-recorder appends that failed", Label);
+  return I;
+}
+
 FleetInstruments makeFleetInstruments(MetricsRegistry &Registry,
                                       const std::vector<double> &StableBounds,
                                       std::string_view Label) {

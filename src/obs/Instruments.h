@@ -152,6 +152,26 @@ struct FleetInstruments {
   BucketHistogram *StableFraction = nullptr;
 };
 
+/// Instruments for the flight recorder (src/trace, DESIGN.md §15).
+/// Counters only: the recorder is a pure observer of the service, and
+/// these series are what an operator alarms on when an incident's trace
+/// turns out unusable (append failures) or lossy (recorded drops).
+struct TraceInstruments {
+  /// Records appended to the trace (all kinds).
+  Counter *RecordsTotal = nullptr;
+  /// Drop records appended -- batches the DropOldest policy evicted
+  /// while recording (each one replays as a skipped batch).
+  Counter *RecordsDropped = nullptr;
+  /// Bytes appended (headers included).
+  Counter *BytesTotal = nullptr;
+  /// Appends that failed (crash/torn write); the recorder latches dead.
+  Counter *AppendFailures = nullptr;
+};
+
+/// Registers the flight-recorder metric catalogue.
+TraceInstruments makeTraceInstruments(MetricsRegistry &Registry,
+                                      std::string_view Label);
+
 /// Registers the monitor metric catalogue for stream \p Stream under the
 /// label \p Label (pass "" for an unlabelled single-monitor setup).
 MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,

@@ -36,6 +36,11 @@ namespace regmon::persist {
 /// Appends little-endian fields to a growable byte buffer.
 class ByteWriter {
 public:
+  /// Pre-sizes the buffer for \p Total bytes of upcoming output. Purely
+  /// an allocation hint -- hot encoders (the flight recorder's per-batch
+  /// payloads) call it to avoid growth reallocations mid-record.
+  void reserve(std::uint64_t Total) { Buf.reserve(Total); }
+
   void u8(std::uint8_t V) { Buf.push_back(V); }
 
   void u32(std::uint32_t V) {

@@ -51,6 +51,20 @@ void encodeBatchPayload(persist::ByteWriter &W, const SampleBatch &Batch) {
 
 } // namespace
 
+const char *regmon::service::toString(RecordedFate F) {
+  switch (F) {
+  case RecordedFate::DoorRejected:
+    return "door-rejected";
+  case RecordedFate::JournalRejected:
+    return "journal-rejected";
+  case RecordedFate::Refused:
+    return "refused";
+  case RecordedFate::Admitted:
+    return "admitted";
+  }
+  return "?";
+}
+
 const char *regmon::service::toString(RestoreOutcome O) {
   switch (O) {
   case RestoreOutcome::ColdStart:
@@ -180,6 +194,7 @@ bool MonitorService::submit(SampleBatch Batch) {
   if (S.Queue.closed()) {
     Rejected.fetch_add(1, std::memory_order_relaxed);
     obs::addTo(ObsRejected);
+    recordFate(Batch, RecordedFate::DoorRejected);
     return false;
   }
   if (Persist) {
@@ -200,13 +215,22 @@ bool MonitorService::submit(SampleBatch Batch) {
       JournalDead = true;
       Rejected.fetch_add(1, std::memory_order_relaxed);
       obs::addTo(ObsRejected);
+      recordFate(Batch, RecordedFate::JournalRejected);
       return false;
     }
     ++JournalSeq;
   }
   if (Config.ValidateBatches &&
-      !admit(St, structurallyValid(Batch.Samples)))
+      !admit(St, structurallyValid(Batch.Samples))) {
+    recordFate(Batch, RecordedFate::Refused);
     return false;
+  }
+  // Record the admission before the batch can move (push or process), so
+  // the stamped sequence is available to later drop/push-reject records.
+  // Per-stream record order equals per-stream admission order (the
+  // external per-stream submit serialization covers both), which is the
+  // order applyRecorded re-runs the health machine in.
+  recordFate(Batch, RecordedFate::Admitted);
   if (Config.Inline) {
     // Worker-less mode: the submitting thread is the worker. Mirror the
     // dequeue path exactly (hook, process, shard accounting) so every
@@ -224,14 +248,35 @@ bool MonitorService::submit(SampleBatch Batch) {
   // batch immediately, and a snapshot must never observe more processed
   // than submitted. A rejected push is uncounted again.
   Submitted.fetch_add(1, std::memory_order_relaxed);
-  if (!S.Queue.push(std::move(Batch))) {
+  const std::uint64_t TraceSeq = Batch.TraceSeq;
+  SampleBatch Evicted;
+  if (!S.Queue.push(std::move(Batch), Recorder ? &Evicted : nullptr)) {
     Submitted.fetch_sub(1, std::memory_order_relaxed);
     Rejected.fetch_add(1, std::memory_order_relaxed);
     obs::addTo(ObsRejected);
+    if (Recorder) {
+      std::lock_guard<std::mutex> Lock(RecorderMutex);
+      Recorder->recordPushReject(TraceSeq);
+    }
     return false;
+  }
+  if (Recorder && Evicted.TraceSeq != 0) {
+    // The push evicted the oldest queued batch (DropOldest). Its record
+    // is already in the trace (it was recorded before its own push), so
+    // a drop record referencing it is all replay needs to skip its
+    // processing while keeping the eviction accounting.
+    std::lock_guard<std::mutex> Lock(RecorderMutex);
+    Recorder->recordDrop(Evicted.TraceSeq, St.Shard);
   }
   obs::addTo(ObsSubmitted);
   return true;
+}
+
+void MonitorService::recordFate(SampleBatch &Batch, RecordedFate Fate) {
+  if (!Recorder)
+    return;
+  std::lock_guard<std::mutex> Lock(RecorderMutex);
+  Batch.TraceSeq = Recorder->recordBatch(Batch, Fate);
 }
 
 bool MonitorService::admit(StreamState &St, bool Valid) {
@@ -459,6 +504,89 @@ const core::RegionMonitor &MonitorService::monitor(StreamId Stream) const {
 void MonitorService::attachPersistence(persist::CheckpointManager &Store) {
   assert(!Started && "persistence must be attached before start()");
   Persist = &Store;
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+void MonitorService::attachRecorder(BatchRecorder &R) {
+  assert(!Started && "recorder must be attached before start()");
+  Recorder = &R;
+  Recorder->recordConfig(configFingerprint());
+}
+
+std::vector<std::uint8_t> MonitorService::configFingerprint() const {
+  persist::ByteWriter W;
+  W.u64(Config.Workers);
+  W.u64(Config.QueueCapacity);
+  W.u8(static_cast<std::uint8_t>(Config.Policy));
+  W.boolean(Config.ValidateBatches);
+  W.u32(Config.Health.PoisonQuarantineThreshold);
+  W.u64(Config.Health.QuarantineBaseBatches);
+  W.u64(Config.Health.QuarantineMaxBatches);
+  W.u32(Config.Health.RecoveryCleanBatches);
+  W.u32(static_cast<std::uint32_t>(Streams.size()));
+  return W.take();
+}
+
+bool MonitorService::applyRecorded(SampleBatch Batch, RecordedFate Fate,
+                                   bool Dropped, bool PushFailed) {
+  assert(Config.Inline && "replay drives a worker-less service");
+  assert(running() && "start() the replay service before applying records");
+  if (Batch.Stream >= Streams.size())
+    return false;
+  StreamState &St = *Streams[Batch.Stream];
+  switch (Fate) {
+  case RecordedFate::DoorRejected:
+  case RecordedFate::JournalRejected:
+    // Environmental refusals (closed queue, dead journal): reproduce the
+    // accounting without re-running the environment that caused them.
+    // Neither advanced the health machine or the journal originally.
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsRejected);
+    return true;
+  case RecordedFate::Refused:
+  case RecordedFate::Admitted:
+    break;
+  }
+  if (Persist && !JournalDead) {
+    // Mirror submit()'s write-ahead: the original journaled this batch
+    // before admission, so a replay that is itself persisted lands on
+    // the same journal sequence (encodeState compares bit-identical).
+    persist::ByteWriter W;
+    encodeBatchPayload(W, Batch);
+    if (!Persist->appendJournal(JournalSeq + 1, W.data()))
+      return false;
+    ++JournalSeq;
+  }
+  const bool Admit =
+      !Config.ValidateBatches || admit(St, structurallyValid(Batch.Samples));
+  if (Admit != (Fate == RecordedFate::Admitted))
+    return false; // divergence: the health machine decided differently
+  if (!Admit)
+    return true;
+  if (PushFailed) {
+    // Original: push rejected after the door check (queue closed under
+    // it). Submitted was pre-counted then uncounted; only the rejection
+    // sticks.
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::addTo(ObsRejected);
+    return true;
+  }
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  obs::addTo(ObsSubmitted);
+  if (Dropped) {
+    // Evicted by DropOldest before any worker saw it: submitted and
+    // dropped, never processed.
+    Shards[St.Shard]->Queue.countDrop();
+    return true;
+  }
+  if (WorkerHook)
+    WorkerHook(St.Shard, Batch);
+  process(Batch);
+  Shards[St.Shard]->BatchesProcessed.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<std::uint8_t> MonitorService::encodeState() const {
@@ -701,8 +829,12 @@ bool MonitorService::checkpoint() {
   assert((!running() || Config.Inline) &&
          "checkpoint() requires a quiescent service");
   const std::vector<std::uint8_t> Encoded = encodeState();
-  if (!Persist->commitSnapshot(Encoded, SnapshotSeq))
-    return false;
-  SnapshotSeq = JournalSeq;
-  return true;
+  const bool Committed = Persist->commitSnapshot(Encoded, SnapshotSeq);
+  if (Committed)
+    SnapshotSeq = JournalSeq;
+  if (Recorder) {
+    std::lock_guard<std::mutex> Lock(RecorderMutex);
+    Recorder->recordCheckpoint(JournalSeq, Committed);
+  }
+  return Committed;
 }

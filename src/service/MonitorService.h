@@ -63,6 +63,55 @@ using StreamId = std::uint32_t;
 struct SampleBatch {
   StreamId Stream = 0;
   std::vector<Sample> Samples;
+  /// Flight-recorder sequence number stamped by \ref MonitorService::submit
+  /// when a \ref BatchRecorder is attached (0 otherwise). Identifies this
+  /// batch in later drop/push-reject records, so an overloaded run's
+  /// evictions replay against the right batches.
+  std::uint64_t TraceSeq = 0;
+};
+
+/// The decision \ref MonitorService::submit took for one batch, as
+/// captured by an attached \ref BatchRecorder. Deterministic fates
+/// (Refused/Admitted) are re-derived and cross-checked at replay;
+/// environmental fates (DoorRejected/JournalRejected) and the separately
+/// recorded drop/push-reject outcomes are applied from the record, since
+/// they depend on timing the replayed process does not reproduce.
+enum class RecordedFate : std::uint8_t {
+  DoorRejected = 0,    ///< Closed shard queue (post-stop submission).
+  JournalRejected = 1, ///< Write-ahead journal append failed (dead latch).
+  Refused = 2,         ///< Health machine refused (poisoned/quarantined).
+  Admitted = 3,        ///< Admitted for processing (may still drop later).
+};
+
+/// Returns a short identifier for reports.
+const char *toString(RecordedFate F);
+
+/// Recording tap for the flight recorder (implemented by
+/// trace::TraceRecorder; declared here so src/service never depends on
+/// src/trace). \ref MonitorService calls every method under its own
+/// recorder serialization, so implementations need no internal locking;
+/// the captured record order is a real submission order across streams.
+/// A recorder that fails internally must keep accepting calls as no-ops:
+/// recording is an observer, it never turns into backpressure.
+class BatchRecorder {
+public:
+  virtual ~BatchRecorder() = default;
+  /// Captures the service configuration fingerprint (see
+  /// \ref MonitorService::configFingerprint), called once at attach.
+  virtual void recordConfig(std::span<const std::uint8_t> Fingerprint) = 0;
+  /// Captures one submitted batch and its fate; returns the trace
+  /// sequence number assigned to the batch (stamped into
+  /// \ref SampleBatch::TraceSeq by the caller).
+  virtual std::uint64_t recordBatch(const SampleBatch &Batch,
+                                    RecordedFate Fate) = 0;
+  /// Captures a DropOldest eviction of the batch stamped \p EvictedSeq
+  /// from shard \p Shard's queue.
+  virtual void recordDrop(std::uint64_t EvictedSeq, std::uint64_t Shard) = 0;
+  /// Captures a failed push (queue closed between door check and push)
+  /// of the batch stamped \p Seq.
+  virtual void recordPushReject(std::uint64_t Seq) = 0;
+  /// Captures a checkpoint attempt at journal sequence \p JournalSeq.
+  virtual void recordCheckpoint(std::uint64_t JournalSeq, bool Committed) = 0;
 };
 
 /// Service-wide tunables.
@@ -309,6 +358,39 @@ public:
   /// while the service is quiescent.
   std::uint64_t persistedSequence() const { return JournalSeq; }
 
+  //===------------------------------------------------------------------===//
+  // Flight recorder (src/trace, DESIGN.md section 15).
+  //===------------------------------------------------------------------===//
+
+  /// Attaches \p Recorder as the flight-recorder tap: every subsequent
+  /// submit records the batch bytes plus the fate decided for it, every
+  /// DropOldest eviction and failed push records the evicted batch's
+  /// trace sequence, and every \ref checkpoint records a marker -- the
+  /// full decision sequence \ref applyRecorded needs to re-execute the
+  /// run. Immediately records the configuration fingerprint. Must be
+  /// called after every \ref addStream (and after \ref restore when
+  /// persistence is attached, so the trace starts at the recovered
+  /// state), before \ref start; \p Recorder must outlive the service.
+  void attachRecorder(BatchRecorder &Recorder);
+
+  /// Serializes the configuration fields replay determinism depends on
+  /// (worker/shard count for routing, queue capacity, policy, health
+  /// tuning, stream count). Inline is deliberately absent: a threaded
+  /// recording replays on a worker-less service.
+  std::vector<std::uint8_t> configFingerprint() const;
+
+  /// Re-executes one recorded submission against this service, which
+  /// must be Inline and running. Deterministic decisions re-run and are
+  /// cross-checked against \p Fate; timing-dependent outcomes are
+  /// applied from the record: \p Dropped skips processing and counts a
+  /// queue eviction, \p PushFailed reproduces the rejected-push
+  /// accounting. Returns false on divergence (the health machine chose
+  /// differently than the recording, an unknown stream, or a journal
+  /// append failure in the replay environment) -- the caller stops
+  /// replay there.
+  bool applyRecorded(SampleBatch Batch, RecordedFate Fate, bool Dropped,
+                     bool PushFailed);
+
 private:
   /// Per-stream state. Monitor and the processing counters are written
   /// only by the owning shard's worker while running; the health fields
@@ -370,6 +452,10 @@ private:
   /// Puts \p St into quarantine, doubling the backoff per episode.
   void quarantine(StreamState &St);
 
+  /// Records \p Batch with \p Fate against the attached recorder (no-op
+  /// when none), stamping the assigned sequence into Batch.TraceSeq.
+  void recordFate(SampleBatch &Batch, RecordedFate Fate);
+
   /// Re-applies one journaled batch through admission + processing.
   /// False rejects the record as malformed (ends journal replay there).
   bool replayRecord(std::span<const std::uint8_t> Payload);
@@ -418,6 +504,14 @@ private:
   /// refused rather than processed, so the journal never under-reports
   /// acknowledged work.
   bool JournalDead = false;
+
+  // Flight recorder, inert until attachRecorder(). The mutex lives here
+  // for the same reason JournalMutex does (src/trace joins the lint
+  // Deterministic layer, which owns no concurrency primitives): it
+  // serializes sequence assignment + append across submitting threads,
+  // so the trace's global record order is a real submission order.
+  BatchRecorder *Recorder = nullptr;
+  std::mutex RecorderMutex;
 };
 
 } // namespace regmon::service

@@ -69,11 +69,20 @@ public:
   /// Enqueues \p Value according to the overflow policy. Returns false
   /// (and discards \p Value) once the queue has been closed; a push
   /// blocked on a full queue is woken and rejected by \ref close.
-  bool push(T Value) {
+  ///
+  /// When \p EvictedOut is non-null and this push evicts the oldest
+  /// element (DropOldest on a full queue), the evicted element is moved
+  /// into \p *EvictedOut instead of being destroyed -- the flight
+  /// recorder identifies the dropped batch this way. \p *EvictedOut is
+  /// left untouched when nothing is evicted, so callers detect eviction
+  /// by priming it with a sentinel.
+  bool push(T Value, T *EvictedOut = nullptr) {
     std::unique_lock<std::mutex> Lock(M);
     if (Policy == OverflowPolicy::Block) {
       NotFull.wait(Lock, [&] { return Count < Slots.size() || Shut; });
     } else if (Count == Slots.size() && !Shut) {
+      if (EvictedOut)
+        *EvictedOut = std::move(Slots[Head]);
       Head = (Head + 1) % Slots.size();
       --Count;
       // Release so an observer of the drop also observes everything the
@@ -152,6 +161,11 @@ public:
   std::uint64_t dropped() const {
     return DroppedCount.load(std::memory_order_acquire);
   }
+
+  /// Counts one eviction without touching the slots -- trace replay's
+  /// stand-in for an eviction that happened in the recorded run, so a
+  /// replayed snapshot reports the same per-shard drop totals.
+  void countDrop() { DroppedCount.fetch_add(1, std::memory_order_release); }
 
 private:
   mutable std::mutex M;

@@ -1,0 +1,125 @@
+//===- trace/Format.cpp - Flight-recorder binary trace format -------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Format.h"
+
+#include "persist/Crc32.h"
+
+using namespace regmon;
+using namespace regmon::trace;
+
+const char *regmon::trace::toString(RecordKind K) {
+  switch (K) {
+  case RecordKind::Config:
+    return "config";
+  case RecordKind::Batch:
+    return "batch";
+  case RecordKind::Drop:
+    return "drop";
+  case RecordKind::PushReject:
+    return "push-reject";
+  case RecordKind::Checkpoint:
+    return "checkpoint";
+  }
+  return "?";
+}
+
+std::uint32_t regmon::trace::traceRecordCrc(
+    std::uint64_t Seq, std::uint8_t Kind,
+    std::span<const std::uint8_t> Payload) {
+  persist::ByteWriter Header;
+  Header.u64(Seq);
+  Header.u8(Kind);
+  Header.u32(static_cast<std::uint32_t>(Payload.size()));
+  const std::uint32_t Seed = persist::crc32(Header.data());
+  return persist::crc32(Payload, Seed);
+}
+
+void regmon::trace::encodeTraceHeader(persist::ByteWriter &W) {
+  W.u32(TraceMagic);
+  W.u32(TraceVersion);
+}
+
+void regmon::trace::encodeBatchRecordPayload(persist::ByteWriter &W,
+                                             const service::SampleBatch &Batch,
+                                             service::RecordedFate Fate) {
+  W.reserve(W.size() + 13 + Batch.Samples.size() * TraceSampleWireBytes);
+  W.u8(static_cast<std::uint8_t>(Fate));
+  W.u32(Batch.Stream);
+  W.u64(Batch.Samples.size());
+  for (const Sample &S : Batch.Samples) {
+    W.u64(S.Pc);
+    W.u64(S.Time);
+    W.boolean(S.DCacheMiss);
+  }
+}
+
+bool regmon::trace::decodeBatchRecordPayload(persist::ByteReader &R,
+                                             service::SampleBatch &Batch,
+                                             service::RecordedFate &Fate) {
+  const std::uint8_t RawFate = R.u8();
+  if (!R.ok() ||
+      RawFate > static_cast<std::uint8_t>(service::RecordedFate::Admitted))
+    return false;
+  Fate = static_cast<service::RecordedFate>(RawFate);
+  Batch.Stream = R.u32();
+  const std::uint64_t Count = R.u64();
+  // Validate the count against the bytes actually present before a
+  // single element is allocated: a hostile count can only fail cleanly.
+  if (!R.ok() || Count > R.remaining() / TraceSampleWireBytes)
+    return false;
+  Batch.Samples.clear();
+  Batch.Samples.reserve(Count);
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    Sample S;
+    S.Pc = R.u64();
+    S.Time = R.u64();
+    S.DCacheMiss = R.boolean();
+    Batch.Samples.push_back(S);
+  }
+  return R.atEnd();
+}
+
+void regmon::trace::encodeDropPayload(persist::ByteWriter &W,
+                                      std::uint64_t EvictedSeq,
+                                      std::uint64_t Shard) {
+  W.u64(EvictedSeq);
+  W.u64(Shard);
+}
+
+bool regmon::trace::decodeDropPayload(persist::ByteReader &R,
+                                      std::uint64_t &EvictedSeq,
+                                      std::uint64_t &Shard) {
+  EvictedSeq = R.u64();
+  Shard = R.u64();
+  return R.atEnd() && EvictedSeq != 0;
+}
+
+void regmon::trace::encodePushRejectPayload(persist::ByteWriter &W,
+                                            std::uint64_t Seq) {
+  W.u64(Seq);
+}
+
+bool regmon::trace::decodePushRejectPayload(persist::ByteReader &R,
+                                            std::uint64_t &Seq) {
+  Seq = R.u64();
+  return R.atEnd() && Seq != 0;
+}
+
+void regmon::trace::encodeCheckpointPayload(persist::ByteWriter &W,
+                                            std::uint64_t JournalSeq,
+                                            bool Committed) {
+  W.u64(JournalSeq);
+  W.boolean(Committed);
+}
+
+bool regmon::trace::decodeCheckpointPayload(persist::ByteReader &R,
+                                            std::uint64_t &JournalSeq,
+                                            bool &Committed) {
+  JournalSeq = R.u64();
+  Committed = R.boolean();
+  return R.atEnd();
+}

@@ -1,0 +1,154 @@
+//===- tests/CliSmokeTest.cpp - regmon-cli exit-code contract -------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the CLI's process contract: 0 success, 1 runtime failure, 2 usage
+// error; --help on stdout, diagnostics on stderr. Scripts and the CI
+// replay-determinism job branch on these codes, so a change here is an
+// interface break, not a cosmetic one. Every case shells out to the real
+// binary (REGMON_CLI_PATH, injected by CMake) -- no main() re-entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Format.h"
+
+#include "persist/Bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int Exit = -1;
+  std::string Out;
+  std::string Err;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream S;
+  S << In.rdbuf();
+  return S.str();
+}
+
+/// Runs `regmon-cli <Args>` with stdout/stderr captured to scratch files.
+RunResult run(const std::string &Args) {
+  static int Counter = 0;
+  const std::string Base = ::testing::TempDir() + "regmon_cli_smoke_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(Counter++);
+  const std::string OutPath = Base + ".out";
+  const std::string ErrPath = Base + ".err";
+  const std::string Cmd = std::string("\"") + REGMON_CLI_PATH + "\" " + Args +
+                          " >\"" + OutPath + "\" 2>\"" + ErrPath + "\"";
+  const int Status = std::system(Cmd.c_str());
+  RunResult R;
+  if (WIFEXITED(Status))
+    R.Exit = WEXITSTATUS(Status);
+  R.Out = slurp(OutPath);
+  R.Err = slurp(ErrPath);
+  std::remove(OutPath.c_str());
+  std::remove(ErrPath.c_str());
+  return R;
+}
+
+TEST(CliSmoke, HelpGoesToStdoutAndExitsZero) {
+  for (const char *Spelling : {"--help", "-h", "help"}) {
+    const RunResult R = run(Spelling);
+    EXPECT_EQ(R.Exit, 0) << Spelling;
+    EXPECT_NE(R.Out.find("usage:"), std::string::npos) << Spelling;
+    EXPECT_NE(R.Out.find("trace-verify"), std::string::npos)
+        << "the usage text must cover the flight-recorder commands";
+    EXPECT_TRUE(R.Err.empty()) << Spelling << ": " << R.Err;
+  }
+}
+
+TEST(CliSmoke, NoArgumentsIsAUsageError) {
+  const RunResult R = run("");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_TRUE(R.Out.empty()) << R.Out;
+  EXPECT_NE(R.Err.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownCommandIsAUsageError) {
+  const RunResult R = run("frobnicate");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Err.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownFlagIsAUsageError) {
+  const RunResult R = run("monitor synthetic.steady --no-such-flag");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Err.find("unknown flag '--no-such-flag'"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownWorkloadIsAUsageError) {
+  const RunResult R = run("monitor no.such.workload");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Err.find("unknown workload"), std::string::npos);
+}
+
+TEST(CliSmoke, ListSucceedsAndNamesWorkloads) {
+  const RunResult R = run("list");
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("synthetic.steady"), std::string::npos);
+  EXPECT_TRUE(R.Err.empty()) << R.Err;
+}
+
+TEST(CliSmoke, TraceVerifyWithoutTraceIsAUsageError) {
+  const RunResult R = run("trace-verify");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Err.find("trace-verify needs --trace"), std::string::npos);
+}
+
+TEST(CliSmoke, TraceVerifyMissingFileIsARuntimeFailure) {
+  const RunResult R = run("trace-verify --trace /no/such/trace.bin");
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Err.find("no trace at"), std::string::npos);
+}
+
+/// The operator walkthrough in miniature: a torn trace verifies as
+/// damaged (exit 1), --repair truncates it, and the repaired file
+/// verifies intact (exit 0).
+TEST(CliSmoke, TraceVerifyRepairRoundTrip) {
+  const std::string Trace = ::testing::TempDir() + "regmon_cli_smoke_" +
+                            std::to_string(::getpid()) + ".trace.bin";
+  std::remove(Trace.c_str());
+  {
+    regmon::persist::ByteWriter W;
+    regmon::trace::encodeTraceHeader(W);
+    W.u8(0xAB); // one garbage byte: a torn record header
+    std::ofstream Out(Trace, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(W.data().data()),
+              static_cast<std::streamsize>(W.size()));
+  }
+
+  const std::string Flag = " --trace \"" + Trace + "\"";
+  const RunResult Damaged = run("trace-verify" + Flag);
+  EXPECT_EQ(Damaged.Exit, 1);
+  EXPECT_NE(Damaged.Out.find("torn-tail"), std::string::npos);
+  EXPECT_NE(Damaged.Err.find("--repair"), std::string::npos)
+      << "a repairable file must advertise the fix";
+
+  const RunResult Repaired = run("trace-verify" + Flag + " --repair");
+  EXPECT_EQ(Repaired.Exit, 0);
+  EXPECT_NE(Repaired.Out.find("repaired"), std::string::npos);
+
+  const RunResult Clean = run("trace-verify" + Flag);
+  EXPECT_EQ(Clean.Exit, 0);
+  EXPECT_NE(Clean.Out.find("intact"), std::string::npos);
+  std::remove(Trace.c_str());
+}
+
+} // namespace

@@ -226,6 +226,28 @@ TEST(PersistSerializationRule, GatedToPersistPathOnly) {
   EXPECT_EQ(countRule(runRules(FC), "persist-serialization"), 0);
 }
 
+// The flight recorder (src/trace) writes a wire format too, so the rule
+// covers it with the same teeth -- and the path classifies into the
+// Deterministic layer, so concurrency tokens are flagged alongside.
+TEST(PersistSerializationRule, CoversTraceLayer) {
+  FileContext FC = buildContext("src/trace/trace_bad.cpp",
+                                readFixture("trace_bad.cpp"));
+  auto Diags = runRules(FC);
+  // size_t, long, unsigned fields; unchecked fwrite + fread.
+  EXPECT_EQ(countRule(Diags, "persist-serialization"), 5);
+  // src/trace is Deterministic: the <mutex> include, the mutex and the
+  // lock_guard all trip the concurrency rule.
+  EXPECT_GE(countRule(Diags, "concurrency"), 3);
+}
+
+TEST(PersistSerializationRule, AcceptsConformingTraceCode) {
+  FileContext FC = buildContext("src/trace/trace_good.cpp",
+                                readFixture("trace_good.cpp"));
+  auto Diags = runRules(FC);
+  EXPECT_EQ(countRule(Diags, "persist-serialization"), 0);
+  EXPECT_EQ(countRule(Diags, "concurrency"), 0);
+}
+
 //===----------------------------------------------------------------------===//
 // R7: obs-determinism
 //===----------------------------------------------------------------------===//
@@ -343,6 +365,7 @@ TEST(Classify, LayerMatrixMatchesTree) {
             Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/sampling/Sampler.cpp"), Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/faults/FaultPlan.cpp"), Layer::Deterministic);
+  EXPECT_EQ(classifyPath("src/trace/Recorder.cpp"), Layer::Deterministic);
   EXPECT_EQ(classifyPath("src/service/MonitorService.cpp"), Layer::Service);
   EXPECT_EQ(classifyPath("src/obs/Metrics.cpp"), Layer::Obs);
   EXPECT_EQ(classifyPath("src/support/Rng.cpp"), Layer::Support);

@@ -20,10 +20,14 @@
 #include "faults/FaultPlan.h"
 #include "service/MonitorService.h"
 #include "support/Histogram.h"
+#include "trace/Recorder.h"
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -478,6 +482,71 @@ TEST(ObsService, QuarantineAndRecoveryAreTraced) {
   const std::string Trace = exportTraceText(T);
   EXPECT_NE(Trace.find("kind=stream-quarantined"), std::string::npos);
   EXPECT_NE(Trace.find("kind=stream-recovered"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder instruments
+//===----------------------------------------------------------------------===//
+
+/// The trace counter catalogue mirrors the recorder's own accounting and
+/// exports byte-for-byte: an operator alarming on
+/// trace_records_dropped_total or trace_append_failures_total sees the
+/// same numbers recordsWritten()/appendFailures() report in-process.
+TEST(ObsService, TraceInstrumentsMirrorRecorderAccounting) {
+  MetricsRegistry R;
+  const TraceInstruments I = makeTraceInstruments(R, "");
+  const std::string Path = ::testing::TempDir() + "regmon_obs_trace_" +
+                           std::to_string(::getpid()) + ".bin";
+  std::remove(Path.c_str());
+  trace::TraceRecorder Rec;
+  ASSERT_TRUE(Rec.open(Path).Ok);
+  Rec.attachObservability(&I);
+
+  const service::SampleBatch Batch{0, {{0x400010, 100, false}}};
+  EXPECT_EQ(Rec.recordBatch(Batch, service::RecordedFate::Admitted), 1u);
+  EXPECT_EQ(Rec.recordBatch(Batch, service::RecordedFate::Admitted), 2u);
+  Rec.recordDrop(/*EvictedSeq=*/1, /*Shard=*/0);
+  Rec.recordPushReject(/*Seq=*/2);
+  Rec.recordCheckpoint(/*JournalSeq=*/7, /*Committed=*/true);
+
+  EXPECT_EQ(I.RecordsTotal->value(), Rec.recordsWritten());
+  EXPECT_EQ(I.RecordsDropped->value(), 1u)
+      << "only the Drop record feeds the dropped counter";
+  // The 8-byte file header predates attach (open() writes it before any
+  // instruments exist), so the byte counter covers records only.
+  EXPECT_EQ(I.BytesTotal->value(),
+            Rec.bytesWritten() - trace::TraceHeaderBytes);
+  EXPECT_EQ(I.AppendFailures->value(), 0u);
+
+  const std::uint64_t RecordBytes = I.BytesTotal->value();
+  EXPECT_TRUE(Rec.close());
+  // A dead recorder turns every tap call into an append failure -- and
+  // never into a phantom drop.
+  Rec.recordDrop(/*EvictedSeq=*/2, /*Shard=*/0);
+  EXPECT_EQ(I.AppendFailures->value(), 1u);
+  EXPECT_EQ(I.RecordsDropped->value(), 1u);
+
+  EXPECT_EQ(exportPrometheus(R),
+            "# HELP regmon_trace_append_failures_total flight-recorder "
+            "appends that failed\n"
+            "# TYPE regmon_trace_append_failures_total counter\n"
+            "regmon_trace_append_failures_total 1\n"
+            "# HELP regmon_trace_bytes_total flight-recorder bytes "
+            "appended\n"
+            "# TYPE regmon_trace_bytes_total counter\n"
+            "regmon_trace_bytes_total " +
+                std::to_string(RecordBytes) +
+                "\n"
+                "# HELP regmon_trace_records_dropped_total drop records "
+                "appended (batches evicted by the DropOldest policy while "
+                "recording)\n"
+                "# TYPE regmon_trace_records_dropped_total counter\n"
+                "regmon_trace_records_dropped_total 1\n"
+                "# HELP regmon_trace_records_total flight-recorder records "
+                "appended\n"
+                "# TYPE regmon_trace_records_total counter\n"
+                "regmon_trace_records_total 5\n");
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -13,9 +13,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <barrier>
 #include <cstdint>
+#include <set>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace regmon::service;
@@ -251,6 +255,116 @@ TEST(RingBuffer, MultiProducerDropOldestConservesItems) {
     ++Received;
   EXPECT_EQ(Received + Q.dropped(), Producers * PerProducer);
   EXPECT_LE(Received, Q.capacity());
+}
+
+/// The eviction out-param surrenders exactly the FIFO-oldest element and
+/// stays untouched on non-evicting pushes, so a sentinel detects eviction.
+TEST(RingBuffer, DropOldestEvictionOutParamReturnsTheFifoOldest) {
+  RingBuffer<int> Q(2, OverflowPolicy::DropOldest);
+  int Evicted = -1;
+  EXPECT_TRUE(Q.push(0, &Evicted));
+  EXPECT_TRUE(Q.push(1, &Evicted));
+  EXPECT_EQ(Evicted, -1) << "no eviction, the sentinel must survive";
+  for (int I = 2; I < 6; ++I) {
+    EXPECT_TRUE(Q.push(I, &Evicted));
+    EXPECT_EQ(Evicted, I - 2) << "eviction surrenders the FIFO-oldest";
+  }
+  EXPECT_EQ(Q.dropped(), 4u);
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 4) << "survivors are the newest capacity-many pushes";
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 5);
+  EXPECT_EQ(Q.size(), 0u);
+}
+
+/// In-test flight-recorder tap. MonitorService serializes every call
+/// under its recorder mutex, so plain members need no locking here.
+class TapRecorder : public BatchRecorder {
+public:
+  void recordConfig(std::span<const std::uint8_t>) override { ++Configs; }
+  std::uint64_t recordBatch(const SampleBatch &, RecordedFate Fate) override {
+    const std::uint64_t Seq = ++LastSeq;
+    if (Fate == RecordedFate::Admitted)
+      Admitted.insert(Seq);
+    return Seq;
+  }
+  void recordDrop(std::uint64_t EvictedSeq, std::uint64_t Shard) override {
+    Drops.push_back({EvictedSeq, Shard});
+  }
+  void recordPushReject(std::uint64_t Seq) override {
+    PushRejects.push_back(Seq);
+  }
+  void recordCheckpoint(std::uint64_t, bool) override { ++Checkpoints; }
+
+  std::uint64_t LastSeq = 0;
+  int Configs = 0;
+  int Checkpoints = 0;
+  std::set<std::uint64_t> Admitted;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> Drops;
+  std::vector<std::uint64_t> PushRejects;
+};
+
+/// DropOldest under recording: every drop record must reference a batch
+/// that was admitted (and therefore recorded) earlier, in FIFO eviction
+/// order, and the drop record count must equal the snapshot's
+/// BatchesDropped -- the invariants replay leans on to skip exactly the
+/// evicted batches.
+TEST(ServiceAccounting, DropOldestUnderRecordingReferencesAdmittedSeqs) {
+  const regmon::workloads::Workload W =
+      regmon::workloads::make("synthetic.steady");
+  const regmon::sim::ProgramCodeMap Map(W.Prog);
+  MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/2,
+                          OverflowPolicy::DropOldest,
+                          /*ValidateBatches=*/true, {}});
+  const StreamId Id = Service.addStream(Map);
+  TapRecorder Tap;
+  Service.attachRecorder(Tap);
+  EXPECT_EQ(Tap.Configs, 1) << "attach captures the config fingerprint";
+
+  // Stall the single worker on its first batch so the submit loop below
+  // races nothing: once the queue drains to that one in-flight batch,
+  // eviction order is a pure function of submit order.
+  std::atomic<bool> StalledOnce{false};
+  Service.setWorkerHook(
+      [&Service, &StalledOnce](std::size_t, const SampleBatch &) {
+        if (StalledOnce.exchange(true))
+          return;
+        while (!Service.stopRequested())
+          std::this_thread::yield();
+      });
+  Service.start();
+  const SampleBatch Batch{Id, {{0x1000, 10, false}}};
+  ASSERT_TRUE(Service.submit(Batch));
+  while (Service.snapshot().QueueDepth != 0)
+    std::this_thread::yield();
+
+  // Six more into a two-slot queue: the first two fill it, the next four
+  // evict trace seqs 2..5 in FIFO order.
+  for (int I = 0; I < 6; ++I)
+    ASSERT_TRUE(Service.submit(Batch));
+  Service.stop();
+
+  const ServiceSnapshot Snap = Service.snapshot();
+  EXPECT_EQ(Snap.BatchesSubmitted, 7u);
+  EXPECT_EQ(Snap.BatchesDropped, 4u);
+  EXPECT_EQ(Snap.BatchesProcessed + Snap.BatchesDropped,
+            Snap.BatchesSubmitted);
+  ASSERT_EQ(Tap.Drops.size(), Snap.BatchesDropped)
+      << "one drop record per eviction";
+  EXPECT_TRUE(Tap.PushRejects.empty());
+  std::uint64_t PrevSeq = 0;
+  for (const auto &[EvictedSeq, Shard] : Tap.Drops) {
+    EXPECT_TRUE(Tap.Admitted.count(EvictedSeq))
+        << "drop " << EvictedSeq << " must reference an admitted batch";
+    EXPECT_LT(EvictedSeq, Tap.LastSeq)
+        << "the evicted batch was recorded before its evictor";
+    EXPECT_GT(EvictedSeq, PrevSeq) << "evictions leave the queue in FIFO";
+    EXPECT_EQ(Shard, 0u);
+    PrevSeq = EvictedSeq;
+  }
+  EXPECT_EQ(Tap.Drops.front().first, 2u)
+      << "the stalled in-flight batch (seq 1) is never evicted";
 }
 
 /// The service-level face of a closed queue: batches submitted after stop

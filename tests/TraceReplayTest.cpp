@@ -1,0 +1,339 @@
+//===- tests/TraceReplayTest.cpp - Bit-identical replay tests -------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The flight recorder's end-to-end contract, over the scenario corpus in
+// tests/TraceScenarios.h: every recorded incident -- fault storm,
+// quarantine cycle, DropOldest overload, mid-trace checkpoint -- replays
+// through a fresh worker-less service with *byte-identical* Prometheus
+// and JSON exports; a recorder killed at seeded I/O budgets leaves a
+// byte-prefix of the uninterrupted trace whose repaired prefix still
+// replays cleanly; the committed corpus (tests/trace_corpus/) pins the
+// wire bytes and export goldens against drift; and a replayed checkpoint
+// leaves a durability directory a fresh service restores the incident's
+// final state from, bit for bit. Threaded suite (recorded services run
+// workers): exercised under TSan via tools/run_sanitized_tests.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TraceScenarios.h"
+
+#include "persist/Io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::tracetest;
+
+namespace {
+
+std::string scratchPath(const std::string &Tag) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "regmon_replay_" +
+         std::to_string(::getpid()) + "_" + Tag + "_" +
+         std::to_string(Counter++);
+}
+
+std::string scratchDir(const std::string &Tag) {
+  const std::string Dir = scratchPath(Tag);
+  std::filesystem::remove_all(Dir);
+  EXPECT_TRUE(persist::ensureDir(Dir));
+  return Dir;
+}
+
+std::string scratchTrace(const std::string &Tag) {
+  const std::string Path = scratchPath(Tag) + ".bin";
+  std::filesystem::remove(Path);
+  return Path;
+}
+
+/// The snapshot fields the exports do not already pin byte-for-byte.
+void expectSnapshotsMatch(const service::ServiceSnapshot &Rec,
+                          const service::ServiceSnapshot &Rep) {
+  EXPECT_EQ(Rec.BatchesSubmitted, Rep.BatchesSubmitted);
+  EXPECT_EQ(Rec.BatchesProcessed, Rep.BatchesProcessed);
+  EXPECT_EQ(Rec.BatchesDropped, Rep.BatchesDropped);
+  EXPECT_EQ(Rec.BatchesRejected, Rep.BatchesRejected);
+  EXPECT_EQ(Rec.BatchesPoisoned, Rep.BatchesPoisoned);
+  EXPECT_EQ(Rec.BatchesQuarantined, Rep.BatchesQuarantined);
+  EXPECT_EQ(Rec.IntervalsProcessed, Rep.IntervalsProcessed);
+  EXPECT_EQ(Rec.PhaseChanges, Rep.PhaseChanges);
+  EXPECT_EQ(Rec.TotalSamples, Rep.TotalSamples);
+  EXPECT_EQ(Rec.UcrSamples, Rep.UcrSamples);
+  ASSERT_EQ(Rec.Streams.size(), Rep.Streams.size());
+  for (std::size_t I = 0; I < Rec.Streams.size(); ++I) {
+    SCOPED_TRACE("stream " + std::to_string(I));
+    EXPECT_EQ(Rec.Streams[I].Shard, Rep.Streams[I].Shard);
+    EXPECT_EQ(Rec.Streams[I].Health, Rep.Streams[I].Health);
+    EXPECT_EQ(Rec.Streams[I].TimesQuarantined, Rep.Streams[I].TimesQuarantined);
+    EXPECT_EQ(Rec.Streams[I].Readmissions, Rep.Streams[I].Readmissions);
+    EXPECT_EQ(Rec.Streams[I].PhaseChanges, Rep.Streams[I].PhaseChanges);
+    EXPECT_EQ(Rec.Streams[I].ActiveRegions, Rep.Streams[I].ActiveRegions);
+  }
+}
+
+// The tentpole: every scenario's replay exports the recorded run's bytes.
+TEST(TraceReplay, EveryScenarioReplaysWithByteIdenticalExports) {
+  for (const std::string &Name : scenarioNames()) {
+    SCOPED_TRACE(Name);
+    const std::string Trace = scratchTrace(Name);
+    const bool Persisted = specFor(Name).MidRunCheckpoint;
+    const std::string RecDir = Persisted ? scratchDir(Name + "_rec") : "";
+    const std::string RepDir = Persisted ? scratchDir(Name + "_rep") : "";
+    const RecordOutcome Rec = recordScenario(Name, Trace, RecDir);
+    ASSERT_TRUE(Rec.Open.Ok);
+    EXPECT_GT(Rec.Snap.BatchesSubmitted, 0U);
+
+    const ReplayOutcome Rep = replayScenario(Name, Trace, RepDir);
+    EXPECT_TRUE(Rep.File.Scan.intact());
+    ASSERT_TRUE(Rep.File.Replay.Ok)
+        << "diverged at seq " << Rep.File.Replay.DivergedSeq;
+    EXPECT_EQ(Rec.Prom, Rep.Prom) << "Prometheus export diverged";
+    EXPECT_EQ(Rec.Json, Rep.Json) << "JSON export diverged";
+    expectSnapshotsMatch(Rec.Snap, Rep.Snap);
+  }
+}
+
+// Each scenario must actually exercise its decision path -- otherwise the
+// byte-identity above is vacuous.
+TEST(TraceReplay, ScenariosExerciseTheirDecisionPaths) {
+  // fault-storm: seeded faults must poison batches and churn health.
+  {
+    const std::string Trace = scratchTrace("storm");
+    const RecordOutcome Rec = recordScenario("fault-storm", Trace);
+    ASSERT_TRUE(Rec.Open.Ok);
+    EXPECT_GT(Rec.Snap.BatchesPoisoned, 0U) << "fault plan poisoned nothing";
+  }
+  // quarantine-recovery: stream 0 walks one full quarantine cycle at the
+  // default tuning (threshold 3, backoff 8, recovery 4) and ends Healthy.
+  {
+    const std::string Trace = scratchTrace("quar");
+    const RecordOutcome Rec = recordScenario("quarantine-recovery", Trace);
+    ASSERT_TRUE(Rec.Open.Ok);
+    ASSERT_EQ(Rec.Snap.Streams.size(), 2U);
+    const service::StreamSnapshot &S0 = Rec.Snap.Streams[0];
+    EXPECT_EQ(S0.PoisonedBatches, 3U);
+    EXPECT_EQ(S0.QuarantinedBatches, 8U);
+    EXPECT_EQ(S0.TimesQuarantined, 1U);
+    EXPECT_EQ(S0.Readmissions, 1U);
+    EXPECT_EQ(S0.Health, service::StreamHealth::Healthy);
+    EXPECT_EQ(Rec.Snap.Streams[1].PoisonedBatches, 0U);
+  }
+  // drop-oldest-overload: the stalled worker forces real evictions, each
+  // captured as a drop record the replay re-applies.
+  {
+    const std::string Trace = scratchTrace("drop");
+    const RecordOutcome Rec = recordScenario("drop-oldest-overload", Trace);
+    ASSERT_TRUE(Rec.Open.Ok);
+    EXPECT_GT(Rec.Snap.BatchesDropped, 0U) << "overload evicted nothing";
+    const ReplayOutcome Rep = replayScenario("drop-oldest-overload", Trace);
+    ASSERT_TRUE(Rep.File.Replay.Ok);
+    EXPECT_EQ(Rep.File.Replay.DropsApplied, Rec.Snap.BatchesDropped);
+    EXPECT_EQ(Rep.Snap.BatchesDropped, Rec.Snap.BatchesDropped);
+  }
+  // checkpoint-restore-mid-trace: the trace carries the committed marker.
+  {
+    const std::string Trace = scratchTrace("ckpt");
+    const RecordOutcome Rec = recordScenario("checkpoint-restore-mid-trace",
+                                             Trace, scratchDir("ckpt_rec"));
+    ASSERT_TRUE(Rec.Open.Ok);
+    const trace::ScanResult Scan = trace::scanTraceFile(Trace);
+    ASSERT_TRUE(Scan.intact());
+    std::size_t Markers = 0;
+    for (const trace::TraceRecord &R : Scan.Records)
+      if (R.Kind == trace::RecordKind::Checkpoint) {
+        ++Markers;
+        EXPECT_TRUE(R.Committed);
+      }
+    EXPECT_EQ(Markers, 1U);
+  }
+}
+
+// A torn tail replays its valid prefix -- the crash-tolerance contract,
+// not an error.
+TEST(TraceReplay, TornTailReplaysTheValidPrefix) {
+  const std::string Trace = scratchTrace("torn");
+  const RecordOutcome Rec = recordScenario("quarantine-recovery", Trace);
+  ASSERT_TRUE(Rec.Open.Ok);
+  const auto Full = persist::readFileBytes(Trace);
+  ASSERT_TRUE(Full.has_value());
+  const trace::ScanResult FullScan = trace::scanTraceBytes(*Full);
+  ASSERT_TRUE(FullScan.intact());
+  ASSERT_GT(FullScan.Records.size(), 4U);
+
+  // Tear mid-way through the last record.
+  ASSERT_TRUE(persist::truncateFile(Trace, Full->size() - 5, nullptr));
+  const ReplayOutcome Rep = replayScenario("quarantine-recovery", Trace);
+  EXPECT_TRUE(Rep.File.Scan.TornTail);
+  EXPECT_TRUE(Rep.File.Replay.Ok) << "a torn tail must not fail the prefix";
+  EXPECT_EQ(Rep.File.Scan.Records.size(), FullScan.Records.size() - 1);
+  EXPECT_LT(Rep.Snap.BatchesSubmitted, Rec.Snap.BatchesSubmitted + 1);
+}
+
+// Replaying under the wrong topology is a config mismatch, detected
+// before any record is applied.
+TEST(TraceReplay, WrongTopologyIsAConfigMismatch) {
+  const std::string Trace = scratchTrace("mismatch");
+  const RecordOutcome Rec = recordScenario("quarantine-recovery", Trace);
+  ASSERT_TRUE(Rec.Open.Ok);
+
+  ScenarioSpec Spec = specFor("quarantine-recovery");
+  Spec.Cfg.Inline = true;
+  Spec.Cfg.Workers = 3; // recorded with 1
+  const std::vector<PreparedStream> Streams = prepare(Spec);
+  service::MonitorService Service(Spec.Cfg);
+  for (const PreparedStream &S : Streams)
+    Service.addStream(*S.Map);
+  const trace::FileReplay R = trace::replayTraceFile(Trace, Service);
+  EXPECT_TRUE(R.Replay.ConfigMismatch);
+  EXPECT_FALSE(R.Replay.Ok);
+  EXPECT_EQ(R.Replay.BatchesApplied, 0U);
+}
+
+// Kill the recorder at seeded I/O budgets mid-incident: the torn file is
+// a byte-prefix of the uninterrupted recording, trace-verify-style repair
+// truncates it to the scanner's valid prefix, and the repaired prefix
+// replays cleanly and deterministically (two replays, identical bytes).
+TEST(TraceReplay, CrashKillSweepRepairedPrefixReplaysCleanly) {
+  // Accounting recording: total recorder I/O units for this scenario.
+  const std::string RefPath = scratchTrace("killref");
+  std::uint64_t TotalUnits = 0;
+  std::vector<std::uint8_t> RefBytes;
+  {
+    persist::CrashPoint Acct = persist::CrashPoint::unlimited();
+    const RecordOutcome Rec =
+        recordScenario("quarantine-recovery", RefPath, "", &Acct);
+    ASSERT_TRUE(Rec.Open.Ok);
+    TotalUnits = Acct.used();
+    const auto Bytes = persist::readFileBytes(RefPath);
+    ASSERT_TRUE(Bytes.has_value());
+    RefBytes = *Bytes;
+    ASSERT_TRUE(trace::scanTraceBytes(RefBytes).intact());
+  }
+  ASSERT_GT(TotalUnits, 100U);
+
+  for (const std::uint64_t Budget :
+       {TotalUnits / 4, TotalUnits / 2, (3 * TotalUnits) / 4,
+        TotalUnits - 1}) {
+    SCOPED_TRACE("crash budget " + std::to_string(Budget));
+    const std::string Trace = scratchTrace("kill");
+    persist::CrashPoint Crash(Budget);
+    const RecordOutcome Rec =
+        recordScenario("quarantine-recovery", Trace, "", &Crash);
+    ASSERT_TRUE(Rec.Open.Ok) << "budget too small to even open";
+
+    // The torn file is a byte-prefix of the uninterrupted recording (the
+    // run is deterministic, the kill only shortens it).
+    const auto Torn = persist::readFileBytes(Trace);
+    ASSERT_TRUE(Torn.has_value());
+    // A kill that only denied the final flush still lands every byte via
+    // close; the torn file is then the whole reference, never more.
+    ASSERT_LE(Torn->size(), RefBytes.size());
+    EXPECT_TRUE(std::equal(Torn->begin(), Torn->end(), RefBytes.begin()))
+        << "torn trace diverged from the reference byte stream";
+
+    // Repair to the valid prefix (what `regmon-cli trace-verify --repair`
+    // does), then replay it -- twice, asserting determinism.
+    const trace::ScanResult Scan = trace::scanTraceBytes(*Torn);
+    ASSERT_TRUE(Scan.repairable());
+    ASSERT_GT(Scan.Records.size(), 0U);
+    ASSERT_TRUE(persist::truncateFile(Trace, Scan.ValidBytes, nullptr));
+    const ReplayOutcome Rep1 = replayScenario("quarantine-recovery", Trace);
+    EXPECT_TRUE(Rep1.File.Scan.intact());
+    ASSERT_TRUE(Rep1.File.Replay.Ok)
+        << "diverged at seq " << Rep1.File.Replay.DivergedSeq;
+    const ReplayOutcome Rep2 = replayScenario("quarantine-recovery", Trace);
+    EXPECT_EQ(Rep1.Prom, Rep2.Prom);
+    EXPECT_EQ(Rep1.Json, Rep2.Json);
+  }
+}
+
+// The committed corpus pins the wire bytes and the export goldens: a
+// fresh recording must reproduce the committed trace byte for byte, and
+// replaying the committed trace must reproduce the committed exports.
+TEST(TraceReplay, CommittedCorpusIsBytePinned) {
+  const std::string CorpusDir = REGMON_TRACE_CORPUS_DIR;
+  for (const std::string &Name : scenarioNames()) {
+    SCOPED_TRACE(Name);
+    const auto Committed = persist::readFileBytes(CorpusDir + "/" + Name +
+                                                  ".bin");
+    ASSERT_TRUE(Committed.has_value())
+        << "missing corpus trace; regenerate with trace_corpus_gen";
+    const bool Persisted = specFor(Name).MidRunCheckpoint;
+
+    // Regenerate and byte-compare the trace.
+    const std::string Fresh = scratchTrace(Name + "_regen");
+    const RecordOutcome Rec = recordScenario(
+        Name, Fresh, Persisted ? scratchDir(Name + "_regen_p") : "");
+    ASSERT_TRUE(Rec.Open.Ok);
+    const auto FreshBytes = persist::readFileBytes(Fresh);
+    ASSERT_TRUE(FreshBytes.has_value());
+    EXPECT_EQ(*FreshBytes, *Committed)
+        << "recorded trace drifted from the committed corpus; if the "
+           "change is intentional, regenerate tests/trace_corpus";
+
+    // Replay the committed trace against the committed export goldens.
+    const auto Prom = persist::readFileBytes(CorpusDir + "/" + Name +
+                                             ".prom");
+    const auto Json = persist::readFileBytes(CorpusDir + "/" + Name +
+                                             ".json");
+    ASSERT_TRUE(Prom.has_value() && Json.has_value());
+    const ReplayOutcome Rep =
+        replayScenario(Name, CorpusDir + "/" + Name + ".bin",
+                       Persisted ? scratchDir(Name + "_replay_p") : "");
+    ASSERT_TRUE(Rep.File.Replay.Ok)
+        << "diverged at seq " << Rep.File.Replay.DivergedSeq;
+    EXPECT_EQ(Rep.Prom, std::string(Prom->begin(), Prom->end()));
+    EXPECT_EQ(Rep.Json, std::string(Json->begin(), Json->end()));
+  }
+}
+
+// Replaying the checkpoint scenario with ApplyCheckpoints leaves a
+// durability directory from which a *fresh* service restores the
+// incident's final state bit-identically -- record -> replay -> restore,
+// three processes, one state.
+TEST(TraceReplay, ReplayedCheckpointRestoresBitIdenticalState) {
+  const std::string Name = "checkpoint-restore-mid-trace";
+  const std::string Trace = scratchTrace("contin");
+  const std::string RecDir = scratchDir("contin_rec");
+  const std::string RepDir = scratchDir("contin_rep");
+
+  const RecordOutcome Rec = recordScenario(Name, Trace, RecDir);
+  ASSERT_TRUE(Rec.Open.Ok);
+  ASSERT_FALSE(Rec.FinalState.empty());
+
+  const ReplayOutcome Rep = replayScenario(Name, Trace, RepDir);
+  ASSERT_TRUE(Rep.File.Replay.Ok)
+      << "diverged at seq " << Rep.File.Replay.DivergedSeq;
+  EXPECT_EQ(Rep.File.Replay.CheckpointsSeen, 1U);
+  EXPECT_EQ(Rep.File.Replay.CheckpointsApplied, 1U);
+  EXPECT_EQ(Rep.FinalState, Rec.FinalState)
+      << "replayed service state diverged from the recording";
+
+  // A fresh service climbing the recovery ladder from the *replay's*
+  // directory reconstructs the recorded incident's final state.
+  ScenarioSpec Spec = specFor(Name);
+  const std::vector<PreparedStream> Streams = prepare(Spec);
+  persist::CheckpointManager Store(RepDir);
+  service::MonitorService Service(Spec.Cfg);
+  for (const PreparedStream &S : Streams)
+    Service.addStream(*S.Map);
+  Service.attachPersistence(Store);
+  const service::RestoreOutcome Outcome = Service.restore();
+  EXPECT_NE(Outcome, service::RestoreOutcome::ColdStart)
+      << "replay left nothing durable";
+  EXPECT_EQ(Service.encodeState(), Rec.FinalState)
+      << "restored state diverged (" << service::toString(Outcome) << ")";
+}
+
+} // namespace

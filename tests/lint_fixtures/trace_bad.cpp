@@ -1,0 +1,28 @@
+// Fixture: src/trace violations. The test lints this with the path
+// src/trace/trace_bad.cpp, where the persist-serialization rule applies
+// (the trace record encoding is a wire format) and the file sits in the
+// Deterministic layer (no concurrency primitives).
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+
+namespace regmon::trace {
+
+struct BadTraceRecord {
+  std::size_t PayloadLen = 0; // platform-width field: wire layout varies
+  long Sequence = 0;          // same, via a bare keyword type
+  unsigned Kind = 0;          // same
+};
+
+inline void appendBad(std::FILE *F, const BadTraceRecord &R) {
+  static std::mutex Mu; // concurrency token in the deterministic layer
+  const std::lock_guard<std::mutex> Lock(Mu);
+  std::fwrite(&R, sizeof(R), 1, F); // transfer count dropped
+}
+
+inline void scanBad(std::FILE *F, BadTraceRecord &R) {
+  if (F)
+    fread(&R, sizeof(R), 1, F); // dropped in statement position after ')'
+}
+
+} // namespace regmon::trace

@@ -1,0 +1,26 @@
+// Fixture: conforming flight-recorder code. The test lints this with the
+// path src/trace/trace_good.cpp and expects zero diagnostics: fixed-width
+// wire fields, checked transfers, and no concurrency tokens (the service
+// layer owns the recorder's serialization, journal-style).
+#include <cstdint>
+#include <cstdio>
+
+namespace regmon::trace {
+
+struct GoodTraceRecord {
+  std::uint64_t Sequence = 0;
+  std::uint32_t PayloadLen = 0;
+  std::uint32_t Crc = 0;
+  std::uint8_t Kind = 0;
+};
+
+inline bool appendGood(std::FILE *F, const GoodTraceRecord &R) {
+  return std::fwrite(&R, sizeof(R), 1, F) == 1;
+}
+
+inline bool scanGood(std::FILE *F, GoodTraceRecord &R) {
+  const auto Got = std::fread(&R, sizeof(R), 1, F);
+  return Got == 1;
+}
+
+} // namespace regmon::trace

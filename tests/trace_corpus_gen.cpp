@@ -1,0 +1,97 @@
+//===- tests/trace_corpus_gen.cpp - Trace corpus regenerator --------------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the committed incident corpus (tests/trace_corpus/): for
+// each scenario in tests/TraceScenarios.h, records the trace and writes
+// the recording run's Prometheus and JSON exports as goldens:
+//
+//     <outdir>/<scenario>.bin    the recorded trace
+//     <outdir>/<scenario>.prom   byte-pinned Prometheus export
+//     <outdir>/<scenario>.json   byte-pinned JSON export
+//
+// TraceReplayTest asserts a fresh recording reproduces the committed
+// trace byte for byte and that replaying the committed trace reproduces
+// the committed exports -- so any drift in the wire format, the decision
+// sequence, or the exporters shows up as a corpus diff, reviewed like any
+// other code change. Regenerate with:
+//
+//     build/tests/trace_corpus_gen tests/trace_corpus
+//
+//===----------------------------------------------------------------------===//
+
+#include "TraceScenarios.h"
+
+#include "persist/Io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace regmon;
+
+namespace {
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  bool Written =
+      F && std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  if (F)
+    Written = std::fclose(F) == 0 && Written;
+  return Written;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: trace_corpus_gen OUTDIR\n");
+    return 2;
+  }
+  const std::string Dir = Argv[1];
+  if (!persist::ensureDir(Dir)) {
+    std::fprintf(stderr, "error: cannot create '%s'\n", Dir.c_str());
+    return 1;
+  }
+  for (const std::string &Name : tracetest::scenarioNames()) {
+    const std::string Trace = Dir + "/" + Name + ".bin";
+    // A stale trace would be extended, not replaced: start fresh.
+    std::filesystem::remove(Trace);
+    std::string PersistDir;
+    if (tracetest::specFor(Name).MidRunCheckpoint) {
+      // Scratch durability directory; only the trace itself is corpus.
+      PersistDir = Dir + "/." + Name + ".scratch";
+      std::filesystem::remove_all(PersistDir);
+      if (!persist::ensureDir(PersistDir)) {
+        std::fprintf(stderr, "error: cannot create '%s'\n",
+                     PersistDir.c_str());
+        return 1;
+      }
+    }
+    const tracetest::RecordOutcome Out =
+        tracetest::recordScenario(Name, Trace, PersistDir);
+    if (!PersistDir.empty())
+      std::filesystem::remove_all(PersistDir);
+    if (!Out.Open.Ok) {
+      std::fprintf(stderr, "error: recording '%s' failed to open the trace\n",
+                   Name.c_str());
+      return 1;
+    }
+    if (!writeFile(Dir + "/" + Name + ".prom", Out.Prom) ||
+        !writeFile(Dir + "/" + Name + ".json", Out.Json)) {
+      std::fprintf(stderr, "error: cannot write goldens for '%s'\n",
+                   Name.c_str());
+      return 1;
+    }
+    std::printf("%-28s %6llu submitted, %llu dropped, %llu poisoned, "
+                "%llu quarantined\n",
+                Name.c_str(),
+                static_cast<unsigned long long>(Out.Snap.BatchesSubmitted),
+                static_cast<unsigned long long>(Out.Snap.BatchesDropped),
+                static_cast<unsigned long long>(Out.Snap.BatchesPoisoned),
+                static_cast<unsigned long long>(Out.Snap.BatchesQuarantined));
+  }
+  return 0;
+}

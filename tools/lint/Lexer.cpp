@@ -355,7 +355,8 @@ Layer classifyPath(std::string_view RelPath) {
   };
   if (StartsWith("src/core/") || StartsWith("src/sim/") ||
       StartsWith("src/gpd/") || StartsWith("src/sampling/") ||
-      StartsWith("src/faults/") || StartsWith("src/fleet/"))
+      StartsWith("src/faults/") || StartsWith("src/fleet/") ||
+      StartsWith("src/trace/"))
     return Layer::Deterministic;
   if (StartsWith("src/service/"))
     return Layer::Service;

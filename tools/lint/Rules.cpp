@@ -442,26 +442,30 @@ public:
 };
 
 //===----------------------------------------------------------------------===//
-// R6: persist-serialization — src/persist writes bytes that outlive the
-// process and must be readable by a differently built binary. Two classes
-// of portability bugs are banned mechanically: platform-width integer
-// types anywhere in the layer (a size_t field silently changes the wire
-// layout between 32- and 64-bit builds), and dropped fwrite/fread return
-// values (a short transfer is exactly how torn files announce themselves;
-// ignoring it converts detectable corruption into silent corruption).
+// R6: persist-serialization — src/persist and src/trace write bytes that
+// outlive the process and must be readable by a differently built binary.
+// Two classes of portability bugs are banned mechanically: platform-width
+// integer types anywhere in the layer (a size_t field silently changes the
+// wire layout between 32- and 64-bit builds), and dropped fwrite/fread
+// return values (a short transfer is exactly how torn files announce
+// themselves; ignoring it converts detectable corruption into silent
+// corruption). src/trace joined the rule with the flight recorder: its
+// record encoding is a wire format with the same portability contract as
+// the journal's.
 //===----------------------------------------------------------------------===//
 
 class PersistSerializationRule final : public Rule {
 public:
   std::string_view name() const override { return "persist-serialization"; }
   std::string_view description() const override {
-    return "src/persist only: use fixed-width integer types (no "
-           "size_t/long/int -- the wire layout must not vary by platform) "
-           "and check every fwrite/fread return value";
+    return "src/persist and src/trace only: use fixed-width integer types "
+           "(no size_t/long/int -- the wire layout must not vary by "
+           "platform) and check every fwrite/fread return value";
   }
 
   void check(const FileContext &FC, std::vector<Diagnostic> &Out) const override {
-    if (FC.Path.rfind("src/persist/", 0) != 0)
+    if (FC.Path.rfind("src/persist/", 0) != 0 &&
+        FC.Path.rfind("src/trace/", 0) != 0)
       return;
     const std::vector<Token> &T = FC.Tokens;
     for (std::size_t I = 0; I < T.size(); ++I) {

@@ -28,21 +28,36 @@
 //                    [--crash-rate P] [--stall-rate P] [--drop-rate P]
 //                    [--dup-rate P] [--reorder-rate P] [--stale-rate P]
 //                    [--staleness N] [--dir PATH] [--metrics prom|json]
+//   regmon-cli record <workload> --trace PATH [serve flags]
+//                     [--corrupt-rate P] [--truncate-rate P]
+//                     [--poison-rate P] [--drop-rate P] [--crash-bytes N]
+//                     [--export PATH] [--dir PATH]
+//   regmon-cli replay <workload> --trace PATH [serve topology flags]
+//                     [--format prom|json] [--dir PATH]
+//   regmon-cli trace-verify --trace PATH [--repair]
+//
+// Exit codes: 0 success, 1 runtime failure (damaged trace, divergence,
+// failed commit), 2 usage error (unknown command/flag, missing argument).
+// --help/-h/help print the usage on stdout and exit 0.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/RegionMonitor.h"
+#include "faults/FaultPlan.h"
 #include "fleet/FleetTree.h"
 #include "gpd/CentroidPhaseDetector.h"
 #include "obs/Export.h"
 #include "obs/Instruments.h"
 #include "persist/Checkpoint.h"
+#include "persist/Io.h"
 #include "rto/Harness.h"
 #include "sampling/Sampler.h"
 #include "service/MonitorService.h"
 #include "sim/Engine.h"
 #include "sim/ProgramCodeMap.h"
 #include "support/TextTable.h"
+#include "trace/Recorder.h"
+#include "trace/Replay.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -89,11 +104,19 @@ struct Options {
   double StaleRate = 0;
   std::uint64_t Staleness = 8;
   std::string Metrics; ///< empty = human report
+  // record / replay / trace-verify
+  std::string Trace;  ///< trace file path
+  std::string Export; ///< where record writes the run's obs export
+  std::uint64_t CrashBytes = 0; ///< recorder I/O budget; 0 = unlimited
+  bool Repair = false;
+  double CorruptRate = 0;
+  double TruncateRate = 0;
+  double PoisonRate = 0;
 };
 
-int usage(const char *Prog) {
+void printUsage(std::FILE *To, const char *Prog) {
   std::fprintf(
-      stderr,
+      To,
       "usage: %s <command> [args]\n"
       "  list                      list available workloads\n"
       "  gpd <workload>            run global (centroid) phase detection\n"
@@ -106,6 +129,9 @@ int usage(const char *Prog) {
       "  stats <workload>          run LPD + GPD, export metrics\n"
       "  trace <workload>          run LPD + GPD, print the event trace\n"
       "  fleet <workload>          hierarchical fleet aggregation demo\n"
+      "  record <workload>         serve under a flight recorder\n"
+      "  replay <workload>         re-drive a recorded trace, export metrics\n"
+      "  trace-verify              scan a trace file, optionally repair it\n"
       "common flags: --period N --seed N\n"
       "monitor flags: --similarity pearson|cosine|overlap "
       "--attribution tree|list\n"
@@ -119,8 +145,22 @@ int usage(const char *Prog) {
       "fleet flags: --leaves N --fanout N --epochs N --streams-per-leaf N\n"
       "             --crash-rate P --stall-rate P --drop-rate P --dup-rate P\n"
       "             --reorder-rate P --stale-rate P --staleness N\n"
-      "             --dir PATH (leaf checkpoints) --metrics prom|json\n",
+      "             --dir PATH (leaf checkpoints) --metrics prom|json\n"
+      "record flags: serve flags plus --trace PATH (required)\n"
+      "              --corrupt-rate P --truncate-rate P --poison-rate P\n"
+      "              --drop-rate P (sample loss) --crash-bytes N (kill the\n"
+      "              recorder after N I/O units) --export PATH (write the\n"
+      "              run's metrics) --dir PATH (checkpoint at the end)\n"
+      "replay flags: --trace PATH (required) plus the recording run's\n"
+      "              topology flags; --format prom|json --dir PATH\n"
+      "              (re-apply recorded checkpoints into PATH)\n"
+      "trace-verify flags: --trace PATH (required) --repair (truncate a\n"
+      "              damaged trace to its valid prefix)\n",
       Prog);
+}
+
+int usage(const char *Prog) {
+  printUsage(stderr, Prog);
   return 2;
 }
 
@@ -272,6 +312,34 @@ bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
                    Opts.Metrics.c_str());
       std::exit(2);
     }
+    return true;
+  }
+  if (Flag == "--trace") {
+    Opts.Trace = Next();
+    return true;
+  }
+  if (Flag == "--export") {
+    Opts.Export = Next();
+    return true;
+  }
+  if (Flag == "--crash-bytes") {
+    Opts.CrashBytes = std::strtoull(Next(), nullptr, 10);
+    return true;
+  }
+  if (Flag == "--repair") {
+    Opts.Repair = true;
+    return true;
+  }
+  if (Flag == "--corrupt-rate") {
+    Opts.CorruptRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--truncate-rate") {
+    Opts.TruncateRate = std::strtod(Next(), nullptr);
+    return true;
+  }
+  if (Flag == "--poison-rate") {
+    Opts.PoisonRate = std::strtod(Next(), nullptr);
     return true;
   }
   if (Flag == "--self-monitor") {
@@ -803,6 +871,273 @@ int cmdFleet(const Options &Opts) {
   return 0;
 }
 
+// serve under an attached flight recorder, with seeded stream faults
+// injected so the captured incident exercises the health machine and (with
+// --policy drop) the eviction path. --crash-bytes kills the *recorder* --
+// not the service -- after the given I/O budget, leaving the torn trace a
+// later trace-verify/replay repairs; the service finishes the run either
+// way. --dir attaches durability and commits a snapshot at the end, which
+// the trace captures as a checkpoint marker.
+int cmdRecord(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+  if (Opts.Trace.empty()) {
+    std::fprintf(stderr, "error: record needs --trace PATH\n");
+    return 2;
+  }
+  const std::vector<Stream> Streams = makeStreams(Opts);
+  service::MonitorService Service(
+      {Opts.Workers, Opts.QueueCapacity, Opts.Policy,
+       /*ValidateBatches=*/true, {}});
+  for (const Stream &S : Streams)
+    Service.addStream(*S.Map);
+  obs::MetricsRegistry Registry;
+  obs::EventTracer Tracer;
+  Service.attachObservability(Registry, &Tracer);
+  std::unique_ptr<persist::CheckpointManager> Store;
+  if (!Opts.Dir.empty()) {
+    Store = std::make_unique<persist::CheckpointManager>(Opts.Dir);
+    Service.attachPersistence(*Store);
+    std::printf("restored from %s: %s (sequence %llu)\n", Opts.Dir.c_str(),
+                service::toString(Service.restore()),
+                static_cast<unsigned long long>(Service.persistedSequence()));
+  }
+  persist::CrashPoint Crash = Opts.CrashBytes > 0
+                                  ? persist::CrashPoint(Opts.CrashBytes)
+                                  : persist::CrashPoint::unlimited();
+  trace::TraceRecorder Recorder;
+  const trace::TraceRecorder::OpenResult Open =
+      Recorder.open(Opts.Trace, &Crash);
+  if (!Open.Ok) {
+    std::fprintf(stderr,
+                 "error: cannot record to '%s' (not a regmon trace, or the "
+                 "crash budget died before the header)\n",
+                 Opts.Trace.c_str());
+    return 1;
+  }
+  Service.attachRecorder(Recorder);
+  Service.start();
+
+  faults::FaultConfig FaultCfg;
+  FaultCfg.DropRate = Opts.DropRate;
+  FaultCfg.CorruptRate = Opts.CorruptRate;
+  FaultCfg.TruncateRate = Opts.TruncateRate;
+  FaultCfg.PoisonRate = Opts.PoisonRate;
+  const faults::FaultPlan Plan(Opts.Seed, FaultCfg);
+
+  std::vector<std::thread> Producers;
+  Producers.reserve(Streams.size());
+  for (service::StreamId Id = 0; Id < Streams.size(); ++Id)
+    Producers.emplace_back([&, Id] {
+      const Stream &S = Streams[Id];
+      sim::Engine Engine(S.W->Prog, S.W->Script, Opts.Seed + Id);
+      sampling::Sampler Sampler(Engine, {Opts.Period, 2032});
+      faults::StreamFaultInjector Inj = Plan.forStream(Id);
+      std::vector<Sample> Buffer;
+      std::size_t Sent = 0;
+      while (Sent < Opts.MaxIntervals && Sampler.fillBuffer(Buffer)) {
+        std::vector<Sample> Faulted = Inj.apply(Buffer);
+        if (Inj.nextBatchFault() == faults::BatchFault::Poison)
+          faults::poisonBatch(Faulted);
+        // A false return here is a health refusal (poison/quarantine),
+        // which the recorder captured -- keep producing through it.
+        (void)Service.submit({Id, std::move(Faulted)});
+        ++Sent;
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Service.stop();
+  bool Committed = true;
+  if (Store)
+    Committed = Service.checkpoint();
+  const bool RecorderDied = !Recorder.ok();
+  Recorder.close();
+
+  const service::ServiceSnapshot Snap = Service.snapshot();
+  std::printf("%s x %zu streams @ %llu cycles/interrupt "
+              "(%zu workers, queue %zu, policy %s)\n",
+              Opts.Workload.c_str(), Opts.Streams,
+              static_cast<unsigned long long>(Opts.Period), Opts.Workers,
+              Opts.QueueCapacity, service::toString(Opts.Policy));
+  std::printf("  batches: %llu submitted, %llu processed, %llu dropped, "
+              "%llu rejected, %llu poisoned, %llu quarantined\n",
+              static_cast<unsigned long long>(Snap.BatchesSubmitted),
+              static_cast<unsigned long long>(Snap.BatchesProcessed),
+              static_cast<unsigned long long>(Snap.BatchesDropped),
+              static_cast<unsigned long long>(Snap.BatchesRejected),
+              static_cast<unsigned long long>(Snap.BatchesPoisoned),
+              static_cast<unsigned long long>(Snap.BatchesQuarantined));
+  std::printf("  trace: %s%s, %llu record(s) (%llu bytes), %llu append "
+              "failure(s), next seq %llu\n",
+              Opts.Trace.c_str(), Open.Repaired ? " (tail repaired)" : "",
+              static_cast<unsigned long long>(Recorder.recordsWritten()),
+              static_cast<unsigned long long>(Recorder.bytesWritten()),
+              static_cast<unsigned long long>(Recorder.appendFailures()),
+              static_cast<unsigned long long>(Recorder.nextSequence()));
+  if (RecorderDied)
+    std::printf("  recorder died mid-run (crash budget or I/O error); the "
+                "surviving prefix is replayable after trace-verify "
+                "--repair\n");
+  if (!Opts.Export.empty()) {
+    const std::string Text = Opts.Format == "json"
+                                 ? obs::exportJson(Registry, &Tracer) + "\n"
+                                 : obs::exportPrometheus(Registry);
+    std::FILE *F = std::fopen(Opts.Export.c_str(), "wb");
+    bool Written =
+        F && std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+    if (F)
+      Written = std::fclose(F) == 0 && Written;
+    if (!Written) {
+      std::fprintf(stderr, "error: cannot write export to '%s'\n",
+                   Opts.Export.c_str());
+      return 1;
+    }
+    std::printf("  export: %s (%s)\n", Opts.Export.c_str(),
+                Opts.Format.c_str());
+  }
+  if (Store && !Committed) {
+    std::fprintf(stderr, "error: snapshot commit failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+// Re-drives a recorded trace through a fresh worker-less service built
+// with the same topology flags (and the same workload, for the code maps)
+// as the recording run, then prints the obs export on stdout -- which is
+// byte-identical to the recording run's --export file when the trace is
+// whole. A damaged trace replays its repaired/valid prefix.
+int cmdReplay(const Options &Opts) {
+  if (Opts.Streams == 0 || Opts.Workers == 0 || Opts.QueueCapacity == 0) {
+    std::fprintf(stderr,
+                 "error: --streams, --workers and --queue must be > 0\n");
+    return 2;
+  }
+  if (Opts.Trace.empty()) {
+    std::fprintf(stderr, "error: replay needs --trace PATH\n");
+    return 2;
+  }
+  const std::vector<Stream> Streams = makeStreams(Opts);
+  service::ServiceConfig Cfg{Opts.Workers, Opts.QueueCapacity, Opts.Policy,
+                             /*ValidateBatches=*/true, {}};
+  Cfg.Inline = true;
+  service::MonitorService Service(Cfg);
+  for (const Stream &S : Streams)
+    Service.addStream(*S.Map);
+  obs::MetricsRegistry Registry;
+  obs::EventTracer Tracer;
+  Service.attachObservability(Registry, &Tracer);
+  std::unique_ptr<persist::CheckpointManager> Store;
+  trace::ReplayConfig RCfg;
+  if (!Opts.Dir.empty()) {
+    Store = std::make_unique<persist::CheckpointManager>(Opts.Dir);
+    Service.attachPersistence(*Store);
+    (void)Service.restore();
+    RCfg.ApplyCheckpoints = true;
+  }
+  const trace::FileReplay R = trace::replayTraceFile(Opts.Trace, Service, RCfg);
+  if (R.Scan.Missing) {
+    std::fprintf(stderr, "error: no trace at '%s'\n", Opts.Trace.c_str());
+    return 1;
+  }
+  if (!R.Scan.intact() && !R.Scan.repairable()) {
+    std::fprintf(stderr,
+                 "error: '%s' is not a regmon trace this build can read "
+                 "(wrong magic, future version, or unknown record kind)\n",
+                 Opts.Trace.c_str());
+    return 1;
+  }
+  if (!R.Scan.intact())
+    std::fprintf(stderr,
+                 "note: damaged tail; replaying the %llu-byte valid prefix "
+                 "(%zu record(s))\n",
+                 static_cast<unsigned long long>(R.Scan.ValidBytes),
+                 R.Scan.Records.size());
+  if (R.Replay.ConfigMismatch) {
+    std::fprintf(stderr,
+                 "error: trace was recorded under a different configuration "
+                 "(check --streams/--workers/--queue/--policy)\n");
+    return 1;
+  }
+  if (R.Replay.Diverged) {
+    std::fprintf(stderr, "error: replay diverged at record %llu\n",
+                 static_cast<unsigned long long>(R.Replay.DivergedSeq));
+    return 1;
+  }
+  // Refresh the point-in-time gauges (queue depth, quarantined streams)
+  // exactly as the recording run's final snapshot did, so the exported
+  // bytes line up.
+  (void)Service.snapshot();
+  if (Opts.Format == "json")
+    std::printf("%s\n", obs::exportJson(Registry, &Tracer).c_str());
+  else
+    std::printf("%s", obs::exportPrometheus(Registry).c_str());
+  std::fprintf(stderr,
+               "replayed %llu batch(es), %llu drop(s), %llu push "
+               "reject(s), %llu checkpoint(s) (%llu re-applied)\n",
+               static_cast<unsigned long long>(R.Replay.BatchesApplied),
+               static_cast<unsigned long long>(R.Replay.DropsApplied),
+               static_cast<unsigned long long>(R.Replay.PushRejectsApplied),
+               static_cast<unsigned long long>(R.Replay.CheckpointsSeen),
+               static_cast<unsigned long long>(R.Replay.CheckpointsApplied));
+  return 0;
+}
+
+// Scans a trace and reports its health. Exit 0 when the file is intact
+// (or was repaired here under --repair), 1 when damaged, 2 on usage
+// errors -- scriptable as a post-crash triage step before replay.
+int cmdTraceVerify(const Options &Opts) {
+  if (Opts.Trace.empty()) {
+    std::fprintf(stderr, "error: trace-verify needs --trace PATH\n");
+    return 2;
+  }
+  const trace::ScanResult Scan = trace::scanTraceFile(Opts.Trace);
+  if (Scan.Missing) {
+    std::fprintf(stderr, "error: no trace at '%s'\n", Opts.Trace.c_str());
+    return 1;
+  }
+  std::printf("%s: %llu / %llu bytes valid, %zu record(s), last seq %llu\n",
+              Opts.Trace.c_str(),
+              static_cast<unsigned long long>(Scan.ValidBytes),
+              static_cast<unsigned long long>(Scan.FileBytes),
+              Scan.Records.size(),
+              static_cast<unsigned long long>(Scan.LastSeq));
+  if (Scan.intact()) {
+    std::printf("  intact\n");
+    return 0;
+  }
+  std::printf("  damage:%s%s%s%s%s%s\n", Scan.TornTail ? " torn-tail" : "",
+              Scan.MalformedPayload ? " malformed-payload" : "",
+              Scan.UnknownKind ? " unknown-kind" : "",
+              Scan.HeaderTorn ? " header-torn" : "",
+              Scan.HeaderCorrupt ? " header-corrupt" : "",
+              Scan.VersionSkew ? " version-skew" : "");
+  if (!Scan.repairable()) {
+    std::fprintf(stderr,
+                 "error: not repairable (foreign or future-version data; "
+                 "truncating would destroy another writer's file)\n");
+    return 1;
+  }
+  if (!Opts.Repair) {
+    std::fprintf(stderr,
+                 "note: repairable; re-run with --repair to truncate to "
+                 "the valid prefix\n");
+    return 1;
+  }
+  const std::uint64_t Keep = Scan.HeaderTorn ? 0 : Scan.ValidBytes;
+  if (!persist::truncateFile(Opts.Trace, Keep, nullptr)) {
+    std::fprintf(stderr, "error: cannot truncate '%s'\n", Opts.Trace.c_str());
+    return 1;
+  }
+  std::printf("  repaired: truncated to %llu byte(s)\n",
+              static_cast<unsigned long long>(Keep));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -810,8 +1145,36 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
   Options Opts;
   Opts.Command = Argv[1];
+  if (Opts.Command == "--help" || Opts.Command == "-h" ||
+      Opts.Command == "help") {
+    printUsage(stdout, Argv[0]);
+    return 0;
+  }
   if (Opts.Command == "list")
     return cmdList();
+  if (Opts.Command == "trace-verify") {
+    for (int I = 2; I < Argc; ++I) {
+      if (!parseFlag(Argc, Argv, I, Opts)) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", Argv[I]);
+        return usage(Argv[0]);
+      }
+    }
+    return cmdTraceVerify(Opts);
+  }
+
+  // Every remaining command takes a workload argument. Validate the
+  // command *first* so a typo'd command reports itself, not its operand.
+  static const char *const WorkloadCommands[] = {
+      "gpd",     "monitor", "rto",   "sweep", "serve",  "checkpoint",
+      "restore", "stats",   "trace", "fleet", "record", "replay"};
+  bool Known = false;
+  for (const char *const C : WorkloadCommands)
+    Known = Known || Opts.Command == C;
+  if (!Known) {
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 Opts.Command.c_str());
+    return usage(Argv[0]);
+  }
 
   if (Argc < 3)
     return usage(Argv[0]);
@@ -848,5 +1211,7 @@ int main(int Argc, char **Argv) {
     return cmdTrace(Opts);
   if (Opts.Command == "fleet")
     return cmdFleet(Opts);
-  return usage(Argv[0]);
+  if (Opts.Command == "record")
+    return cmdRecord(Opts);
+  return cmdReplay(Opts);
 }
