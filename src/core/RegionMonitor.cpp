@@ -113,6 +113,14 @@ std::size_t RegionMonitor::activeRegionCount() const {
   return N;
 }
 
+std::size_t RegionMonitor::stableRegionCount() const {
+  std::size_t N = 0;
+  for (RegionId Id = 0; Id < Regions.size(); ++Id)
+    N += Active[Id] && Detectors[Id]->state() == LocalPhaseState::Stable ? 1
+                                                                         : 0;
+  return N;
+}
+
 std::uint64_t RegionMonitor::totalPhaseChanges() const {
   std::uint64_t N = 0;
   for (const RegionStats &S : Stats)

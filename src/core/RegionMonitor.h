@@ -179,6 +179,11 @@ public:
   /// Returns the number of currently monitored regions. Allocation-free
   /// (unlike \ref activeRegionIds), for per-interval stats publication.
   std::size_t activeRegionCount() const;
+  /// Returns how many currently monitored regions sit in the Stable LPD
+  /// state. Allocation-free; with \ref activeRegionCount this is the
+  /// all-regions-stable signal the adaptive sampling controller consumes
+  /// every interval.
+  std::size_t stableRegionCount() const;
   /// Returns the local phase detector of region \p Id.
   const LocalPhaseDetector &detector(RegionId Id) const;
   /// Returns aggregated statistics of region \p Id.

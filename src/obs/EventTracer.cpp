@@ -49,6 +49,12 @@ std::string_view toString(EventKind K) {
     return "trace-self-undo";
   case EventKind::SimilarityFallback:
     return "similarity-fallback";
+  case EventKind::SamplingPeriodLengthened:
+    return "sampling-period-lengthened";
+  case EventKind::SamplingPeriodTightened:
+    return "sampling-period-tightened";
+  case EventKind::SamplingConfigClamped:
+    return "sampling-config-clamped";
   }
   return "unknown";
 }

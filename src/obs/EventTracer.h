@@ -55,6 +55,9 @@ enum class EventKind : std::uint8_t {
   TraceUndone = 15,
   TraceSelfUndo = 16,
   SimilarityFallback = 17,
+  SamplingPeriodLengthened = 18,
+  SamplingPeriodTightened = 19,
+  SamplingConfigClamped = 20,
 };
 
 /// Stable lowercase-dashed name for \p K (export identifier).

@@ -64,6 +64,41 @@ MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
   I.PhaseR = &Registry.histogram(
       "monitor_phase_r", {-0.5, 0, 0.5, 0.8, 0.9, 0.95, 1},
       "Pearson r per region observation", Label);
+  I.SamplingPeriodCurrent =
+      &Registry.gauge("sampling_period_current",
+                      "controller-recommended sampling period (cycles)",
+                      Label);
+  I.SamplingSamplesSaved = &Registry.counter(
+      "sampling_samples_saved_total",
+      "base-rate samples avoided by adaptive period scaling", Label);
+  I.SamplingLengthens =
+      &Registry.counter("sampling_lengthen_transitions_total",
+                        "controller period-lengthening transitions", Label);
+  I.SamplingTightens =
+      &Registry.counter("sampling_tighten_transitions_total",
+                        "controller tighten-to-base transitions", Label);
+  I.Tracer = Tracer;
+  I.Stream = Stream;
+  return I;
+}
+
+SamplerInstruments makeSamplerInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label) {
+  SamplerInstruments I;
+  I.ConfigClamps =
+      &Registry.counter("sampler_config_clamps_total",
+                        "invalid sampling configuration fields clamped",
+                        Label);
+  I.ScaleClamps = &Registry.counter(
+      "sampler_scale_clamps_total",
+      "dynamic period-scale requests clamped to the ceiling", Label);
+  I.ScaleChanges = &Registry.counter("sampler_scale_changes_total",
+                                     "dynamic period-scale changes applied",
+                                     Label);
+  I.PeriodCurrent = &Registry.gauge(
+      "sampler_period_cycles", "effective sampling period (cycles)", Label);
   I.Tracer = Tracer;
   I.Stream = Stream;
   return I;

@@ -82,8 +82,32 @@ struct MonitorInstruments {
   Gauge *HotpathKernel = nullptr;
   BucketHistogram *IntervalSamples = nullptr;
   BucketHistogram *PhaseR = nullptr;
+  /// Adaptive sampling controller series (DESIGN.md §16): the
+  /// controller-recommended period, its cumulative savings, and its
+  /// transition counts. All four stay at their zero/base values when the
+  /// controller is disabled.
+  Gauge *SamplingPeriodCurrent = nullptr;
+  Counter *SamplingSamplesSaved = nullptr;
+  Counter *SamplingLengthens = nullptr;
+  Counter *SamplingTightens = nullptr;
   EventTracer *Tracer = nullptr;
   std::uint32_t Stream = 0; ///< stream label stamped on events
+};
+
+/// Instruments for the sampling front-end (src/sampling). ConfigClamps
+/// counts invalid configurations (zero period / zero buffer) forced to
+/// their minimum legal values -- the release-build guard against a zero
+/// period spinning advanceAndSample forever.
+struct SamplerInstruments {
+  Counter *ConfigClamps = nullptr;
+  /// Dynamic period-scale requests clamped to the sampler's ceiling.
+  Counter *ScaleClamps = nullptr;
+  /// Dynamic period-scale changes applied.
+  Counter *ScaleChanges = nullptr;
+  /// Effective sampling period in cycles.
+  Gauge *PeriodCurrent = nullptr;
+  EventTracer *Tracer = nullptr;
+  std::uint32_t Stream = 0;
 };
 
 /// Instruments for the centroid GPD baseline.
@@ -175,6 +199,12 @@ TraceInstruments makeTraceInstruments(MetricsRegistry &Registry,
 /// Registers the monitor metric catalogue for stream \p Stream under the
 /// label \p Label (pass "" for an unlabelled single-monitor setup).
 MonitorInstruments makeMonitorInstruments(MetricsRegistry &Registry,
+                                          EventTracer *Tracer,
+                                          std::uint32_t Stream,
+                                          std::string_view Label);
+
+/// Registers the sampling front-end metric catalogue.
+SamplerInstruments makeSamplerInstruments(MetricsRegistry &Registry,
                                           EventTracer *Tracer,
                                           std::uint32_t Stream,
                                           std::string_view Label);

@@ -390,6 +390,68 @@ bool StateCodec::decode(ByteReader &R, gpd::CentroidPhaseDetector &G) {
 }
 
 //===----------------------------------------------------------------------===//
+// AdaptiveController
+//===----------------------------------------------------------------------===//
+
+void StateCodec::encode(ByteWriter &W, const sampling::AdaptiveController &C) {
+  // Config fingerprint first: every field that shapes decisions. The
+  // delta threshold is stored as raw IEEE-754 bits and compared bitwise.
+  W.boolean(C.Cfg.Enabled);
+  W.u64(C.Cfg.BasePeriodCycles);
+  W.u32(C.Cfg.MaxScaleLog2);
+  W.u32(C.Cfg.StableIntervalsPerStep);
+  W.f64(C.Cfg.UcrSpikeDelta);
+  W.u32(C.Level);
+  W.u32(C.StableStreak);
+  W.f64(C.LastUcr);
+  W.boolean(C.HaveLastUcr);
+  W.u64(C.Lengthens);
+  W.u64(C.Tightens);
+  W.u64(C.SamplesSaved);
+}
+
+bool StateCodec::decode(ByteReader &R, sampling::AdaptiveController &C) {
+  if (R.boolean() != C.Cfg.Enabled || R.u64() != C.Cfg.BasePeriodCycles ||
+      R.u32() != C.Cfg.MaxScaleLog2 ||
+      R.u32() != C.Cfg.StableIntervalsPerStep ||
+      std::bit_cast<std::uint64_t>(R.f64()) !=
+          std::bit_cast<std::uint64_t>(C.Cfg.UcrSpikeDelta) ||
+      !R.ok()) {
+    R.fail();
+    return false;
+  }
+  const std::uint32_t Level = R.u32();
+  const std::uint32_t StableStreak = R.u32();
+  const double LastUcr = R.f64();
+  const bool HaveLastUcr = R.boolean();
+  const std::uint64_t Lengthens = R.u64();
+  const std::uint64_t Tightens = R.u64();
+  const std::uint64_t SamplesSaved = R.u64();
+  if (!R.ok() || Level > C.Cfg.MaxScaleLog2 ||
+      StableStreak >= C.Cfg.StableIntervalsPerStep) {
+    R.fail();
+    return false;
+  }
+  // A disabled controller never mutates state; any nonzero dynamic field
+  // under Enabled == false is a desynced payload.
+  if (!C.Cfg.Enabled &&
+      (Level != 0 || StableStreak != 0 || HaveLastUcr ||
+       std::bit_cast<std::uint64_t>(LastUcr) != 0 || Lengthens != 0 ||
+       Tightens != 0 || SamplesSaved != 0)) {
+    R.fail();
+    return false;
+  }
+  C.Level = Level;
+  C.StableStreak = StableStreak;
+  C.LastUcr = LastUcr;
+  C.HaveLastUcr = HaveLastUcr;
+  C.Lengthens = Lengthens;
+  C.Tightens = Tightens;
+  C.SamplesSaved = SamplesSaved;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // TraceDeployments
 //===----------------------------------------------------------------------===//
 

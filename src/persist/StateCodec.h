@@ -38,6 +38,7 @@
 #include "gpd/CentroidPhaseDetector.h"
 #include "persist/Bytes.h"
 #include "rto/TraceDeployments.h"
+#include "sampling/AdaptiveController.h"
 #include "support/Histogram.h"
 #include "support/Statistics.h"
 
@@ -73,6 +74,15 @@ public:
   /// Centroid global phase detector.
   static void encode(ByteWriter &W, const gpd::CentroidPhaseDetector &G);
   static bool decode(ByteReader &R, gpd::CentroidPhaseDetector &G);
+
+  /// Adaptive sampling controller. Decode requires \p C constructed with
+  /// the same (normalized) configuration the encoder ran under and
+  /// rejects dynamic state violating the machine's invariants (scale
+  /// above the cap, a banked streak at or past the step threshold, or
+  /// nonzero state on a disabled controller) -- a desynced payload fails
+  /// rather than replaying a different period schedule.
+  static void encode(ByteWriter &W, const sampling::AdaptiveController &C);
+  static bool decode(ByteReader &R, sampling::AdaptiveController &C);
 
   /// RTO deployment ledger. Decode restores the tracker's bookkeeping
   /// only; the engine's rate factors resync on the caller's next

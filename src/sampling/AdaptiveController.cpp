@@ -1,0 +1,76 @@
+//===- sampling/AdaptiveController.cpp - Per-stream period control --------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampling/AdaptiveController.h"
+
+using namespace regmon;
+using namespace regmon::sampling;
+
+AdaptiveController::AdaptiveController(AdaptiveConfig C) : Cfg(C) {
+  if (Cfg.BasePeriodCycles == 0)
+    Cfg.BasePeriodCycles = 1;
+  if (Cfg.MaxScaleLog2 > MaxSupportedScaleLog2)
+    Cfg.MaxScaleLog2 = MaxSupportedScaleLog2;
+  if (Cfg.StableIntervalsPerStep == 0)
+    Cfg.StableIntervalsPerStep = 1;
+  // NaN fails both comparisons below, so it normalizes through the first.
+  if (!(Cfg.UcrSpikeDelta >= 0.0))
+    Cfg.UcrSpikeDelta = 0.0;
+  else if (Cfg.UcrSpikeDelta > 1.0)
+    Cfg.UcrSpikeDelta = 1.0;
+}
+
+REGMON_PURE AdaptiveDecision
+AdaptiveController::observe(const StreamFeedback &F) {
+  if (!Cfg.Enabled)
+    return AdaptiveDecision::Hold;
+
+  const bool UcrSpike =
+      HaveLastUcr && F.UcrFraction - LastUcr >= Cfg.UcrSpikeDelta;
+  LastUcr = F.UcrFraction;
+  HaveLastUcr = true;
+
+  if (!F.Healthy || F.PhaseChanged || UcrSpike) {
+    StableStreak = 0;
+    if (Level == 0)
+      return AdaptiveDecision::Hold;
+    Level = 0;
+    ++Tightens;
+    return AdaptiveDecision::Tighten;
+  }
+
+  if (!F.AllRegionsStable) {
+    StableStreak = 0;
+    return AdaptiveDecision::Hold;
+  }
+
+  if (Level >= Cfg.MaxScaleLog2)
+    return AdaptiveDecision::Hold;
+
+  if (++StableStreak < Cfg.StableIntervalsPerStep)
+    return AdaptiveDecision::Hold;
+
+  StableStreak = 0;
+  ++Level;
+  ++Lengthens;
+  return AdaptiveDecision::Lengthen;
+}
+
+void AdaptiveController::noteSamples(std::uint64_t Count) {
+  if (!Cfg.Enabled || Level == 0)
+    return;
+  SamplesSaved += Count * ((std::uint64_t{1} << Level) - 1);
+}
+
+void AdaptiveController::reset() {
+  Level = 0;
+  StableStreak = 0;
+  LastUcr = 0.0;
+  HaveLastUcr = false;
+  Lengthens = 0;
+  Tightens = 0;
+  SamplesSaved = 0;
+}

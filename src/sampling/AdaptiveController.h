@@ -1,0 +1,169 @@
+//===- sampling/AdaptiveController.h - Per-stream period control *- C++ -*-===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-stream adaptive sampling controller (DESIGN.md §16). The
+/// paper's §2.3 sensitivity results show LPD phase-change counts are
+/// robust to the sampling period while centroid GPD's are not; that
+/// asymmetry is the license to sample coarsely wherever local phases have
+/// been stable for a while -- the two-phase stratified-sampling idea
+/// (Ekman): a cheap coarse pass everywhere, dense sampling only in strata
+/// that still matter.
+///
+/// The controller is a small ratchet over period *scales*: the effective
+/// period is BasePeriodCycles << Level. Sustained all-regions-stable
+/// intervals step Level up one notch at a time; any instability signal --
+/// an LPD phase change, a UCR spike (sudden rise in unmonitored-code
+/// fraction, i.e. a working-set shift the monitor has not yet covered), or
+/// health-state degradation -- snaps Level back to zero so the dense base
+/// rate is restored in one interval, not log2(scale) of them.
+///
+/// Purity contract: \ref observe is REGMON_PURE. Every decision is a
+/// function of the controller's own encoded state plus the explicit
+/// \ref StreamFeedback for one interval -- no clocks, no randomness, no
+/// global reads -- so replaying the same admitted batch sequence replays
+/// the same period schedule bit-for-bit (the lint graph pass enforces
+/// this transitively).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGMON_SAMPLING_ADAPTIVECONTROLLER_H
+#define REGMON_SAMPLING_ADAPTIVECONTROLLER_H
+
+#include "support/Contracts.h"
+#include "support/Types.h"
+
+#include <cstdint>
+
+namespace regmon::persist {
+class StateCodec;
+} // namespace regmon::persist
+
+namespace regmon::sampling {
+
+/// Returns \p Base scaled by 2^ScaleLog2 with saturation: a shift that
+/// would overflow 64 bits pins to UINT64_MAX instead of wrapping (a
+/// wrapped period of 0 would spin the sampler forever; see Sampler.cpp).
+REGMON_PURE constexpr Cycles scaledPeriod(Cycles Base,
+                                          std::uint32_t ScaleLog2) {
+  if (Base == 0)
+    Base = 1;
+  if (ScaleLog2 >= 64 || Base > (UINT64_MAX >> ScaleLog2))
+    return UINT64_MAX;
+  return Base << ScaleLog2;
+}
+
+/// Controller parameters. Defaults are the bench_adaptive operating
+/// point: up to 16x the base period, stepping up after every 2 fully
+/// stable intervals.
+struct AdaptiveConfig {
+  /// Master switch. Disabled controllers hold Level 0 forever and mutate
+  /// no state, so the adaptive-off path is bit-identical to a build that
+  /// never had a controller.
+  bool Enabled = false;
+  /// The dense base sampling period the scale multiplies.
+  Cycles BasePeriodCycles = 45'000;
+  /// Maximum period scale: effective period caps at Base << MaxScaleLog2.
+  std::uint32_t MaxScaleLog2 = 4;
+  /// Consecutive all-regions-stable intervals required per +1 scale step.
+  std::uint32_t StableIntervalsPerStep = 2;
+  /// Interval-over-interval UCR rise treated as a spike (working-set
+  /// shift): tighten when UcrFraction - previous >= this delta.
+  double UcrSpikeDelta = 0.10;
+};
+
+/// One interval's stream-local evidence, extracted by the caller from the
+/// monitor and the stream's admission-time health. Everything here is
+/// logical state: no field depends on wall time.
+struct StreamFeedback {
+  /// Any LPD stable-boundary phase change this interval.
+  bool PhaseChanged = false;
+  /// The monitor tracks at least one region and every active region's
+  /// detector sits in the Stable state.
+  bool AllRegionsStable = false;
+  /// UCR fraction of this interval's samples.
+  double UcrFraction = 0.0;
+  /// Stream health at batch admission was Healthy (not Degraded /
+  /// Recovering; quarantined batches are never processed at all).
+  bool Healthy = true;
+};
+
+/// What \ref AdaptiveController::observe decided for the next interval.
+enum class AdaptiveDecision : std::uint8_t {
+  Hold = 0,     ///< keep the current scale
+  Lengthen = 1, ///< stepped the scale up one notch
+  Tighten = 2,  ///< snapped back to the base period
+};
+
+/// Per-stream adaptive period controller. Plain value type: copyable,
+/// no synchronization (confinement to one service worker is the caller's
+/// job, as for RegionMonitor itself).
+class AdaptiveController {
+public:
+  /// Builds a controller, normalizing out-of-range parameters: scale cap
+  /// clamps to \ref MaxSupportedScaleLog2, a zero step requirement
+  /// becomes 1, a zero base period becomes 1 cycle, and a negative/NaN
+  /// spike delta becomes 0 (every rise is a spike).
+  explicit AdaptiveController(AdaptiveConfig Cfg = {});
+
+  /// Hard ceiling on MaxScaleLog2 (2^32x is already absurdly coarse; the
+  /// bound keeps scaledPeriod far from saturation for realistic bases).
+  static constexpr std::uint32_t MaxSupportedScaleLog2 = 32;
+
+  /// Consumes one interval of feedback and advances the machine. Pure:
+  /// the decision depends only on *this and \p F.
+  REGMON_PURE AdaptiveDecision observe(const StreamFeedback &F);
+
+  /// Credits \p Count retained samples collected at the *current* scale
+  /// toward the samples-saved account: each sample kept at scale 2^L
+  /// stands in for 2^L base-rate samples, saving 2^L - 1. Call before
+  /// \ref observe for the interval the samples belong to.
+  void noteSamples(std::uint64_t Count);
+
+  /// Current period scale exponent (0 = base rate).
+  std::uint32_t scaleLog2() const { return Level; }
+
+  /// Current recommended period in cycles (Base << Level, saturating).
+  Cycles currentPeriodCycles() const {
+    return scaledPeriod(Cfg.BasePeriodCycles, Level);
+  }
+
+  /// Base-rate samples avoided so far by running above scale 0.
+  std::uint64_t samplesSaved() const { return SamplesSaved; }
+
+  /// Lengthen transitions taken so far.
+  std::uint64_t lengthens() const { return Lengthens; }
+
+  /// Tighten transitions taken so far.
+  std::uint64_t tightens() const { return Tightens; }
+
+  /// Consecutive stable intervals banked toward the next step.
+  std::uint32_t stableStreak() const { return StableStreak; }
+
+  /// The (normalized) configuration.
+  const AdaptiveConfig &config() const { return Cfg; }
+
+  /// Drops all dynamic state back to a fresh controller (scale 0, empty
+  /// streak, zeroed accounts). Configuration is preserved.
+  void reset();
+
+private:
+  friend class persist::StateCodec;
+
+  AdaptiveConfig Cfg;
+  std::uint32_t Level = 0;
+  std::uint32_t StableStreak = 0;
+  /// Previous interval's UCR fraction (valid once HaveLastUcr).
+  double LastUcr = 0.0;
+  bool HaveLastUcr = false;
+  std::uint64_t Lengthens = 0;
+  std::uint64_t Tightens = 0;
+  std::uint64_t SamplesSaved = 0;
+};
+
+} // namespace regmon::sampling
+
+#endif // REGMON_SAMPLING_ADAPTIVECONTROLLER_H

@@ -6,21 +6,58 @@
 
 #include "sampling/Sampler.h"
 
-#include <cassert>
-
 using namespace regmon;
 using namespace regmon::sampling;
 
 Sampler::Sampler(sim::Engine &E, SamplingConfig Cfg) : Eng(E), Config(Cfg) {
-  assert(Config.PeriodCycles > 0 && "sampling period must be positive");
-  assert(Config.BufferSize > 0 && "buffer must hold at least one sample");
+  // Enforced in every build, not just asserted: a zero period would make
+  // advanceAndSample a no-op and fillBuffer an infinite loop. The clamp
+  // is reported through the instruments once they are attached.
+  if (Config.PeriodCycles == 0) {
+    Config.PeriodCycles = 1;
+    ConfigClamped = true;
+  }
+  if (Config.BufferSize == 0) {
+    Config.BufferSize = 1;
+    ConfigClamped = true;
+  }
+}
+
+void Sampler::attachObservability(const obs::SamplerInstruments *O) {
+  Obs = O;
+  if (!Obs)
+    return;
+  if (ConfigClamped) {
+    obs::addTo(Obs->ConfigClamps);
+    obs::recordEvent(Obs->Tracer, obs::EventKind::SamplingConfigClamped,
+                     Obs->Stream, 0, Intervals,
+                     static_cast<double>(Config.PeriodCycles));
+  }
+  obs::setGauge(Obs->PeriodCurrent,
+                static_cast<double>(effectivePeriodCycles()));
+}
+
+std::uint32_t Sampler::setPeriodScaleLog2(std::uint32_t Log2) {
+  if (Log2 > MaxPeriodScaleLog2) {
+    Log2 = MaxPeriodScaleLog2;
+    if (Obs)
+      obs::addTo(Obs->ScaleClamps);
+  }
+  if (Log2 != ScaleLog2 && Obs) {
+    obs::addTo(Obs->ScaleChanges);
+    obs::setGauge(Obs->PeriodCurrent,
+                  static_cast<double>(scaledPeriod(Config.PeriodCycles, Log2)));
+  }
+  ScaleLog2 = Log2;
+  return ScaleLog2;
 }
 
 bool Sampler::fillBuffer(std::vector<Sample> &Buffer) {
   Buffer.clear();
   Buffer.reserve(Config.BufferSize);
+  const Cycles Period = effectivePeriodCycles();
   while (Buffer.size() < Config.BufferSize) {
-    std::optional<Sample> S = Eng.advanceAndSample(Config.PeriodCycles);
+    std::optional<Sample> S = Eng.advanceAndSample(Period);
     if (!S)
       return false;
     Buffer.push_back(*S);

@@ -19,6 +19,8 @@
 #ifndef REGMON_SAMPLING_SAMPLER_H
 #define REGMON_SAMPLING_SAMPLER_H
 
+#include "obs/Instruments.h"
+#include "sampling/AdaptiveController.h"
 #include "sim/Engine.h"
 #include "support/Types.h"
 
@@ -32,6 +34,9 @@ namespace regmon::sampling {
 
 /// Sampling parameters. The paper sweeps PeriodCycles over
 /// 45K/450K/900K (Figs. 3/4) and 100K/800K/1.5M (Fig. 17).
+/// Zero values are invalid; the sampler clamps them to 1 in every build
+/// (a zero period would spin advanceAndSample forever) and reports the
+/// clamp through its instruments.
 struct SamplingConfig {
   /// Cycles between sampling interrupts.
   Cycles PeriodCycles = 45'000;
@@ -71,13 +76,41 @@ public:
   /// Returns the number of complete intervals delivered so far.
   std::size_t intervals() const { return Intervals; }
 
-  /// Returns the sampling configuration.
+  /// Returns the sampling configuration (post-clamping).
   const SamplingConfig &config() const { return Config; }
+
+  /// True when construction had to clamp an invalid (zero) config field.
+  bool configClamped() const { return ConfigClamped; }
+
+  /// Ceiling on the dynamic period scale exponent.
+  static constexpr std::uint32_t MaxPeriodScaleLog2 =
+      AdaptiveController::MaxSupportedScaleLog2;
+
+  /// Sets the dynamic period multiplier to 2^Log2 (the adaptive
+  /// controller's recommendation), clamping to \ref MaxPeriodScaleLog2.
+  /// Takes effect from the next sampling interrupt. Returns the applied
+  /// exponent.
+  std::uint32_t setPeriodScaleLog2(std::uint32_t Log2);
+
+  /// Current dynamic period scale exponent (0 = configured base period).
+  std::uint32_t periodScaleLog2() const { return ScaleLog2; }
+
+  /// Effective period: PeriodCycles << scale, saturating.
+  Cycles effectivePeriodCycles() const {
+    return scaledPeriod(Config.PeriodCycles, ScaleLog2);
+  }
+
+  /// Wires metric/tracer sinks (may be null to detach). Reports any
+  /// construction-time config clamp to the sinks on attach.
+  void attachObservability(const obs::SamplerInstruments *O);
 
 private:
   sim::Engine &Eng;
   SamplingConfig Config;
+  const obs::SamplerInstruments *Obs = nullptr;
   std::size_t Intervals = 0;
+  std::uint32_t ScaleLog2 = 0;
+  bool ConfigClamped = false;
 };
 
 } // namespace regmon::sampling

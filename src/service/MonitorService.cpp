@@ -104,6 +104,7 @@ StreamId MonitorService::addStream(const core::CodeMap &Map,
   State->Id = Id;
   State->Shard = static_cast<std::size_t>(mix64(Id) % Shards.size());
   State->Monitor = std::make_unique<core::RegionMonitor>(Map, MonitorConfig);
+  State->Controller = sampling::AdaptiveController(Config.Adaptive);
   Streams.push_back(std::move(State));
   return Id;
 }
@@ -225,6 +226,11 @@ bool MonitorService::submit(SampleBatch Batch) {
     recordFate(Batch, RecordedFate::Refused);
     return false;
   }
+  // Stamp the post-admission health into the batch for the worker-side
+  // adaptive controller. Read here -- under the per-stream submit
+  // serialization -- it is a pure function of the stream's admitted
+  // sequence; read on the worker it would race later submissions.
+  Batch.AdmitHealth = St.Health.load(std::memory_order_relaxed);
   // Record the admission before the batch can move (push or process), so
   // the stamped sequence is available to later drop/push-reject records.
   // Per-stream record order equals per-stream admission order (the
@@ -371,13 +377,8 @@ void MonitorService::quarantine(StreamState &St) {
   St.TimesQuarantined.fetch_add(1, std::memory_order_relaxed);
   const auto Episode =
       St.QuarantineEpisodes.fetch_add(1, std::memory_order_relaxed) + 1;
-  // Saturating doubling per episode, capped at the configured ceiling.
-  std::uint64_t Backoff = Config.Health.QuarantineBaseBatches;
-  for (std::uint64_t I = 1;
-       I < Episode && Backoff < Config.Health.QuarantineMaxBatches; ++I)
-    Backoff *= 2;
   const std::uint64_t Served =
-      std::min(Backoff, Config.Health.QuarantineMaxBatches);
+      quarantineBackoffBatches(Config.Health, Episode);
   St.Backoff.store(Served, std::memory_order_relaxed);
   St.QuarantineRejections.store(0, std::memory_order_relaxed);
   St.CleanStreak.store(0, std::memory_order_relaxed);
@@ -404,13 +405,15 @@ void MonitorService::process(const SampleBatch &Batch) {
   assert(St.Shard == shardOf(Batch.Stream) && "batch routed to wrong shard");
   if (!Batch.Samples.empty()) {
     core::RegionMonitor &Monitor = *St.Monitor;
+    const std::uint64_t PhaseChangesBefore = Monitor.totalPhaseChanges();
     Monitor.observeInterval(Batch.Samples);
     // lastUcrFraction() is k/n of this interval, so the product recovers
     // the exact unattributed-sample count.
     const auto Ucr = static_cast<std::uint64_t>(std::llround(
         Monitor.lastUcrFraction() *
         static_cast<double>(Batch.Samples.size())));
-    St.IntervalsProcessed.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t IntervalClock =
+        St.IntervalsProcessed.fetch_add(1, std::memory_order_relaxed) + 1;
     St.TotalSamples.fetch_add(Batch.Samples.size(),
                               std::memory_order_relaxed);
     St.UcrSamples.fetch_add(Ucr, std::memory_order_relaxed);
@@ -422,6 +425,41 @@ void MonitorService::process(const SampleBatch &Batch) {
                            std::memory_order_relaxed);
     St.ActiveRegions.store(Monitor.activeRegionCount(),
                            std::memory_order_relaxed);
+    // Adaptive controller: one decision per interval, fed nothing but
+    // stream-local logical state -- the monitor's post-interval view plus
+    // the health stamped at admission -- so a replay of the same admitted
+    // sequence reproduces the same period schedule bit-for-bit.
+    sampling::AdaptiveController &Ctl = St.Controller;
+    const std::uint64_t SavedBefore = Ctl.samplesSaved();
+    Ctl.noteSamples(Batch.Samples.size());
+    sampling::StreamFeedback F;
+    F.PhaseChanged = Monitor.totalPhaseChanges() != PhaseChangesBefore;
+    const std::size_t Active = Monitor.activeRegionCount();
+    F.AllRegionsStable = Active > 0 && Monitor.stableRegionCount() == Active;
+    F.UcrFraction = Monitor.lastUcrFraction();
+    F.Healthy = Batch.AdmitHealth == StreamHealth::Healthy;
+    const sampling::AdaptiveDecision Decision = Ctl.observe(F);
+    St.PeriodScaleLog2.store(Ctl.scaleLog2(), std::memory_order_relaxed);
+    St.SamplesSaved.store(Ctl.samplesSaved(), std::memory_order_relaxed);
+    St.CtlLengthens.store(Ctl.lengthens(), std::memory_order_relaxed);
+    St.CtlTightens.store(Ctl.tightens(), std::memory_order_relaxed);
+    obs::addTo(St.Instruments.SamplingSamplesSaved,
+               Ctl.samplesSaved() - SavedBefore);
+    obs::setGauge(St.Instruments.SamplingPeriodCurrent,
+                  static_cast<double>(Ctl.currentPeriodCycles()));
+    if (Decision == sampling::AdaptiveDecision::Lengthen) {
+      obs::addTo(St.Instruments.SamplingLengthens);
+      obs::recordEvent(St.Instruments.Tracer,
+                       obs::EventKind::SamplingPeriodLengthened, St.Id, 0,
+                       IntervalClock,
+                       static_cast<double>(Ctl.currentPeriodCycles()));
+    } else if (Decision == sampling::AdaptiveDecision::Tighten) {
+      obs::addTo(St.Instruments.SamplingTightens);
+      obs::recordEvent(St.Instruments.Tracer,
+                       obs::EventKind::SamplingPeriodTightened, St.Id, 0,
+                       IntervalClock,
+                       static_cast<double>(Ctl.currentPeriodCycles()));
+    }
   }
   // Release-publish the batch count last so a snapshot that observes it
   // also observes this batch's other counters.
@@ -464,11 +502,17 @@ ServiceSnapshot MonitorService::snapshot() const {
     Out.TimesQuarantined =
         St.TimesQuarantined.load(std::memory_order_relaxed);
     Out.Readmissions = St.Readmissions.load(std::memory_order_relaxed);
+    Out.PeriodScaleLog2 = St.PeriodScaleLog2.load(std::memory_order_relaxed);
+    Out.SamplesSaved = St.SamplesSaved.load(std::memory_order_relaxed);
+    Out.ControllerLengthens =
+        St.CtlLengthens.load(std::memory_order_relaxed);
+    Out.ControllerTightens = St.CtlTightens.load(std::memory_order_relaxed);
     Snap.BatchesProcessed += Out.BatchesProcessed;
     Snap.IntervalsProcessed += Out.IntervalsProcessed;
     Snap.PhaseChanges += Out.PhaseChanges;
     Snap.TotalSamples += Out.TotalSamples;
     Snap.UcrSamples += Out.UcrSamples;
+    Snap.SamplesSaved += Out.SamplesSaved;
     Snap.BatchesPoisoned += Out.PoisonedBatches;
     Snap.BatchesQuarantined += Out.QuarantinedBatches;
     Snap.Streams.push_back(Out);
@@ -495,6 +539,21 @@ const core::RegionMonitor &MonitorService::monitor(StreamId Stream) const {
   assert((!running() || Config.Inline) &&
          "monitors are only inspectable while stopped (or inline)");
   return *Streams[Stream]->Monitor;
+}
+
+const sampling::AdaptiveController &
+MonitorService::controller(StreamId Stream) const {
+  assert(Stream < Streams.size() && "unknown stream");
+  assert((!running() || Config.Inline) &&
+         "controllers are only inspectable while stopped (or inline)");
+  return Streams[Stream]->Controller;
+}
+
+Cycles MonitorService::recommendedPeriodCycles(StreamId Stream) const {
+  assert(Stream < Streams.size() && "unknown stream");
+  return sampling::scaledPeriod(
+      Config.Adaptive.BasePeriodCycles,
+      Streams[Stream]->PeriodScaleLog2.load(std::memory_order_relaxed));
 }
 
 //===----------------------------------------------------------------------===//
@@ -527,6 +586,11 @@ std::vector<std::uint8_t> MonitorService::configFingerprint() const {
   W.u64(Config.Health.QuarantineMaxBatches);
   W.u32(Config.Health.RecoveryCleanBatches);
   W.u32(static_cast<std::uint32_t>(Streams.size()));
+  // The adaptive config is deliberately absent: controller output is an
+  // advisory period recommendation that never feeds back into admission,
+  // routing, or processing of the recorded batches, so it cannot
+  // desynchronize a replay. Controller *state* is still carried -- and
+  // config-checked -- by snapshot stream sections (see encodeState).
   return W.take();
 }
 
@@ -566,6 +630,9 @@ bool MonitorService::applyRecorded(SampleBatch Batch, RecordedFate Fate,
     return false; // divergence: the health machine decided differently
   if (!Admit)
     return true;
+  // Same stamp submit() takes: replayed admission re-derives the health
+  // the controller saw, keeping its period schedule bit-identical.
+  Batch.AdmitHealth = St.Health.load(std::memory_order_relaxed);
   if (PushFailed) {
     // Original: push rejected after the door check (queue closed under
     // it). Submitted was pre-counted then uncounted; only the rejection
@@ -640,6 +707,7 @@ std::vector<std::uint8_t> MonitorService::encodeState() const {
     W.u32(St.CleanStreak.load(std::memory_order_relaxed));
     W.u64(St.Backoff.load(std::memory_order_relaxed));
     W.u64(St.QuarantineRejections.load(std::memory_order_relaxed));
+    persist::StateCodec::encode(W, St.Controller);
     persist::StateCodec::encode(W, *St.Monitor);
     Sections.push_back({StreamSectionId, W.take()});
   }
@@ -719,6 +787,19 @@ bool MonitorService::decodeState(
     St.CleanStreak.store(R.u32(), std::memory_order_relaxed);
     LoadU64(St.Backoff);
     LoadU64(St.QuarantineRejections);
+    // The controller payload carries its own config fingerprint; a
+    // snapshot taken under different adaptive tuning (or with desynced
+    // dynamic state) fails here and the rung is rejected.
+    if (!persist::StateCodec::decode(R, St.Controller))
+      return false;
+    St.PeriodScaleLog2.store(St.Controller.scaleLog2(),
+                             std::memory_order_relaxed);
+    St.SamplesSaved.store(St.Controller.samplesSaved(),
+                          std::memory_order_relaxed);
+    St.CtlLengthens.store(St.Controller.lengthens(),
+                          std::memory_order_relaxed);
+    St.CtlTightens.store(St.Controller.tightens(),
+                         std::memory_order_relaxed);
     if (!persist::StateCodec::decode(R, *St.Monitor) || !R.atEnd())
       return false;
   }
@@ -748,6 +829,11 @@ void MonitorService::resetPersistedState() {
     St.Backoff.store(0, std::memory_order_relaxed);
     St.QuarantineRejections.store(0, std::memory_order_relaxed);
     St.AdmissionClock.store(0, std::memory_order_relaxed);
+    St.Controller.reset();
+    St.PeriodScaleLog2.store(0, std::memory_order_relaxed);
+    St.SamplesSaved.store(0, std::memory_order_relaxed);
+    St.CtlLengthens.store(0, std::memory_order_relaxed);
+    St.CtlTightens.store(0, std::memory_order_relaxed);
   }
   for (auto &S : Shards)
     S->BatchesProcessed.store(0, std::memory_order_relaxed);
@@ -781,6 +867,7 @@ bool MonitorService::replayRecord(std::span<const std::uint8_t> Payload) {
   // the original run too -- the refusal *is* the replayed behaviour.
   if (Config.ValidateBatches && !admit(St, structurallyValid(Batch.Samples)))
     return true;
+  Batch.AdmitHealth = St.Health.load(std::memory_order_relaxed);
   Submitted.fetch_add(1, std::memory_order_relaxed);
   process(Batch);
   Shards[St.Shard]->BatchesProcessed.fetch_add(1, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include "core/CodeMap.h"
 #include "core/RegionMonitor.h"
 #include "obs/Instruments.h"
+#include "sampling/AdaptiveController.h"
 #include "service/RingBuffer.h"
 #include "service/StreamHealth.h"
 #include "support/Types.h"
@@ -68,6 +69,14 @@ struct SampleBatch {
   /// batch in later drop/push-reject records, so an overloaded run's
   /// evictions replay against the right batches.
   std::uint64_t TraceSeq = 0;
+  /// Stream health as the admission decision left it, stamped by \ref
+  /// MonitorService::submit on admitted batches. Not part of any wire
+  /// format: journal replay and trace replay re-derive it by re-running
+  /// the same admission sequence. Carrying it with the batch hands the
+  /// worker-side adaptive controller a health signal that is a pure
+  /// function of the stream's admitted sequence, independent of when the
+  /// submit side has already raced ahead.
+  StreamHealth AdmitHealth = StreamHealth::Healthy;
 };
 
 /// The decision \ref MonitorService::submit took for one batch, as
@@ -129,6 +138,11 @@ struct ServiceConfig {
   bool ValidateBatches = true;
   /// Health state machine tuning. Ignored unless ValidateBatches.
   HealthConfig Health;
+  /// Per-stream adaptive sampling controller tuning (DESIGN.md §16).
+  /// Disabled by default: every stream then holds the base period and
+  /// the service's behaviour -- admissions, processing, encoded state --
+  /// is bit-identical to a service that never had controllers.
+  sampling::AdaptiveConfig Adaptive{};
   /// Worker-less execution: \ref MonitorService::submit journals, admits
   /// and processes each batch synchronously on the calling thread --
   /// start() spawns nothing and the shard queues sit unused. Admission,
@@ -168,6 +182,11 @@ struct StreamSnapshot {
   std::uint64_t TimesQuarantined = 0;
   /// Probe batches admitted after a quarantine backoff expired.
   std::uint64_t Readmissions = 0;
+  /// Adaptive controller outputs (zero / base values while disabled).
+  std::uint32_t PeriodScaleLog2 = 0;
+  std::uint64_t SamplesSaved = 0;
+  std::uint64_t ControllerLengthens = 0;
+  std::uint64_t ControllerTightens = 0;
 
   /// Lifetime fraction of the stream's samples left unattributed.
   double ucrFraction() const {
@@ -203,6 +222,8 @@ struct ServiceSnapshot {
   std::uint64_t PhaseChanges = 0;
   std::uint64_t TotalSamples = 0;
   std::uint64_t UcrSamples = 0;
+  /// Sum of per-stream SamplesSaved (adaptive controllers).
+  std::uint64_t SamplesSaved = 0;
   std::size_t QueueDepth = 0; ///< Sum over shards.
   std::vector<ShardSnapshot> Shards;
   std::vector<StreamSnapshot> Streams;
@@ -301,6 +322,16 @@ public:
   /// service is not running (before \ref start or after \ref stop), or at
   /// any quiescent point of an Inline service (no submit in flight).
   const core::RegionMonitor &monitor(StreamId Stream) const;
+
+  /// Returns \p Stream's adaptive controller for inspection. Same
+  /// quiescence contract as \ref monitor.
+  const sampling::AdaptiveController &controller(StreamId Stream) const;
+
+  /// Returns the sampling period \p Stream's controller currently
+  /// recommends, in cycles. Lock-free and safe at any time (reads the
+  /// worker-published scale); the sampling front-end polls this between
+  /// intervals to apply the recommendation.
+  Cycles recommendedPeriodCycles(StreamId Stream) const;
 
   /// Returns the number of registered streams.
   std::size_t streamCount() const { return Streams.size(); }
@@ -432,6 +463,16 @@ private:
     std::atomic<std::uint32_t> CleanStreak{0};
     std::atomic<std::uint64_t> Backoff{0};
     std::atomic<std::uint64_t> QuarantineRejections{0};
+    /// Adaptive sampling controller. Worker-side state like Monitor:
+    /// advanced only by the owning shard's worker (or the submitting
+    /// thread in Inline mode), one decision per processed interval.
+    sampling::AdaptiveController Controller;
+    // Controller outputs re-published through atomics so snapshot() and
+    // recommendedPeriodCycles() never touch the worker-owned object.
+    std::atomic<std::uint32_t> PeriodScaleLog2{0};
+    std::atomic<std::uint64_t> SamplesSaved{0};
+    std::atomic<std::uint64_t> CtlLengthens{0};
+    std::atomic<std::uint64_t> CtlTightens{0};
   };
 
   /// One shard: a bounded queue drained by one worker thread.

@@ -45,6 +45,7 @@
 
 #include "support/Types.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
@@ -90,6 +91,22 @@ struct HealthConfig {
   /// the stream to Healthy and reset the backoff to its base.
   std::uint32_t RecoveryCleanBatches = 4;
 };
+
+/// Backoff a stream's \p Episode-th quarantine (1-based) serves before a
+/// probe is admitted: the base doubled once per prior episode, saturating
+/// at UINT64_MAX instead of wrapping (a wrap past zero would collapse the
+/// backoff to nothing exactly when the ceiling sits near UINT64_MAX),
+/// capped at the configured ceiling. The loop exits as soon as the
+/// running value reaches the ceiling, so it is bounded by 64 doublings
+/// regardless of how large \p Episode grows.
+inline std::uint64_t quarantineBackoffBatches(const HealthConfig &H,
+                                              std::uint64_t Episode) {
+  std::uint64_t Backoff = H.QuarantineBaseBatches;
+  for (std::uint64_t I = 1;
+       I < Episode && Backoff < H.QuarantineMaxBatches; ++I)
+    Backoff = Backoff > UINT64_MAX / 2 ? UINT64_MAX : Backoff * 2;
+  return std::min(Backoff, H.QuarantineMaxBatches);
+}
 
 /// Structural validation of one batch: every PC instruction-aligned and
 /// timestamps non-decreasing -- the invariants every real sampling

@@ -1,0 +1,521 @@
+//===- tests/AdaptiveSamplingTest.cpp - Adaptive period controller --------===//
+//
+// Part of the regmon project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The adaptive sampling controller (DESIGN.md §16), unit and integration:
+// the ratchet's transition rules, the adaptive-off path's bit-identity
+// with a service that never had controllers, and the adaptive-on path's
+// bit-identity through checkpoint/restore and flight-recorder replay --
+// the determinism contract that makes a dynamic sampling period safe to
+// deploy in a replay-debugged system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sampling/AdaptiveController.h"
+
+#include "core/RegionMonitor.h"
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "persist/Checkpoint.h"
+#include "persist/Io.h"
+#include "persist/StateCodec.h"
+#include "sampling/Sampler.h"
+#include "service/MonitorService.h"
+#include "sim/Engine.h"
+#include "sim/ProgramCodeMap.h"
+#include "trace/Recorder.h"
+#include "trace/Replay.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace regmon;
+using namespace regmon::sampling;
+using namespace regmon::service;
+
+namespace {
+
+StreamFeedback stable(double Ucr = 0.0) {
+  StreamFeedback F;
+  F.AllRegionsStable = true;
+  F.UcrFraction = Ucr;
+  return F;
+}
+
+AdaptiveConfig enabledConfig() {
+  AdaptiveConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.MaxScaleLog2 = 3;
+  Cfg.StableIntervalsPerStep = 2;
+  return Cfg;
+}
+
+/// Steps \p C up to \p Level with all-stable feedback.
+void rampTo(AdaptiveController &C, std::uint32_t Level) {
+  while (C.scaleLog2() < Level)
+    (void)C.observe(stable());
+  ASSERT_EQ(C.scaleLog2(), Level);
+}
+
+TEST(AdaptiveController, DisabledControllerIsInert) {
+  AdaptiveController C; // default config: disabled
+  const auto encoded = [](const AdaptiveController &Ctl) {
+    persist::ByteWriter W;
+    persist::StateCodec::encode(W, Ctl);
+    return W.take();
+  };
+  const std::vector<std::uint8_t> Fresh = encoded(C);
+  StreamFeedback F;
+  F.PhaseChanged = true;
+  F.UcrFraction = 0.9;
+  F.Healthy = false;
+  for (int I = 0; I < 5; ++I) {
+    C.noteSamples(1000);
+    EXPECT_EQ(C.observe(F), AdaptiveDecision::Hold);
+    EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Hold);
+  }
+  EXPECT_EQ(C.scaleLog2(), 0U);
+  EXPECT_EQ(C.samplesSaved(), 0U);
+  EXPECT_EQ(encoded(C), Fresh) << "a disabled controller mutated state";
+}
+
+TEST(AdaptiveController, LengthenStepsOncePerCompletedStreak) {
+  AdaptiveController C(enabledConfig());
+  // Step requires 2 consecutive stable intervals: Hold, Lengthen, ...
+  for (std::uint32_t Step = 1; Step <= 3; ++Step) {
+    EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Hold);
+    EXPECT_EQ(C.stableStreak(), 1U);
+    EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Lengthen);
+    EXPECT_EQ(C.scaleLog2(), Step);
+    EXPECT_EQ(C.stableStreak(), 0U);
+  }
+  // At MaxScaleLog2 the ratchet holds; the streak does not keep banking.
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Hold);
+  EXPECT_EQ(C.scaleLog2(), 3U);
+  EXPECT_EQ(C.stableStreak(), 0U);
+  EXPECT_EQ(C.lengthens(), 3U);
+  EXPECT_EQ(C.currentPeriodCycles(), 45'000U << 3);
+}
+
+TEST(AdaptiveController, InstabilitySnapsToBaseInOneInterval) {
+  const auto tightensOn = [](StreamFeedback Trigger, const char *What) {
+    AdaptiveController C(enabledConfig());
+    rampTo(C, 3);
+    EXPECT_EQ(C.observe(Trigger), AdaptiveDecision::Tighten) << What;
+    EXPECT_EQ(C.scaleLog2(), 0U) << What << ": snap must be total, not -1";
+    EXPECT_EQ(C.stableStreak(), 0U) << What;
+    EXPECT_EQ(C.tightens(), 1U) << What;
+    // Already at base: the same trigger again is a Hold, not a second
+    // tighten transition.
+    EXPECT_EQ(C.observe(Trigger), AdaptiveDecision::Hold) << What;
+    EXPECT_EQ(C.tightens(), 1U) << What;
+  };
+  StreamFeedback Phase = stable();
+  Phase.PhaseChanged = true;
+  tightensOn(Phase, "phase change");
+  StreamFeedback Sick = stable();
+  Sick.Healthy = false;
+  tightensOn(Sick, "health degradation");
+}
+
+TEST(AdaptiveController, UcrSpikeComparesAgainstPreviousInterval) {
+  AdaptiveController C(enabledConfig()); // delta 0.10
+  // The first interval has no predecessor: a high absolute UCR is not a
+  // spike, only a rise is.
+  EXPECT_EQ(C.observe(stable(0.5)), AdaptiveDecision::Hold);
+  EXPECT_EQ(C.observe(stable(0.55)), AdaptiveDecision::Lengthen);
+  // Gradual drift below the delta never tightens...
+  for (double U = 0.55; U > 0.1; U -= 0.05)
+    EXPECT_NE(C.observe(stable(U)), AdaptiveDecision::Tighten) << U;
+  // ...nor does a fall, however steep...
+  EXPECT_NE(C.observe(stable(0.0)), AdaptiveDecision::Tighten);
+  ASSERT_GT(C.scaleLog2(), 0U);
+  // ...but an interval-over-interval rise >= delta snaps to base.
+  EXPECT_EQ(C.observe(stable(0.10)), AdaptiveDecision::Tighten);
+  EXPECT_EQ(C.scaleLog2(), 0U);
+}
+
+TEST(AdaptiveController, UnstableRegionsResetTheStreakWithoutTightening) {
+  AdaptiveController C(enabledConfig());
+  rampTo(C, 2);
+  EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Hold); // streak 1
+  StreamFeedback Unstable;
+  Unstable.AllRegionsStable = false;
+  EXPECT_EQ(C.observe(Unstable), AdaptiveDecision::Hold);
+  EXPECT_EQ(C.scaleLog2(), 2U) << "mere non-stability is not instability";
+  EXPECT_EQ(C.stableStreak(), 0U) << "the banked interval is forfeited";
+  // The full streak is needed again from scratch.
+  EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Hold);
+  EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Lengthen);
+}
+
+TEST(AdaptiveController, ConstructorNormalizesDegenerateConfig) {
+  AdaptiveConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.BasePeriodCycles = 0;
+  Cfg.MaxScaleLog2 = 99;
+  Cfg.StableIntervalsPerStep = 0;
+  Cfg.UcrSpikeDelta = -0.5;
+  AdaptiveController C(Cfg);
+  EXPECT_EQ(C.config().BasePeriodCycles, 1U);
+  EXPECT_EQ(C.config().MaxScaleLog2,
+            AdaptiveController::MaxSupportedScaleLog2);
+  EXPECT_EQ(C.config().StableIntervalsPerStep, 1U);
+  EXPECT_EQ(C.config().UcrSpikeDelta, 0.0);
+  // Step 1: every stable interval lengthens.
+  EXPECT_EQ(C.observe(stable()), AdaptiveDecision::Lengthen);
+  // Delta 0: any rise at all is a spike.
+  EXPECT_EQ(C.observe(stable(1e-9)), AdaptiveDecision::Tighten);
+
+  Cfg.UcrSpikeDelta = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(AdaptiveController(Cfg).config().UcrSpikeDelta, 0.0);
+  Cfg.UcrSpikeDelta = 7.0;
+  EXPECT_EQ(AdaptiveController(Cfg).config().UcrSpikeDelta, 1.0);
+}
+
+TEST(AdaptiveController, SamplesSavedCountsForegoneBaseRateSamples) {
+  AdaptiveController C(enabledConfig());
+  C.noteSamples(100);
+  EXPECT_EQ(C.samplesSaved(), 0U) << "base rate saves nothing";
+  rampTo(C, 1);
+  C.noteSamples(100); // each kept sample stands in for 2: saves 100
+  EXPECT_EQ(C.samplesSaved(), 100U);
+  rampTo(C, 3);
+  C.noteSamples(10); // 2^3 - 1 = 7 saved per kept sample
+  EXPECT_EQ(C.samplesSaved(), 170U);
+  C.reset();
+  EXPECT_EQ(C.samplesSaved(), 0U);
+  EXPECT_EQ(C.scaleLog2(), 0U);
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration
+//===----------------------------------------------------------------------===//
+
+std::string scratchDir(const std::string &Tag) {
+  static int Counter = 0;
+  const std::string Dir = ::testing::TempDir() + "regmon_adaptive_" +
+                          std::to_string(::getpid()) + "_" + Tag + "_" +
+                          std::to_string(Counter++);
+  std::filesystem::remove_all(Dir);
+  EXPECT_TRUE(persist::ensureDir(Dir));
+  return Dir;
+}
+
+struct RecordedStream {
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<sim::ProgramCodeMap> Map;
+  std::vector<std::vector<Sample>> Intervals;
+};
+
+RecordedStream record(const std::string &Name, std::uint64_t Seed) {
+  RecordedStream S;
+  S.W = std::make_unique<workloads::Workload>(workloads::make(Name));
+  S.Map = std::make_unique<sim::ProgramCodeMap>(S.W->Prog);
+  sim::Engine Engine(S.W->Prog, S.W->Script, Seed);
+  sampling::Sampler Sampler(Engine, {45'000, 2032});
+  S.Intervals = Sampler.collectIntervals();
+  return S;
+}
+
+std::vector<RecordedStream> smallFleet() {
+  std::vector<RecordedStream> Fleet;
+  Fleet.push_back(record("synthetic.steady", 1));
+  Fleet.push_back(record("synthetic.periodic", 2));
+  return Fleet;
+}
+
+std::vector<SampleBatch> roundRobin(const std::vector<RecordedStream> &Fleet) {
+  std::vector<SampleBatch> Batches;
+  std::size_t MaxIntervals = 0;
+  for (const RecordedStream &S : Fleet)
+    MaxIntervals = std::max(MaxIntervals, S.Intervals.size());
+  for (std::size_t I = 0; I < MaxIntervals; ++I)
+    for (StreamId Id = 0; Id < Fleet.size(); ++Id)
+      if (I < Fleet[Id].Intervals.size())
+        Batches.push_back({Id, Fleet[Id].Intervals[I]});
+  return Batches;
+}
+
+/// An Inline (worker-less) service: the submitting thread is the only
+/// mutator, so monitors and controllers stay inspectable between submits.
+ServiceConfig inlineConfig(AdaptiveConfig Adaptive = {}) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 64;
+  Cfg.Inline = true;
+  Cfg.Adaptive = Adaptive;
+  return Cfg;
+}
+
+/// The bench/service operating point: aggressive enough that the steady
+/// workloads actually climb the ratchet within a test-sized run.
+AdaptiveConfig serviceAdaptive() {
+  AdaptiveConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.MaxScaleLog2 = 4;
+  Cfg.StableIntervalsPerStep = 2;
+  return Cfg;
+}
+
+std::unique_ptr<MonitorService>
+makeService(const std::vector<RecordedStream> &Fleet,
+            const ServiceConfig &Cfg) {
+  auto Service = std::make_unique<MonitorService>(Cfg);
+  for (const RecordedStream &S : Fleet)
+    Service->addStream(*S.Map);
+  return Service;
+}
+
+// The adaptive-off contract: a service with the controller disabled (the
+// default config) processes every stream exactly like bare RegionMonitors
+// fed the same intervals -- bit-identical encoded monitor state, zeroed
+// controller series -- so shipping the controller changes nothing until a
+// config turns it on.
+TEST(AdaptiveService, DisabledControllerServiceMatchesBareMonitors) {
+  const std::vector<RecordedStream> Fleet = smallFleet();
+  const std::vector<SampleBatch> Batches = roundRobin(Fleet);
+  auto Service = makeService(Fleet, inlineConfig());
+  Service->start();
+  for (const SampleBatch &B : Batches)
+    ASSERT_TRUE(Service->submit(B));
+  Service->stop();
+
+  for (StreamId Id = 0; Id < Fleet.size(); ++Id) {
+    SCOPED_TRACE("stream " + std::to_string(Id));
+    core::RegionMonitor Bare(*Fleet[Id].Map);
+    for (const std::vector<Sample> &Interval : Fleet[Id].Intervals)
+      Bare.observeInterval(Interval);
+    persist::ByteWriter WBare, WSvc;
+    persist::StateCodec::encode(WBare, Bare);
+    persist::StateCodec::encode(WSvc, Service->monitor(Id));
+    EXPECT_EQ(WSvc.take(), WBare.take())
+        << "an inert controller perturbed monitor state";
+    EXPECT_EQ(Service->recommendedPeriodCycles(Id), 45'000U);
+  }
+  const ServiceSnapshot Snap = Service->snapshot();
+  EXPECT_EQ(Snap.SamplesSaved, 0U);
+  for (const StreamSnapshot &S : Snap.Streams) {
+    EXPECT_EQ(S.PeriodScaleLog2, 0U);
+    EXPECT_EQ(S.ControllerLengthens, 0U);
+    EXPECT_EQ(S.ControllerTightens, 0U);
+  }
+}
+
+// The enabled controller must actually climb on steady workloads, expose
+// its state through snapshot/accessors, and publish its metric series.
+TEST(AdaptiveService, EnabledControllerClimbsAndExposesState) {
+  const std::vector<RecordedStream> Fleet = smallFleet();
+  const std::vector<SampleBatch> Batches = roundRobin(Fleet);
+  auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+  obs::MetricsRegistry Registry;
+  Service->attachObservability(Registry, nullptr);
+  Service->start();
+  for (const SampleBatch &B : Batches)
+    ASSERT_TRUE(Service->submit(B));
+  Service->stop();
+
+  const ServiceSnapshot Snap = Service->snapshot();
+  EXPECT_GT(Snap.SamplesSaved, 0U)
+      << "no stream ever left the base period: the tentpole is vacuous";
+  std::uint64_t Lengthens = 0;
+  for (const StreamSnapshot &S : Snap.Streams) {
+    Lengthens += S.ControllerLengthens;
+    const AdaptiveController &Ctl = Service->controller(S.Stream);
+    EXPECT_EQ(Ctl.scaleLog2(), S.PeriodScaleLog2);
+    EXPECT_EQ(Ctl.samplesSaved(), S.SamplesSaved);
+    EXPECT_EQ(Service->recommendedPeriodCycles(S.Stream),
+              scaledPeriod(45'000, S.PeriodScaleLog2));
+  }
+  EXPECT_GT(Lengthens, 0U);
+  const std::string Prom = obs::exportPrometheus(Registry);
+  EXPECT_NE(Prom.find("sampling_period_current"), std::string::npos);
+  EXPECT_NE(Prom.find("sampling_samples_saved_total"), std::string::npos);
+  EXPECT_NE(Prom.find("sampling_lengthen_transitions_total"),
+            std::string::npos);
+}
+
+// Health degradation reaches the controller: a poisoned batch degrades
+// the stream at the door, and the next admitted batch's stamped health
+// snaps a lengthened stream back to the base period.
+TEST(AdaptiveService, DegradedAdmissionTightensTheStream) {
+  std::vector<RecordedStream> Fleet;
+  Fleet.push_back(record("synthetic.steady", 5));
+  ServiceConfig Cfg = inlineConfig(serviceAdaptive());
+  Cfg.ValidateBatches = true;
+  Cfg.Health.PoisonQuarantineThreshold = 100; // degrade, never quarantine
+  auto Service = makeService(Fleet, Cfg);
+  Service->start();
+
+  // Climb with clean batches until the stream leaves the base period.
+  std::size_t Fed = 0;
+  while (Fed < Fleet[0].Intervals.size() &&
+         Service->snapshot().Streams[0].PeriodScaleLog2 == 0) {
+    ASSERT_TRUE(Service->submit({0, Fleet[0].Intervals[Fed]}));
+    ++Fed;
+  }
+  ASSERT_GT(Service->snapshot().Streams[0].PeriodScaleLog2, 0U)
+      << "workload never stabilized; cannot exercise the tighten path";
+  ASSERT_LT(Fed + 2, Fleet[0].Intervals.size());
+
+  // One structurally-poisoned batch: rejected at the door, stream
+  // Degraded, monitor untouched.
+  std::vector<Sample> Poison = Fleet[0].Intervals[Fed];
+  Poison[0].Pc += 1; // misaligned
+  EXPECT_FALSE(Service->submit({0, Poison}));
+  EXPECT_EQ(Service->snapshot().Streams[0].Health, StreamHealth::Degraded);
+
+  // The next clean batch is admitted while Degraded; its stamped health
+  // must tighten the controller in one interval.
+  ASSERT_TRUE(Service->submit({0, Fleet[0].Intervals[Fed]}));
+  const StreamSnapshot S = Service->snapshot().Streams[0];
+  EXPECT_EQ(S.PeriodScaleLog2, 0U);
+  EXPECT_GE(S.ControllerTightens, 1U);
+  EXPECT_EQ(Service->recommendedPeriodCycles(0), 45'000U);
+  Service->stop();
+}
+
+/// Runs the first \p Count batches through an uninterrupted persisted
+/// adaptive service and returns its encodeState bytes.
+std::vector<std::uint8_t>
+adaptiveReferenceBytes(const std::vector<RecordedStream> &Fleet,
+                       const std::vector<SampleBatch> &Batches,
+                       std::size_t Count) {
+  persist::CheckpointManager Store(scratchDir("ref"));
+  auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+  Service->attachPersistence(Store);
+  EXPECT_EQ(Service->restore(), RestoreOutcome::ColdStart);
+  Service->start();
+  for (std::size_t I = 0; I < Count; ++I)
+    (void)Service->submit(Batches[I]);
+  Service->stop();
+  return Service->encodeState();
+}
+
+// Checkpoint/restore with the controller mid-climb: the restored service
+// must continue bit-identically to one that never restarted -- the
+// controller's level, streak, UCR memory and accounts all travel.
+TEST(AdaptiveService, CheckpointRestoreBitIdenticalMidClimb) {
+  const std::vector<RecordedStream> Fleet = smallFleet();
+  const std::vector<SampleBatch> Batches = roundRobin(Fleet);
+  const std::size_t Half = Batches.size() / 2;
+  const std::vector<std::uint8_t> RefHalf =
+      adaptiveReferenceBytes(Fleet, Batches, Half);
+  const std::vector<std::uint8_t> RefFull =
+      adaptiveReferenceBytes(Fleet, Batches, Batches.size());
+
+  const std::string Dir = scratchDir("warm");
+  std::uint64_t SavedAtHalf = 0;
+  {
+    persist::CheckpointManager Store(Dir);
+    auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+    Service->attachPersistence(Store);
+    ASSERT_EQ(Service->restore(), RestoreOutcome::ColdStart);
+    Service->start();
+    for (std::size_t I = 0; I < Half; ++I)
+      ASSERT_TRUE(Service->submit(Batches[I]));
+    Service->stop();
+    SavedAtHalf = Service->snapshot().SamplesSaved;
+    EXPECT_EQ(Service->encodeState(), RefHalf);
+    ASSERT_TRUE(Service->checkpoint());
+  }
+  EXPECT_GT(SavedAtHalf, 0U) << "controller never climbed before the split";
+  {
+    persist::CheckpointManager Store(Dir);
+    auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+    Service->attachPersistence(Store);
+    ASSERT_EQ(Service->restore(), RestoreOutcome::SnapshotOnly);
+    EXPECT_EQ(Service->encodeState(), RefHalf) << "restore diverged";
+    EXPECT_EQ(Service->snapshot().SamplesSaved, SavedAtHalf)
+        << "controller accounts not republished after restore";
+    Service->start();
+    for (std::size_t I = Half; I < Batches.size(); ++I)
+      ASSERT_TRUE(Service->submit(Batches[I]));
+    Service->stop();
+    EXPECT_EQ(Service->encodeState(), RefFull)
+        << "continuation after restore diverged";
+  }
+}
+
+// A snapshot taken under one adaptive config must not restore into a
+// service tuned differently: the codec rejects the controller section,
+// the snapshot is counted corrupt, and recovery falls back to journal
+// replay -- which re-runs every decision under the *new* config.
+TEST(AdaptiveService, ConfigChangeRejectsSnapshotAndReplaysJournal) {
+  std::vector<RecordedStream> Fleet;
+  Fleet.push_back(record("synthetic.steady", 9));
+  std::vector<SampleBatch> Batches = roundRobin(Fleet);
+  Batches.resize(std::min<std::size_t>(Batches.size(), 10));
+
+  const std::string Dir = scratchDir("cfgchange");
+  {
+    persist::CheckpointManager Store(Dir);
+    auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+    Service->attachPersistence(Store);
+    ASSERT_EQ(Service->restore(), RestoreOutcome::ColdStart);
+    Service->start();
+    for (const SampleBatch &B : Batches)
+      ASSERT_TRUE(Service->submit(B));
+    Service->stop();
+    ASSERT_TRUE(Service->checkpoint());
+  }
+  AdaptiveConfig Retuned = serviceAdaptive();
+  Retuned.StableIntervalsPerStep = 5;
+  persist::CheckpointManager Store(Dir);
+  auto Service = makeService(Fleet, inlineConfig(Retuned));
+  Service->attachPersistence(Store);
+  EXPECT_EQ(Service->restore(), RestoreOutcome::JournalOnly);
+  EXPECT_EQ(Store.counters().CorruptSnapshots, 1U);
+  // The journal replay re-decided under the new tuning.
+  EXPECT_EQ(Service->controller(0).config().StableIntervalsPerStep, 5U);
+  EXPECT_EQ(Service->snapshot().IntervalsProcessed, Batches.size());
+}
+
+// Flight-recorder replay with the controller enabled: a worker-less
+// replay of the recorded submission order reproduces the period schedule
+// and every controller account bit-for-bit (encodeState carries them).
+TEST(AdaptiveService, TraceReplayReproducesThePeriodSchedule) {
+  const std::vector<RecordedStream> Fleet = smallFleet();
+  const std::vector<SampleBatch> Batches = roundRobin(Fleet);
+  const std::string Trace = ::testing::TempDir() + "regmon_adaptive_" +
+                            std::to_string(::getpid()) + "_trace.bin";
+  std::filesystem::remove(Trace);
+
+  std::vector<std::uint8_t> RecordedState;
+  std::uint64_t RecordedSaved = 0;
+  {
+    auto Service = makeService(Fleet, inlineConfig(serviceAdaptive()));
+    trace::TraceRecorder Recorder;
+    ASSERT_TRUE(Recorder.open(Trace).Ok);
+    Service->attachRecorder(Recorder);
+    Service->start();
+    for (const SampleBatch &B : Batches)
+      ASSERT_TRUE(Service->submit(B));
+    Service->stop();
+    RecordedState = Service->encodeState();
+    RecordedSaved = Service->snapshot().SamplesSaved;
+    ASSERT_TRUE(Recorder.close());
+  }
+  ASSERT_GT(RecordedSaved, 0U) << "recorded run never left the base period";
+
+  auto Replayed = makeService(Fleet, inlineConfig(serviceAdaptive()));
+  const trace::FileReplay R = trace::replayTraceFile(Trace, *Replayed);
+  ASSERT_TRUE(R.Replay.Ok) << "diverged at seq " << R.Replay.DivergedSeq;
+  EXPECT_EQ(Replayed->encodeState(), RecordedState)
+      << "replayed controller schedule diverged from the incident";
+  EXPECT_EQ(Replayed->snapshot().SamplesSaved, RecordedSaved);
+}
+
+} // namespace

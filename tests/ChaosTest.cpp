@@ -421,6 +421,37 @@ TEST(StreamHealthMachine, BackoffDoublesPerEpisodeCapsAndResets) {
   EXPECT_EQ(streamSnap(Service, Id).TimesQuarantined, 5u);
 }
 
+// Regression: the per-episode doubling used to be a bare `Backoff *= 2`
+// loop, which wraps to zero when the base is a high power of two and the
+// ceiling sits near UINT64_MAX -- exactly the configuration where the
+// operator wanted "quarantine practically forever", the wrap turned it
+// into "no quarantine at all". The helper must saturate instead.
+TEST(StreamHealthMachine, BackoffSaturatesInsteadOfWrappingToZero) {
+  HealthConfig H;
+  H.QuarantineBaseBatches = std::uint64_t{1} << 63;
+  H.QuarantineMaxBatches = UINT64_MAX;
+  EXPECT_EQ(quarantineBackoffBatches(H, 1), std::uint64_t{1} << 63);
+  // Episode 2 doubles 2^63 -- the wrap would yield 0 here.
+  EXPECT_EQ(quarantineBackoffBatches(H, 2), UINT64_MAX);
+  // Far-future episodes stay pinned (and the loop stays bounded).
+  EXPECT_EQ(quarantineBackoffBatches(H, 1'000'000), UINT64_MAX);
+
+  // The everyday path is unchanged: double per episode, cap at the
+  // ceiling (the service-level test drives the same schedule end to end).
+  HealthConfig Normal;
+  Normal.QuarantineBaseBatches = 8;
+  Normal.QuarantineMaxBatches = 1024;
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 1), 8U);
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 2), 16U);
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 5), 128U);
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 8), 1024U);
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 50), 1024U);
+  // A ceiling below the base still wins.
+  Normal.QuarantineMaxBatches = 4;
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 1), 4U);
+  EXPECT_EQ(quarantineBackoffBatches(Normal, 3), 4U);
+}
+
 TEST(StreamHealthMachine, ValidationDisabledAdmitsEverything) {
   const RecordedStream S = record("synthetic.steady", 43);
   MonitorService Service({/*Workers=*/1, /*QueueCapacity=*/64,

@@ -472,7 +472,7 @@ TEST(PurityGraph, ThreeHopAllocationChainReported) {
 
 TEST(PurityGraph, PureRootClockViolationCarriesChain) {
   auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
-  EXPECT_EQ(countRule(Diags, "purity"), 2);
+  EXPECT_EQ(countRule(Diags, "purity"), 3);
   bool Found = false;
   for (const Diagnostic &D : Diags)
     if (D.Rule == "purity" &&
@@ -492,6 +492,23 @@ TEST(PurityGraph, PureMergeSmugglingClockThroughHelperCaught) {
   for (const Diagnostic &D : Diags)
     if (D.Rule == "purity" &&
         D.Message.find("mergeSummaries -> mergeTieBreak") !=
+            std::string::npos &&
+        D.Message.find("steady_clock") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PurityGraph, ControllerDecisionSmugglingClockThroughHelperCaught) {
+  // The adaptive-sampling shape: a REGMON_PURE controller decision whose
+  // streak-expiry helper reads a wall clock. The decision body is
+  // token-clean, so only the graph pass can prove the period schedule
+  // would not replay -- the contract AdaptiveController::observe relies
+  // on (DESIGN.md §16).
+  auto Diags = lintGraphFixture("purity_bad.cpp", Layer::Deterministic);
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Rule == "purity" &&
+        D.Message.find("controllerDecide -> streakExpired") !=
             std::string::npos &&
         D.Message.find("steady_clock") != std::string::npos)
       Found = true;

@@ -25,6 +25,7 @@
 #include "gpd/CentroidPhaseDetector.h"
 #include "rto/OptimizationModel.h"
 #include "rto/TraceDeployments.h"
+#include "sampling/AdaptiveController.h"
 #include "sampling/Sampler.h"
 #include "sim/Engine.h"
 #include "sim/ProgramCodeMap.h"
@@ -1051,6 +1052,118 @@ TEST(PersistStateCodec, CentroidDetectorRoundTripAndContinuation) {
   }
   EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
   EXPECT_EQ(Copy.phaseChanges(), Orig.phaseChanges());
+}
+
+TEST(PersistStateCodec, AdaptiveControllerRoundTripAndContinuation) {
+  sampling::AdaptiveConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.MaxScaleLog2 = 3;
+  Cfg.StableIntervalsPerStep = 2;
+  sampling::AdaptiveController Orig(Cfg);
+  // Drive to a nontrivial point: two lengthens, a tighten, one banked
+  // streak interval and a nonzero samples-saved account.
+  sampling::StreamFeedback Stable;
+  Stable.AllRegionsStable = true;
+  Stable.UcrFraction = 0.25;
+  for (int I = 0; I < 4; ++I) {
+    Orig.noteSamples(100);
+    (void)Orig.observe(Stable);
+  }
+  ASSERT_EQ(Orig.scaleLog2(), 2U);
+  ASSERT_GT(Orig.samplesSaved(), 0U);
+  sampling::StreamFeedback Spike = Stable;
+  Spike.UcrFraction = 0.9;
+  ASSERT_EQ(Orig.observe(Spike), sampling::AdaptiveDecision::Tighten);
+  (void)Orig.observe(Stable); // bank one interval toward the next step
+  ASSERT_EQ(Orig.stableStreak(), 1U);
+
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+  sampling::AdaptiveController Copy(Cfg);
+  {
+    ByteReader R(Bytes);
+    ASSERT_TRUE(StateCodec::decode(R, Copy));
+    EXPECT_TRUE(R.atEnd());
+  }
+  EXPECT_EQ(encodeBytes(Copy), Bytes);
+  EXPECT_EQ(Copy.stableStreak(), 1U);
+
+  // Continuation: the copy must take the same transitions forever.
+  for (int I = 0; I < 5; ++I) {
+    Orig.noteSamples(10);
+    Copy.noteSamples(10);
+    EXPECT_EQ(Orig.observe(Stable), Copy.observe(Stable));
+  }
+  EXPECT_EQ(encodeBytes(Copy), encodeBytes(Orig));
+}
+
+TEST(PersistStateCodec, AdaptiveControllerRejectsDesyncedPayloads) {
+  sampling::AdaptiveConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.MaxScaleLog2 = 3;
+  Cfg.StableIntervalsPerStep = 2;
+  sampling::AdaptiveController Orig(Cfg);
+  sampling::StreamFeedback Stable;
+  Stable.AllRegionsStable = true;
+  for (int I = 0; I < 2; ++I)
+    (void)Orig.observe(Stable);
+  const std::vector<std::uint8_t> Bytes = encodeBytes(Orig);
+
+  const auto rejects = [](std::vector<std::uint8_t> Mut,
+                          sampling::AdaptiveConfig Into,
+                          const std::string &What) {
+    sampling::AdaptiveController C(Into);
+    ByteReader R(Mut);
+    EXPECT_FALSE(StateCodec::decode(R, C)) << What;
+  };
+
+  // Config mismatches: the decoding service was built with different
+  // tuning, so the payload's schedule is not reproducible here.
+  {
+    sampling::AdaptiveConfig Other = Cfg;
+    Other.StableIntervalsPerStep = 3;
+    rejects(Bytes, Other, "step mismatch");
+  }
+  {
+    sampling::AdaptiveConfig Other = Cfg;
+    Other.Enabled = false;
+    rejects(Bytes, Other, "enabled-bit mismatch");
+  }
+  // Every truncation is a clean rejection.
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len)
+    rejects({Bytes.begin(), Bytes.begin() + static_cast<long>(Len)}, Cfg,
+            "truncated to " + std::to_string(Len));
+  // Hand-rolled payloads violating the machine's invariants.
+  const auto forged = [&](std::uint32_t Level, std::uint32_t Streak,
+                          std::uint64_t Tightens, bool Enabled) {
+    ByteWriter W;
+    W.boolean(Enabled);
+    W.u64(Cfg.BasePeriodCycles);
+    W.u32(Cfg.MaxScaleLog2);
+    W.u32(Cfg.StableIntervalsPerStep);
+    W.f64(Cfg.UcrSpikeDelta);
+    W.u32(Level);
+    W.u32(Streak);
+    W.f64(0.0);
+    W.boolean(false);
+    W.u64(0);        // lengthens
+    W.u64(Tightens);
+    W.u64(0);        // samples saved
+    return W.take();
+  };
+  rejects(forged(Cfg.MaxScaleLog2 + 1, 0, 0, true), Cfg, "level above cap");
+  rejects(forged(0, Cfg.StableIntervalsPerStep, 0, true), Cfg,
+          "streak at threshold never persists");
+  // A disabled controller never mutates state: nonzero dynamic fields
+  // under Enabled == false are a desynced payload, not a restore.
+  sampling::AdaptiveConfig Off = Cfg;
+  Off.Enabled = false;
+  rejects(forged(0, 0, 1, false), Off, "nonzero state while disabled");
+  {
+    const std::vector<std::uint8_t> Zeroed = forged(0, 0, 0, false);
+    sampling::AdaptiveController C(Off);
+    ByteReader R(Zeroed);
+    EXPECT_TRUE(StateCodec::decode(R, C)) << "all-zero disabled payload";
+  }
 }
 
 TEST(PersistStateCodec, TraceDeploymentsRoundTripWithoutTouchingEngine) {

@@ -6,6 +6,9 @@
 
 #include "sampling/Sampler.h"
 
+#include "obs/Instruments.h"
+#include "obs/Metrics.h"
+
 #include <gtest/gtest.h>
 
 using namespace regmon;
@@ -125,6 +128,108 @@ TEST(Sampler, FillBufferPartialFinalDataIsExposedButNotAnInterval) {
   EXPECT_FALSE(S.fillBuffer(Buffer));
   EXPECT_EQ(Buffer.size(), 35u) << "99 samples total, 64 consumed";
   EXPECT_EQ(S.intervals(), 1u) << "partial data is not an interval";
+}
+
+// Regression: a zero period used to be guarded only by an assert, so a
+// release build fed PeriodCycles == 0 would spin fillBuffer forever (the
+// engine advances zero cycles per "interrupt"). The clamp now runs in
+// every build; this test deadlocks on the old behaviour instead of
+// failing an expectation, which is exactly why it must exist.
+TEST(Sampler, ZeroConfigClampedInEveryBuildAndRunTerminates) {
+  TestSetup T(100);
+  Engine E(T.Prog, T.Script, 11);
+  Sampler S(E, {/*PeriodCycles=*/0, /*BufferSize=*/0});
+  EXPECT_TRUE(S.configClamped());
+  EXPECT_EQ(S.config().PeriodCycles, 1u);
+  EXPECT_EQ(S.config().BufferSize, 1u);
+  std::size_t Buffers = 0;
+  S.run([&](std::span<const Sample> Buffer) {
+    ++Buffers;
+    EXPECT_EQ(Buffer.size(), 1u);
+  });
+  EXPECT_EQ(Buffers, 99u) << "one sample per cycle, program end discarded";
+}
+
+TEST(Sampler, ConfigClampReportedThroughInstruments) {
+  TestSetup T(10'000);
+  Engine E(T.Prog, T.Script, 12);
+  Sampler S(E, {/*PeriodCycles=*/0, /*BufferSize=*/64});
+  obs::MetricsRegistry Registry;
+  obs::EventTracer Tracer;
+  const obs::SamplerInstruments I =
+      obs::makeSamplerInstruments(Registry, &Tracer, /*Stream=*/7, "");
+  S.attachObservability(&I);
+  EXPECT_EQ(I.ConfigClamps->value(), 1u);
+  EXPECT_EQ(I.PeriodCurrent->value(), 1.0);
+  const std::vector<obs::TraceEvent> Events = Tracer.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Kind, obs::EventKind::SamplingConfigClamped);
+  EXPECT_EQ(Events[0].Stream, 7u);
+
+  // A valid configuration attaches silently.
+  Engine E2(T.Prog, T.Script, 12);
+  Sampler Clean(E2, {100, 64});
+  Clean.attachObservability(&I);
+  EXPECT_FALSE(Clean.configClamped());
+  EXPECT_EQ(I.ConfigClamps->value(), 1u);
+  EXPECT_EQ(I.PeriodCurrent->value(), 100.0);
+}
+
+TEST(Sampler, DynamicScaleStretchesThePeriodMidRun) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 13);
+  Sampler S(E, {100, 16});
+  std::vector<Sample> Buffer;
+  ASSERT_TRUE(S.fillBuffer(Buffer));
+  for (std::size_t I = 1; I < Buffer.size(); ++I)
+    EXPECT_EQ(Buffer[I].Time - Buffer[I - 1].Time, 100u);
+
+  EXPECT_EQ(S.setPeriodScaleLog2(3), 3u);
+  EXPECT_EQ(S.effectivePeriodCycles(), 800u);
+  ASSERT_TRUE(S.fillBuffer(Buffer));
+  for (std::size_t I = 1; I < Buffer.size(); ++I)
+    EXPECT_EQ(Buffer[I].Time - Buffer[I - 1].Time, 800u);
+
+  // Back to base: the scale is a multiplier, not a new config.
+  EXPECT_EQ(S.setPeriodScaleLog2(0), 0u);
+  EXPECT_EQ(S.effectivePeriodCycles(), 100u);
+  EXPECT_EQ(S.config().PeriodCycles, 100u);
+}
+
+TEST(Sampler, ScaleRequestsClampToCeilingAndAreCounted) {
+  TestSetup T;
+  Engine E(T.Prog, T.Script, 14);
+  Sampler S(E, {100, 16});
+  obs::MetricsRegistry Registry;
+  const obs::SamplerInstruments I =
+      obs::makeSamplerInstruments(Registry, nullptr, 0, "");
+  S.attachObservability(&I);
+
+  EXPECT_EQ(S.setPeriodScaleLog2(Sampler::MaxPeriodScaleLog2 + 5),
+            Sampler::MaxPeriodScaleLog2);
+  EXPECT_EQ(I.ScaleClamps->value(), 1u);
+  EXPECT_EQ(I.ScaleChanges->value(), 1u);
+  EXPECT_EQ(I.PeriodCurrent->value(),
+            static_cast<double>(
+                scaledPeriod(100, Sampler::MaxPeriodScaleLog2)));
+
+  // Re-applying the same scale is not a change.
+  EXPECT_EQ(S.setPeriodScaleLog2(Sampler::MaxPeriodScaleLog2),
+            Sampler::MaxPeriodScaleLog2);
+  EXPECT_EQ(I.ScaleChanges->value(), 1u);
+}
+
+TEST(Sampler, ScaledPeriodSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(scaledPeriod(45'000, 0), 45'000u);
+  EXPECT_EQ(scaledPeriod(45'000, 4), 720'000u);
+  EXPECT_EQ(scaledPeriod(0, 0), 1u) << "zero base clamps like the sampler";
+  EXPECT_EQ(scaledPeriod(0, 3), 8u);
+  // One bit shy of the top: any further shift must pin, not wrap to 0.
+  EXPECT_EQ(scaledPeriod(std::uint64_t{1} << 63, 1), UINT64_MAX);
+  EXPECT_EQ(scaledPeriod(3, 63), UINT64_MAX);
+  EXPECT_EQ(scaledPeriod(45'000, 64), UINT64_MAX);
+  EXPECT_EQ(scaledPeriod(45'000, 1'000), UINT64_MAX);
+  EXPECT_EQ(scaledPeriod(std::uint64_t{1} << 32, 31), std::uint64_t{1} << 63);
 }
 
 TEST(Sampler, SmallerPeriodMoreIntervals) {

@@ -60,4 +60,18 @@ REGMON_PURE inline long mergeSummaries(long A, long B) {
   return A > B ? A : B;
 }
 
+// 6. An adaptive-sampling controller decision that smuggles a wall clock
+// through a "streak expiry" helper: the REGMON_PURE decision body is
+// token-clean compares and increments, but the helper's clock read means
+// replaying the same feedback could pick a different sampling period.
+inline bool streakExpired(int Streak) {
+  return Streak > std::chrono::steady_clock::now().time_since_epoch().count() % 4;
+}
+
+REGMON_PURE inline int controllerDecide(int Level, int Streak, bool Stable) {
+  if (Stable && streakExpired(Streak))
+    return Level + 1;
+  return Stable ? Level : 0;
+}
+
 } // namespace fixture

@@ -24,4 +24,15 @@ REGMON_HOT inline void hotExempted(std::vector<int> &V) { growScratch(V); }
 // global writes, not memory.
 REGMON_PURE inline int *pureAlloc() { return new int(7); }
 
+// A controller decision whose streak logic stays arithmetic all the way
+// down: the clean counterpart of purity_bad.cpp's case 6.
+inline bool streakComplete(int Streak, int Step) { return Streak >= Step; }
+
+REGMON_PURE inline int controllerDecideClean(int Level, int Streak,
+                                             bool Stable) {
+  if (Stable && streakComplete(Streak, 2))
+    return Level + 1;
+  return Stable ? Level : 0;
+}
+
 } // namespace fixture
